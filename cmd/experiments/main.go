@@ -1,0 +1,173 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// on the bundled benchmark suite.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table8|table9|fig5|fig6|fig7|fig8|fig9]
+//	            [-mode paper|extended] [-bench NAME]
+//
+// Each figure prints as one data series per benchmark (degree, value)
+// pairs; tables print in the paper's row layout with an Average row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathprof/internal/estimate"
+	"pathprof/internal/experiments"
+	"pathprof/internal/stats"
+	"pathprof/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expName   = flag.String("exp", "all", "which experiment to regenerate: table1, table8, table9, fig5..fig9, space, applications, showdown, ablation-selective, ablation-mode, ablation-chords, all")
+		modeName  = flag.String("mode", "paper", "estimation constraint mode: paper or extended")
+		benchName = flag.String("bench", "", "restrict to one benchmark (default: all nine)")
+		plot      = flag.Bool("plot", false, "render figures as ASCII bar charts instead of series lists")
+	)
+	flag.Parse()
+
+	mode := estimate.Paper
+	switch *modeName {
+	case "paper":
+	case "extended":
+		mode = estimate.Extended
+	default:
+		return fmt.Errorf("unknown -mode %q", *modeName)
+	}
+
+	benches := workload.All()
+	if *benchName != "" {
+		b := workload.ByName(*benchName)
+		if b == nil {
+			return fmt.Errorf("no benchmark %q", *benchName)
+		}
+		benches = benches[:0]
+		benches = append(benches, b)
+	}
+
+	fmt.Fprintf(os.Stderr, "collecting %d benchmark(s), sweeping every overlap degree...\n", len(benches))
+	var runs []*experiments.BenchRun
+	for _, b := range benches {
+		br, err := experiments.Collect(b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  %-14s max degree %2d, %7d blocks per run\n", b.Name, br.MaxK, br.At(-1).Report.BaseOps)
+		runs = append(runs, br)
+	}
+
+	want := func(name string) bool { return *expName == "all" || *expName == name }
+	var sections []string
+
+	if want("table1") {
+		sections = append(sections, experiments.RenderTable1(experiments.Table1(runs)))
+	}
+	render := func(caption string, series []*stats.Series) string {
+		if *plot {
+			return caption + "\n" + stats.Plot(series, 50)
+		}
+		text := caption + "\n"
+		for _, s := range series {
+			text += s.String() + "\n"
+		}
+		return text
+	}
+	if want("fig5") {
+		s, err := experiments.Figure5(runs, mode)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, render("Figure 5: estimated total flow error (%) vs degree of overlap (x=-1 is BL)", s))
+	}
+	if want("fig6") {
+		s, err := experiments.Figure6(runs, mode)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, render("Figure 6: precisely estimated interesting paths (%) vs degree of overlap", s))
+	}
+	if want("fig7") {
+		sections = append(sections, render("Figure 7: overhead of profiling OL loop paths (%) vs degree", experiments.Figure7(runs)))
+	}
+	if want("fig8") {
+		sections = append(sections, render("Figure 8: overhead of profiling OL interprocedural paths (%) vs degree", experiments.Figure8(runs)))
+	}
+	if want("fig9") {
+		sections = append(sections, render("Figure 9: overhead of profiling all OL paths (%) vs degree", experiments.Figure9(runs)))
+	}
+	if want("table8") {
+		rows, err := experiments.Table8(runs, mode)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, experiments.RenderTable8(rows))
+	}
+	if want("table9") {
+		sections = append(sections, experiments.RenderTable9(experiments.Table9(runs)))
+	}
+	if want("ablation-selective") {
+		for _, b := range benches {
+			rows, err := experiments.SelectiveAblation(b, []float64{1.0, 0.9, 0.5, 0.0}, mode)
+			if err != nil {
+				return err
+			}
+			sections = append(sections, experiments.RenderAblation(b.Name, rows))
+		}
+	}
+	if want("ablation-mode") {
+		rows, err := experiments.ModeAblation(runs)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, experiments.RenderModeAblation(rows))
+	}
+	if want("space") {
+		rows, err := experiments.Space(runs)
+		if err != nil {
+			return err
+		}
+		demo, err := experiments.SpaceDemo()
+		if err != nil {
+			return err
+		}
+		sections = append(sections, experiments.RenderSpace(append(rows, demo...)))
+	}
+	if want("applications") {
+		rows, err := experiments.Applications(runs, mode)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, experiments.RenderApplications(rows))
+	}
+	if want("showdown") {
+		rows, err := experiments.Showdown(runs, mode)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, experiments.RenderShowdown(rows))
+	}
+	if want("ablation-chords") {
+		rows, err := experiments.ChordAblation(benches)
+		if err != nil {
+			return err
+		}
+		sections = append(sections, experiments.RenderChordAblation(rows))
+	}
+	if len(sections) == 0 {
+		return fmt.Errorf("unknown -exp %q", *expName)
+	}
+	fmt.Println(strings.Join(sections, "\n"))
+	return nil
+}

@@ -1,0 +1,208 @@
+// Command pathprof compiles a program in the bundled language, profiles it
+// with Ball-Larus or overlapping-path instrumentation, and reports hot
+// paths, interesting-path bound estimates, overheads, flow attribution, and
+// dumps (IR, CFG DOT, whole-program-path compression stats).
+//
+// Usage:
+//
+//	pathprof -src prog.pl [-seed N] [-k K] [-mode paper|extended] [actions]
+//
+// Actions (any combination):
+//
+//	-hot N        print the N hottest Ball-Larus paths
+//	-estimate     print interesting-path flow bounds at degree K
+//	-pairs N      print hot interesting pairs with lower bound >= N
+//	-attr         print Table-1-style flow attribution (runs the tracer)
+//	-overhead     print instrumentation overhead percentages
+//	-wpp          collect a SEQUITUR-compressed whole program path and
+//	              print its compression statistics
+//	-dump-ir      print the lowered IR
+//	-dump-instr F print function F's instrumentation plan at degree -k
+//	-dot FUNC     print FUNC's CFG in Graphviz DOT syntax
+//	-run          echo the program's own print output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/core"
+	"pathprof/internal/estimate"
+	"pathprof/internal/instrument"
+	"pathprof/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pathprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		srcPath  = flag.String("src", "", "source file to profile (required)")
+		seed     = flag.Uint64("seed", 1, "deterministic RNG seed for the run")
+		k        = flag.Int("k", -1, "degree of overlap (-1 = Ball-Larus only)")
+		modeName = flag.String("mode", "paper", "estimation constraint mode: paper or extended")
+		hot      = flag.Int("hot", 0, "print the N hottest BL paths")
+		doEst    = flag.Bool("estimate", false, "print interesting-path bound estimates")
+		pairs    = flag.Int64("pairs", -1, "print interesting pairs with lower bound >= N")
+		attr     = flag.Bool("attr", false, "print flow attribution (Table 1 style)")
+		ovh      = flag.Bool("overhead", false, "print instrumentation overhead")
+		wpp      = flag.Bool("wpp", false, "collect + report a compressed whole program path")
+		dumpIR   = flag.Bool("dump-ir", false, "print the lowered IR")
+		dumpInst = flag.String("dump-instr", "", "print FUNC's instrumentation plan at degree -k")
+		saveProf = flag.String("save-profile", "", "write the collected counters to FILE")
+		loadProf = flag.String("load-profile", "", "estimate from counters in FILE instead of running")
+		dotFunc  = flag.String("dot", "", "print the named function's CFG as DOT")
+		echo     = flag.Bool("run", false, "echo the program's print output")
+	)
+	flag.Parse()
+
+	if *srcPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-src is required")
+	}
+	src, err := os.ReadFile(*srcPath)
+	if err != nil {
+		return err
+	}
+	s, err := core.Open(string(src))
+	if err != nil {
+		return err
+	}
+	if *echo {
+		s.Out = os.Stdout
+	}
+
+	mode := estimate.Paper
+	switch *modeName {
+	case "paper":
+	case "extended":
+		mode = estimate.Extended
+	default:
+		return fmt.Errorf("unknown -mode %q", *modeName)
+	}
+
+	if *dumpIR {
+		fmt.Print(s.Prog.String())
+	}
+	if *dotFunc != "" {
+		fn := s.Prog.FuncByName(*dotFunc)
+		if fn == nil {
+			return fmt.Errorf("no function %q", *dotFunc)
+		}
+		fmt.Print(cfg.Dot(fn.CFG(), nil))
+	}
+	if *dumpInst != "" {
+		idx := s.Prog.FuncIndex(*dumpInst)
+		if idx < 0 {
+			return fmt.Errorf("no function %q", *dumpInst)
+		}
+		text, err := instrument.DescribePlan(s.Info, instrument.Config{K: *k, Loops: *k >= 0, Interproc: *k >= 0}, idx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+	}
+
+	fmt.Printf("program: %d functions, max overlap degree %d\n", len(s.Prog.Funcs), s.MaxDegree())
+
+	var runRes *core.Run
+	if *loadProf != "" {
+		f, err := os.Open(*loadProf)
+		if err != nil {
+			return err
+		}
+		runRes, err = core.LoadRun(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded counters from %s (profile degree k=%d)\n", *loadProf, runRes.K)
+	} else if *hot > 0 || *doEst || *pairs >= 0 || *ovh || *saveProf != "" {
+		if *k < 0 {
+			runRes, err = s.ProfileBL(*seed)
+		} else {
+			runRes, err = s.ProfileOL(*seed, *k)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("profiled at k=%d: %d blocks executed\n", runRes.K, runRes.Steps)
+	}
+	if *saveProf != "" && runRes != nil {
+		f, err := os.Create(*saveProf)
+		if err != nil {
+			return err
+		}
+		if err := core.SaveRun(f, runRes); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("counters written to %s\n", *saveProf)
+	}
+
+	if *hot > 0 {
+		paths, err := s.HottestPaths(runRes, *hot)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nhottest %d Ball-Larus paths:\n%s", len(paths), core.FormatHotPaths(paths))
+	}
+
+	if *ovh {
+		r := runRes.Overhead
+		fmt.Printf("\noverhead: BL %.1f%%, OL loop %.1f%%, OL interproc %.1f%%, OL all %.1f%%\n",
+			r.BLPct(), r.LoopPct(), r.InterPct(), r.AllPct())
+	}
+
+	var pe *core.ProgramEstimate
+	if *doEst || *pairs >= 0 {
+		pe, err = s.EstimateMode(runRes, mode)
+		if err != nil {
+			return err
+		}
+	}
+	if *doEst {
+		fmt.Printf("\nestimate: %s\n", pe.Summary())
+	}
+	if *pairs >= 0 {
+		lp := s.HotLoopPairs(pe, *pairs)
+		fmt.Printf("\nhot loop pairs (lower..upper, [RR] = repeating iteration):\n%s", core.FormatLoopPairs(lp))
+		cp, err := s.HotCrossingPairs(pe, *pairs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nhot interprocedural pairs:\n%s", core.FormatCrossingPairs(cp))
+	}
+
+	if *attr || *wpp {
+		tr, err := s.Trace(*seed)
+		if err != nil {
+			return err
+		}
+		if *attr {
+			a := tr.Attr
+			t := stats.NewTable("Loop Backedges %", "Procedure Boundaries %", "Total %")
+			t.Row(fmt.Sprintf("%.1f", a.LoopPct()), fmt.Sprintf("%.1f", a.ProcPct()), fmt.Sprintf("%.1f", a.TotalPct()))
+			fmt.Printf("\nflow attributable to interesting paths:\n%s", t.String())
+		}
+		if *wpp {
+			trw, err := s.TraceWPP(*seed)
+			if err != nil {
+				return err
+			}
+			rules, stored := trw.WPP.Stats()
+			fmt.Printf("\nwhole program path: %d blocks traced, %d grammar rules, %d stored symbols (%.1fx compression)\n",
+				trw.WPP.Symbols, rules, stored, trw.WPP.Ratio())
+		}
+	}
+	return nil
+}

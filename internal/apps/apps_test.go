@@ -1,0 +1,259 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"pathprof/internal/core"
+	"pathprof/internal/estimate"
+	"pathprof/internal/instrument"
+	"pathprof/internal/interp"
+	"pathprof/internal/lang"
+	"pathprof/internal/profile"
+)
+
+// --- availability machinery unit tests on hand-written programs ---
+
+// compileLoop returns the FuncInfo and single loop of main in src.
+func compileLoop(t *testing.T, src string) (*profile.FuncInfo, *profile.LoopInfo) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	fi := info.OfFunc(prog.FuncByName("main"))
+	if len(fi.Loops) != 1 {
+		t.Fatalf("main has %d loops; want 1", len(fi.Loops))
+	}
+	return fi, fi.Loops[0]
+}
+
+func TestRedundantInstrsDetectsInvariantExpression(t *testing.T) {
+	// g0*g1 is recomputed every iteration with unchanged operands: when
+	// the single body path repeats, the multiply (and the comparison
+	// feeding the branch, and constant-operand updates) are redundant.
+	fi, li := compileLoop(t, `
+		var g0 = 3;
+		var g1 = 4;
+		var sink = 0;
+		func main() {
+			var i = 0;
+			while (i < 10) {
+				sink = g0 * g1;
+				i = i + 1;
+			}
+			print(sink);
+		}
+	`)
+	if li.LP.Count() != 1 {
+		t.Fatalf("loop paths = %d; want 1", li.LP.Count())
+	}
+	seq := li.LP.Seqs[0]
+	red := RedundantInstrs(fi.Fn, seq, seq)
+	// At least the multiply is redundant; i = i+1 is not (i changes),
+	// and i < 10 is not (reads i).
+	if red < 1 {
+		t.Fatalf("redundant = %d; want >= 1 (the invariant multiply)", red)
+	}
+}
+
+func TestRedundantInstrsRespectsKills(t *testing.T) {
+	// The load tab[i] is NOT redundant across iterations: i changes.
+	// The load tab[c] with loop-invariant c IS.
+	fi, li := compileLoop(t, `
+		array tab[16];
+		var c = 3;
+		var sink = 0;
+		func main() {
+			var i = 0;
+			while (i < 10) {
+				sink = sink + tab[c];
+				i = i + 1;
+			}
+			print(sink);
+		}
+	`)
+	seq := li.LP.Seqs[0]
+	red := RedundantInstrs(fi.Fn, seq, seq)
+	if red < 1 {
+		t.Fatalf("invariant array load not found redundant")
+	}
+
+	fi2, li2 := compileLoop(t, `
+		array tab[16];
+		var sink = 0;
+		func main() {
+			var i = 0;
+			while (i < 10) {
+				sink = sink + tab[i];
+				i = i + 1;
+			}
+			print(sink);
+		}
+	`)
+	seq2 := li2.LP.Seqs[0]
+	// tab[i]: i changes each iteration; sink + tab[i]: sink changes too.
+	if red2 := RedundantInstrs(fi2.Fn, seq2, seq2); red2 != 0 {
+		t.Fatalf("varying-index load reported redundant (%d)", red2)
+	}
+}
+
+func TestRedundancyKilledByStoresAndCalls(t *testing.T) {
+	// A store to the array kills loads; a call kills globals.
+	fi, li := compileLoop(t, `
+		array tab[16];
+		var g = 5;
+		var sink = 0;
+		func bump() { g = g + 1; return 0; }
+		func main() {
+			var i = 0;
+			while (i < 10) {
+				sink = sink + tab[2];
+				tab[2] = i;
+				var x = g * 2;
+				bump();
+				sink = sink + x;
+				i = i + 1;
+			}
+			print(sink);
+		}
+	`)
+	seq := li.LP.Seqs[0]
+	if red := RedundantInstrs(fi.Fn, seq, seq); red != 0 {
+		t.Fatalf("killed expressions reported redundant (%d)", red)
+	}
+}
+
+// --- end-to-end application runs ---
+
+func TestLoopRedundancyEndToEnd(t *testing.T) {
+	src := `
+		var a = 7;
+		var b = 9;
+		var sink = 0;
+		func main() {
+			for (var i = 0; i < 400; i = i + 1) {
+				if (rand(5) == 0) {
+					a = a + 1;
+					sink = sink + a;
+				} else {
+					// hot path recomputes the invariant product
+					sink = sink + a * b;
+				}
+			}
+			print(sink);
+		}
+	`
+	s, err := core.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := s.MaxDegree()
+	run, err := s.ProfileOL(3, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := s.Estimate(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	var report string
+	for _, le := range pe.Loops {
+		r := AnalyzeLoopRedundancy(le.Func, le.Loop, le.Res)
+		total += r.ProvableSavings
+		report += FormatLoopRedundancy(r)
+	}
+	if total == 0 {
+		t.Fatalf("no provable redundancy found:\n%s", report)
+	}
+	if !strings.Contains(report, "pair (") {
+		t.Fatalf("report lacks pair detail:\n%s", report)
+	}
+
+	// The BL-only profile proves strictly less.
+	blRun, err := s.ProfileBL(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peBL, err := s.Estimate(blRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blTotal int64
+	for _, le := range peBL.Loops {
+		blTotal += AnalyzeLoopRedundancy(le.Func, le.Loop, le.Res).ProvableSavings
+	}
+	if blTotal > total {
+		t.Fatalf("BL-only proves more redundancy (%d) than OL (%d)?", blTotal, total)
+	}
+}
+
+func TestBranchCorrelationEndToEnd(t *testing.T) {
+	// The callee re-tests `urgent`, which each caller prefix fixes.
+	src := `
+		var n = 0;
+		func handle(req, urgent) {
+			if (urgent == 1) { n = n + 1; return req * 2; }
+			return req + 1;
+		}
+		func main() {
+			var total = 0;
+			for (var i = 0; i < 300; i = i + 1) {
+				if (rand(4) == 0) {
+					total = total + handle(i, 1);
+				} else {
+					total = total + handle(i, 0);
+				}
+			}
+			print(total, n);
+		}
+	`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog, 9)
+	maxK := info.MaxDegree()
+	rt, err := instrument.New(info, instrument.Config{K: maxK, Loops: true, Interproc: true}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	found := 0
+	for ck, calls := range rt.C.Calls {
+		caller := info.Funcs[ck.Caller]
+		cs := caller.CallSites[ck.Site]
+		r, err := estimate.TypeI(info, caller, cs, ck.Callee,
+			rt.C.BL[ck.Caller], rt.C.BL[ck.Callee], rt.C.TypeI, calls, maxK, estimate.Paper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr, err := AnalyzeBranchCorrelation(info, caller, cs, ck.Callee, r, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found += len(corr)
+		if len(corr) > 0 {
+			text := FormatBranchCorrelations(corr)
+			if !strings.Contains(text, "always takes") {
+				t.Fatalf("bad rendering:\n%s", text)
+			}
+		}
+	}
+	// Both call sites fix the callee's urgent-test: at least two findings.
+	if found < 2 {
+		t.Fatalf("found %d correlated branches; want >= 2", found)
+	}
+}

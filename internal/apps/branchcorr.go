@@ -1,0 +1,120 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/estimate"
+	"pathprof/internal/ir"
+	"pathprof/internal/profile"
+)
+
+// Interprocedural branch correlation: for a call edge, find callee branches
+// whose direction is fixed along every proven (caller prefix ! callee path)
+// pair for some prefix — the situation Bodik, Gupta & Soffa exploit to
+// eliminate conditional branches across procedure boundaries, and the
+// paper's second motivating application.
+
+// BranchCorrelation is one eliminable-branch finding.
+type BranchCorrelation struct {
+	Caller, Callee string
+	Site           string
+	// PrefixBlocks renders the caller path into the call.
+	PrefixBlocks string
+	// Branch is the callee predicate block whose outcome is fixed.
+	Branch string
+	// Taken is the successor always chosen along this prefix.
+	Taken string
+	// ProvenFlow is the guaranteed frequency (sum of pair lower bounds
+	// through the branch for this prefix).
+	ProvenFlow int64
+}
+
+// AnalyzeBranchCorrelation inspects one (caller, site, callee) Type I
+// estimate and reports callee branches decided by the caller-side prefix.
+// Only branches with proven flow at least minFlow are reported.
+func AnalyzeBranchCorrelation(info *profile.Info, caller *profile.FuncInfo,
+	cs *profile.CallSiteInfo, calleeIdx int, r *estimate.InterResult, minFlow int64) ([]BranchCorrelation, error) {
+
+	callee := info.Funcs[calleeIdx]
+	ps, err := caller.Prefixes(cs)
+	if err != nil {
+		return nil, err
+	}
+	nq := len(r.QIDs)
+
+	// For each prefix: aggregate, per callee predicate block, the proven
+	// flow through each successor.
+	type flowKey struct {
+		branch cfg.NodeID
+		succ   cfg.NodeID
+	}
+	var out []BranchCorrelation
+	for pi, pr := range ps.Items {
+		flows := map[flowKey]int64{}
+		byBranch := map[cfg.NodeID]int64{}
+		for qi, qid := range r.QIDs {
+			lb := r.Res.Lower[pi*nq+qi]
+			if lb <= 0 {
+				continue
+			}
+			q, err := callee.DAG.PathForID(qid)
+			if err != nil {
+				return nil, err
+			}
+			for bi := 0; bi+1 < len(q.Blocks); bi++ {
+				b := q.Blocks[bi]
+				if isRealBranch(callee.Fn, b) {
+					flows[flowKey{b, q.Blocks[bi+1]}] += lb
+					byBranch[b] += lb
+				}
+			}
+		}
+		for k, f := range flows {
+			if f < minFlow {
+				continue
+			}
+			if f == byBranch[k.branch] {
+				// Every proven traversal of this branch along
+				// this prefix goes the same way.
+				out = append(out, BranchCorrelation{
+					Caller:       caller.Fn.Name,
+					Callee:       callee.Fn.Name,
+					Site:         caller.G.Label(cs.Block),
+					PrefixBlocks: bl.FormatSeq(caller.G, pr.Blocks),
+					Branch:       callee.G.Label(k.branch),
+					Taken:        callee.G.Label(k.succ),
+					ProvenFlow:   f,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ProvenFlow != out[j].ProvenFlow {
+			return out[i].ProvenFlow > out[j].ProvenFlow
+		}
+		if out[i].PrefixBlocks != out[j].PrefixBlocks {
+			return out[i].PrefixBlocks < out[j].PrefixBlocks
+		}
+		return out[i].Branch < out[j].Branch
+	})
+	return out, nil
+}
+
+// isRealBranch reports whether block b of fn ends in a conditional branch.
+func isRealBranch(fn *ir.Func, b cfg.NodeID) bool {
+	_, ok := fn.Blocks[int(b)].Term.(ir.Branch)
+	return ok
+}
+
+// FormatBranchCorrelations renders findings.
+func FormatBranchCorrelations(cs []BranchCorrelation) string {
+	var s string
+	for _, c := range cs {
+		s += fmt.Sprintf("%s@%s -> %s: along prefix %s, branch %s always takes %s (proven >= %d)\n",
+			c.Caller, c.Site, c.Callee, c.PrefixBlocks, c.Branch, c.Taken, c.ProvenFlow)
+	}
+	return s
+}

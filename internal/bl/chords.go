@@ -1,0 +1,185 @@
+package bl
+
+import (
+	"fmt"
+	"sort"
+
+	"pathprof/internal/cfg"
+)
+
+// This file implements Ball-Larus's spanning-tree optimization for probe
+// placement: instead of adding `r += Val(e)` on every edge with a non-zero
+// value, a maximum spanning tree of the path DAG (plus the implicit
+// EXIT→ENTRY edge) is chosen and only the *chords* — the non-tree edges —
+// receive increments, recomputed so that the sum over the chords of any path
+// still equals the path id. With edge weights from a prior profile, the
+// hottest edges land on the tree and escape instrumentation entirely.
+//
+// The overlapping-path runtime uses this as an overhead ablation: the
+// semantic registers still follow the reference walker, but Ball-Larus probe
+// cost is charged per chord traversal instead of per valued edge.
+
+// Chords is a probe placement for one procedure's DAG.
+type Chords struct {
+	d *DAG
+	// inc[i] is the increment of DAG edge index i; onlyChords[i] reports
+	// whether the edge is a chord (instrumented).
+	inc     []int64
+	isChord []bool
+	// NumChords counts instrumented edges.
+	NumChords int
+}
+
+// Inc returns the increment placed on DAG edge e (0 for tree edges).
+func (c *Chords) Inc(e *DAGEdge) int64 { return c.inc[e.Index] }
+
+// IsChord reports whether e carries a probe.
+func (c *Chords) IsChord(e *DAGEdge) bool { return c.isChord[e.Index] }
+
+// TotalEdges returns the DAG's edge count.
+func (c *Chords) TotalEdges() int { return len(c.inc) }
+
+// UniformWeight weights every edge equally (the placement then just
+// minimizes probe count).
+func UniformWeight(*DAGEdge) int64 { return 1 }
+
+// ProfileWeight builds a weight function from a BL path profile: each edge
+// weighs the total frequency of the paths crossing it, so hot edges join the
+// spanning tree and escape instrumentation.
+func ProfileWeight(d *DAG, profile map[int64]uint64) (func(*DAGEdge) int64, error) {
+	w := make([]int64, len(d.Edges))
+	for id, n := range profile {
+		p, err := d.PathForID(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range p.Edges {
+			w[e.Index] += int64(n)
+		}
+	}
+	return func(e *DAGEdge) int64 { return w[e.Index] }, nil
+}
+
+// ComputeChords picks a maximum spanning tree under the given weights and
+// derives chord increments.
+func ComputeChords(d *DAG, weight func(*DAGEdge) int64) (*Chords, error) {
+	n := d.G.Len()
+	c := &Chords{
+		d:       d,
+		inc:     make([]int64, len(d.Edges)),
+		isChord: make([]bool, len(d.Edges)),
+	}
+
+	// Kruskal, maximum weight first. The implicit EXIT→ENTRY edge is
+	// forced into the tree by pre-unioning its endpoints.
+	dsu := newDSU(n)
+	dsu.union(int(d.G.Exit()), int(d.G.Entry()))
+
+	order := make([]*DAGEdge, len(d.Edges))
+	copy(order, d.Edges)
+	sort.SliceStable(order, func(i, j int) bool { return weight(order[i]) > weight(order[j]) })
+
+	inTree := make([]bool, len(d.Edges))
+	for _, e := range order {
+		if dsu.union(int(e.From), int(e.To)) {
+			inTree[e.Index] = true
+		}
+	}
+
+	// Potentials: signed Val-sums along tree paths from the entry.
+	// P(entry) = 0; traversing tree edge u->v forward adds Val, backward
+	// subtracts. The EXIT→ENTRY pseudo-edge carries value 0.
+	type adj struct {
+		to  int
+		val int64 // contribution when walking from `from` to `to`
+	}
+	tree := make([][]adj, n)
+	addTree := func(u, v int, val int64) {
+		tree[u] = append(tree[u], adj{to: v, val: val})
+		tree[v] = append(tree[v], adj{to: u, val: -val})
+	}
+	for _, e := range d.Edges {
+		if inTree[e.Index] {
+			addTree(int(e.From), int(e.To), e.Val)
+		}
+	}
+	addTree(int(d.G.Exit()), int(d.G.Entry()), 0)
+
+	pot := make([]int64, n)
+	seen := make([]bool, n)
+	stack := []int{int(d.G.Entry())}
+	seen[d.G.Entry()] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range tree[u] {
+			if !seen[a.to] {
+				seen[a.to] = true
+				pot[a.to] = pot[u] + a.val
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			return nil, fmt.Errorf("bl: spanning tree does not span node %s", d.G.Label(cfg.NodeID(v)))
+		}
+	}
+
+	// Chord increment: the Val-sum around the chord's fundamental cycle,
+	// which telescopes to Val(c) + P(from) - P(to) ... the test suite
+	// pins the sign by checking path sums, so derive it that way:
+	// walking chord u->v then the tree path v->u must reproduce exactly
+	// the chord's share of every path id. The correct increment is
+	// Val(c) - (P(to) - P(from)).
+	for _, e := range d.Edges {
+		if inTree[e.Index] {
+			continue
+		}
+		c.isChord[e.Index] = true
+		c.inc[e.Index] = e.Val - (pot[e.To] - pot[e.From])
+		c.NumChords++
+	}
+	return c, nil
+}
+
+// PathSum returns the sum of chord increments along a path — by
+// construction equal to the path's Ball-Larus id.
+func (c *Chords) PathSum(p *Path) int64 {
+	var s int64
+	for _, e := range p.Edges {
+		if c.isChord[e.Index] {
+			s += c.inc[e.Index]
+		}
+	}
+	return s
+}
+
+// dsu is a plain union-find.
+type dsu struct{ parent []int }
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// union links the sets of a and b, reporting whether they were distinct.
+func (d *dsu) union(a, b int) bool {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return false
+	}
+	d.parent[ra] = rb
+	return true
+}

@@ -1,0 +1,118 @@
+package bl
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathprof/internal/cfg"
+)
+
+func TestChordSumsEqualPathIDsOnFixtures(t *testing.T) {
+	for _, g := range []*cfg.Graph{
+		cfg.PaperLoopCFG(), cfg.PaperCallerCFG(), cfg.PaperCalleeCFG(),
+		cfg.DiamondCFG(), cfg.NestedLoopCFG(),
+	} {
+		d := mustDAG(t, g)
+		ch, err := ComputeChords(d, UniformWeight)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		paths, err := d.EnumeratePaths(1 << 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			if got := ch.PathSum(p); got != p.ID {
+				t.Fatalf("%s: chord sum %d != path id %d for %s",
+					g.Name, got, p.ID, p.Format(g))
+			}
+		}
+		if ch.NumChords >= ch.TotalEdges() {
+			t.Fatalf("%s: %d chords of %d edges; spanning tree saved nothing",
+				g.Name, ch.NumChords, ch.TotalEdges())
+		}
+	}
+}
+
+func TestChordSumsOnRandomCFGs(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := randomReducibleCFG(r, 4+r.Intn(10))
+		d, err := Build(g)
+		if err != nil || d.Total() > 4000 {
+			continue
+		}
+		// Random weights exercise arbitrary tree choices.
+		w := func(e *DAGEdge) int64 { return int64(seed*31+int64(e.Index)*17) % 97 }
+		ch, err := ComputeChords(d, w)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		paths, err := d.EnumeratePaths(4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			if got := ch.PathSum(p); got != p.ID {
+				t.Fatalf("seed %d: chord sum %d != id %d", seed, got, p.ID)
+			}
+		}
+	}
+}
+
+func TestProfileWeightedChordsReduceDynamicProbes(t *testing.T) {
+	// A skewed profile: the hot path's edges should land on the tree, so
+	// the dynamic probe count under profile weights is no higher than
+	// under uniform weights.
+	g := cfg.PaperLoopCFG()
+	d := mustDAG(t, g)
+	profile := map[int64]uint64{}
+	paths, _ := d.EnumeratePaths(100)
+	// Make path 0 overwhelmingly hot.
+	profile[paths[0].ID] = 10_000
+	for _, p := range paths[1:] {
+		profile[p.ID] = 3
+	}
+
+	wProf, err := ProfileWeight(d, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chProf, err := ComputeChords(d, wProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chUni, err := ComputeChords(d, UniformWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dynProbes := func(ch *Chords) (total uint64) {
+		for _, p := range paths {
+			n := profile[p.ID]
+			for _, e := range p.Edges {
+				if ch.IsChord(e) {
+					total += n
+				}
+			}
+		}
+		return
+	}
+	prof, uni := dynProbes(chProf), dynProbes(chUni)
+	if prof > uni {
+		t.Fatalf("profile-weighted placement executes %d probes, uniform %d", prof, uni)
+	}
+	// Correctness under both placements.
+	for _, p := range paths {
+		if chProf.PathSum(p) != p.ID {
+			t.Fatalf("profile-weighted chords wrong for path %d", p.ID)
+		}
+	}
+}
+
+func TestProfileWeightRejectsBadIDs(t *testing.T) {
+	d := mustDAG(t, cfg.DiamondCFG())
+	if _, err := ProfileWeight(d, map[int64]uint64{99: 1}); err == nil {
+		t.Fatal("ProfileWeight accepted an invalid path id")
+	}
+}

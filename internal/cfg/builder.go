@@ -1,0 +1,89 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Build constructs a graph from a compact textual description, used
+// pervasively in tests and fixtures. The spec is a semicolon- or
+// newline-separated list of adjacency clauses:
+//
+//	En -> P1
+//	P1 -> B1 P2
+//	...
+//
+// Node names are created on first mention, in order of appearance; successor
+// order within a clause is preserved (it determines Ball-Larus ids). The
+// first-mentioned node is the entry and the node named "Ex" — or, failing
+// that, the unique node with no successors — is the exit.
+func Build(name, spec string) (*Graph, error) {
+	g := New(name)
+	ids := map[string]NodeID{}
+	node := func(label string) NodeID {
+		if id, ok := ids[label]; ok {
+			return id
+		}
+		id := g.AddNode(label)
+		ids[label] = id
+		return id
+	}
+
+	clauses := strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == '\n' })
+	first := ""
+	for _, clause := range clauses {
+		clause = strings.TrimSpace(clause)
+		if clause == "" || strings.HasPrefix(clause, "#") {
+			continue
+		}
+		parts := strings.SplitN(clause, "->", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("cfg: bad clause %q (want \"a -> b c\")", clause)
+		}
+		from := strings.TrimSpace(parts[0])
+		if from == "" {
+			return nil, fmt.Errorf("cfg: empty source in clause %q", clause)
+		}
+		if first == "" {
+			first = from
+		}
+		f := node(from)
+		for _, to := range strings.Fields(parts[1]) {
+			if err := g.AddEdge(f, node(to)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if first == "" {
+		return nil, fmt.Errorf("cfg: empty spec")
+	}
+	g.SetEntry(ids[first])
+
+	if ex, ok := ids["Ex"]; ok {
+		g.SetExit(ex)
+	} else {
+		exit := None
+		for i := 0; i < g.Len(); i++ {
+			if len(g.Succs(NodeID(i))) == 0 {
+				if exit != None {
+					return nil, fmt.Errorf("cfg: multiple sink nodes (%s, %s); name the exit \"Ex\"", g.Label(exit), g.Label(NodeID(i)))
+				}
+				exit = NodeID(i)
+			}
+		}
+		if exit == None {
+			return nil, fmt.Errorf("cfg: no sink node; name the exit \"Ex\"")
+		}
+		g.SetExit(exit)
+	}
+	return g, nil
+}
+
+// MustBuild is Build for statically-known-good specs; it panics on error.
+func MustBuild(name, spec string) *Graph {
+	g, err := Build(name, spec)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,136 @@
+package cfg
+
+// DFSResult carries the orderings produced by a depth-first traversal from
+// the entry node.
+type DFSResult struct {
+	// Preorder holds node ids in the order they were first visited.
+	Preorder []NodeID
+	// Postorder holds node ids in the order their visit finished.
+	Postorder []NodeID
+	// PreNum[v] is v's index in Preorder, -1 if unreachable.
+	PreNum []int
+	// PostNum[v] is v's index in Postorder, -1 if unreachable.
+	PostNum []int
+	// Parent[v] is the DFS tree parent of v (None for the root and
+	// unreachable nodes).
+	Parent []NodeID
+}
+
+// DFS performs an iterative depth-first traversal from the entry node,
+// following successor lists in order. Successor order is significant: it is
+// the order that fixes Ball-Larus path ids downstream.
+func DFS(g *Graph) *DFSResult {
+	n := g.Len()
+	r := &DFSResult{
+		PreNum:  make([]int, n),
+		PostNum: make([]int, n),
+		Parent:  make([]NodeID, n),
+	}
+	for i := range r.PreNum {
+		r.PreNum[i] = -1
+		r.PostNum[i] = -1
+		r.Parent[i] = None
+	}
+	if g.Entry() == None {
+		return r
+	}
+
+	// Explicit stack of (node, next-successor-index) frames so the
+	// traversal handles deep graphs without growing the Go stack.
+	type frame struct {
+		node NodeID
+		next int
+	}
+	stack := []frame{{g.Entry(), 0}}
+	r.PreNum[g.Entry()] = 0
+	r.Preorder = append(r.Preorder, g.Entry())
+
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := g.Succs(f.node)
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if r.PreNum[s] == -1 {
+				r.PreNum[s] = len(r.Preorder)
+				r.Preorder = append(r.Preorder, s)
+				r.Parent[s] = f.node
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		r.PostNum[f.node] = len(r.Postorder)
+		r.Postorder = append(r.Postorder, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return r
+}
+
+// ReversePostorder returns the nodes reachable from entry in reverse
+// postorder — a topological order for acyclic graphs and the canonical
+// iteration order for forward dataflow problems.
+func ReversePostorder(g *Graph) []NodeID {
+	post := DFS(g).Postorder
+	out := make([]NodeID, len(post))
+	for i, v := range post {
+		out[len(post)-1-i] = v
+	}
+	return out
+}
+
+// RetreatingEdges returns the DFS retreating edges (u,v) where v is an
+// ancestor of u in the DFS tree or, more precisely for this implementation,
+// where PostNum[u] <= PostNum[v] (the standard back/retreating test). For
+// reducible graphs these are exactly the backedges of natural loops.
+func RetreatingEdges(g *Graph) []Edge {
+	d := DFS(g)
+	var out []Edge
+	for _, e := range g.Edges() {
+		if d.PreNum[e.From] == -1 || d.PreNum[e.To] == -1 {
+			continue
+		}
+		if d.PostNum[e.From] <= d.PostNum[e.To] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IsAcyclic reports whether the subgraph reachable from the entry contains no
+// cycles.
+func IsAcyclic(g *Graph) bool { return len(RetreatingEdges(g)) == 0 }
+
+// CountPaths returns the number of distinct entry→exit paths in an acyclic
+// graph by dynamic programming over reverse postorder. The second result is
+// false if the graph has a cycle (in which case the count is meaningless).
+//
+// The count saturates at MaxPathCount to avoid overflow on adversarial
+// graphs; profiling callers reject functions whose path count exceeds their
+// own (much smaller) budgets long before saturation matters.
+func CountPaths(g *Graph) (int64, bool) {
+	if !IsAcyclic(g) {
+		return 0, false
+	}
+	counts := make([]int64, g.Len())
+	rpo := ReversePostorder(g)
+	// Walk in postorder so successors are computed first.
+	for i := len(rpo) - 1; i >= 0; i-- {
+		v := rpo[i]
+		if v == g.Exit() {
+			counts[v] = 1
+			continue
+		}
+		var sum int64
+		for _, s := range g.Succs(v) {
+			sum += counts[s]
+			if sum >= MaxPathCount {
+				sum = MaxPathCount
+			}
+		}
+		counts[v] = sum
+	}
+	return counts[g.Entry()], true
+}
+
+// MaxPathCount is the saturation limit for CountPaths.
+const MaxPathCount int64 = 1 << 60

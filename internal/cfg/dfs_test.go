@@ -1,0 +1,187 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func labelsOf(g *Graph, ids []NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Label(id)
+	}
+	return out
+}
+
+func TestDFSOrderings(t *testing.T) {
+	g := MustBuild("t", "a -> b c; b -> d; c -> d; d -> Ex")
+	d := DFS(g)
+	got := labelsOf(g, d.Preorder)
+	want := []string{"a", "b", "d", "Ex", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("preorder = %v; want %v", got, want)
+		}
+	}
+	// Postorder finishes Ex before d, d before b, c after b's subtree.
+	post := labelsOf(g, d.Postorder)
+	wantPost := []string{"Ex", "d", "b", "c", "a"}
+	for i := range wantPost {
+		if post[i] != wantPost[i] {
+			t.Fatalf("postorder = %v; want %v", post, wantPost)
+		}
+	}
+	if d.Parent[g.Entry()] != None {
+		t.Fatal("entry has a DFS parent")
+	}
+}
+
+func TestDFSUnreachableNodes(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddNode("island")
+	g.MustEdge(a, b)
+	g.SetEntry(a)
+	g.SetExit(b)
+	d := DFS(g)
+	if d.PreNum[2] != -1 || d.PostNum[2] != -1 {
+		t.Fatal("island node was numbered")
+	}
+	if len(d.Preorder) != 2 {
+		t.Fatalf("preorder = %v; want 2 nodes", d.Preorder)
+	}
+}
+
+func TestReversePostorderIsTopological(t *testing.T) {
+	g := MustBuild("t", "a -> b c; b -> d; c -> d; d -> e; e -> Ex")
+	rpo := ReversePostorder(g)
+	pos := map[NodeID]int{}
+	for i, v := range rpo {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("rpo not topological: edge %v but pos %d >= %d", e, pos[e.From], pos[e.To])
+		}
+	}
+}
+
+func TestRetreatingEdges(t *testing.T) {
+	g := PaperLoopCFG()
+	back := RetreatingEdges(g)
+	if len(back) != 1 {
+		t.Fatalf("retreating edges = %v; want exactly one", back)
+	}
+	e := back[0]
+	if g.Label(e.From) != "P3" || g.Label(e.To) != "P1" {
+		t.Fatalf("backedge = %s->%s; want P3->P1", g.Label(e.From), g.Label(e.To))
+	}
+	if IsAcyclic(g) {
+		t.Fatal("paper loop reported acyclic")
+	}
+	if !IsAcyclic(DiamondCFG()) {
+		t.Fatal("diamond reported cyclic")
+	}
+}
+
+func TestCountPathsDiamond(t *testing.T) {
+	n, ok := CountPaths(DiamondCFG())
+	if !ok || n != 2 {
+		t.Fatalf("CountPaths(diamond) = %d,%v; want 2,true", n, ok)
+	}
+}
+
+func TestCountPathsCyclicRejected(t *testing.T) {
+	if _, ok := CountPaths(PaperLoopCFG()); ok {
+		t.Fatal("CountPaths accepted a cyclic graph")
+	}
+}
+
+// randomDAG builds a random acyclic graph with a single entry (node 0) and a
+// single exit (node n-1): edges only go from lower to higher ids, every node
+// gets at least one incoming and one outgoing edge.
+func randomDAG(r *rand.Rand, n int) *Graph {
+	g := New("rand")
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for v := 1; v < n; v++ {
+		p := NodeID(r.Intn(v))
+		g.MustEdge(p, NodeID(v)) // guarantees reachability from 0
+	}
+	for v := 0; v < n-1; v++ {
+		if len(g.Succs(NodeID(v))) == 0 {
+			// Guarantee exit-reachability.
+			to := NodeID(v + 1 + r.Intn(n-v-1))
+			if !g.HasEdge(NodeID(v), to) {
+				g.MustEdge(NodeID(v), to)
+			}
+		}
+		// Sprinkle extra forward edges.
+		for k := 0; k < 2; k++ {
+			to := NodeID(v + 1 + r.Intn(n-v-1))
+			if !g.HasEdge(NodeID(v), to) {
+				g.MustEdge(NodeID(v), to)
+			}
+		}
+	}
+	g.SetEntry(0)
+	g.SetExit(NodeID(n - 1))
+	return g
+}
+
+// exhaustivePathCount counts entry→exit paths by explicit enumeration.
+func exhaustivePathCount(g *Graph, from NodeID) int64 {
+	if from == g.Exit() {
+		return 1
+	}
+	var n int64
+	for _, s := range g.Succs(from) {
+		n += exhaustivePathCount(g, s)
+	}
+	return n
+}
+
+func TestCountPathsMatchesExhaustiveEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 4+r.Intn(10))
+		want := exhaustivePathCount(g, g.Entry())
+		got, ok := CountPaths(g)
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountPathsSaturates(t *testing.T) {
+	// A ladder of k diamonds has 2^k paths; build k=70 to exceed 2^60.
+	g := New("big")
+	prev := g.AddNode("en")
+	g.SetEntry(prev)
+	for i := 0; i < 70; i++ {
+		p := g.AddNode("")
+		a := g.AddNode("")
+		b := g.AddNode("")
+		j := g.AddNode("")
+		g.MustEdge(prev, p)
+		g.MustEdge(p, a)
+		g.MustEdge(p, b)
+		g.MustEdge(a, j)
+		g.MustEdge(b, j)
+		prev = j
+	}
+	ex := g.AddNode("Ex")
+	g.MustEdge(prev, ex)
+	g.SetExit(ex)
+	n, ok := CountPaths(g)
+	if !ok {
+		t.Fatal("not acyclic?")
+	}
+	if n != MaxPathCount {
+		t.Fatalf("count = %d; want saturation at %d", n, MaxPathCount)
+	}
+}

@@ -1,0 +1,123 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominatorsLinear(t *testing.T) {
+	g := MustBuild("t", "a -> b; b -> c; c -> Ex")
+	d := ComputeDominators(g)
+	byLabel := func(l string) NodeID {
+		for i := 0; i < g.Len(); i++ {
+			if g.Label(NodeID(i)) == l {
+				return NodeID(i)
+			}
+		}
+		t.Fatalf("no node %s", l)
+		return None
+	}
+	if d.Idom(byLabel("b")) != byLabel("a") {
+		t.Fatal("idom(b) != a")
+	}
+	if d.Idom(byLabel("Ex")) != byLabel("c") {
+		t.Fatal("idom(Ex) != c")
+	}
+	if !d.Dominates(byLabel("a"), byLabel("Ex")) {
+		t.Fatal("a should dominate Ex")
+	}
+	if d.Dominates(byLabel("b"), byLabel("a")) {
+		t.Fatal("b should not dominate a")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := DiamondCFG()
+	d := ComputeDominators(g)
+	// In a diamond En->P->{A,B}->Ex: idom(Ex) is P, not A or B.
+	var p, ex NodeID
+	for i := 0; i < g.Len(); i++ {
+		switch g.Label(NodeID(i)) {
+		case "P":
+			p = NodeID(i)
+		case "Ex":
+			ex = NodeID(i)
+		}
+	}
+	if d.Idom(ex) != p {
+		t.Fatalf("idom(Ex) = %s; want P", g.Label(d.Idom(ex)))
+	}
+}
+
+func TestDominatesIsReflexive(t *testing.T) {
+	g := PaperLoopCFG()
+	d := ComputeDominators(g)
+	for i := 0; i < g.Len(); i++ {
+		if !d.Dominates(NodeID(i), NodeID(i)) {
+			t.Fatalf("node %s does not dominate itself", g.Label(NodeID(i)))
+		}
+	}
+}
+
+func TestDominatorsLoopHeader(t *testing.T) {
+	g := PaperLoopCFG()
+	d := ComputeDominators(g)
+	var p1, p3 NodeID
+	for i := 0; i < g.Len(); i++ {
+		switch g.Label(NodeID(i)) {
+		case "P1":
+			p1 = NodeID(i)
+		case "P3":
+			p3 = NodeID(i)
+		}
+	}
+	if !d.Dominates(p1, p3) {
+		t.Fatal("loop header P1 must dominate backedge source P3")
+	}
+}
+
+// randomCFG builds a random (possibly cyclic) graph guaranteed to be fully
+// reachable from node 0.
+func randomCFG(r *rand.Rand, n int) *Graph {
+	g := New("rand")
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for v := 1; v < n; v++ {
+		g.MustEdge(NodeID(r.Intn(v)), NodeID(v))
+	}
+	// Random extra edges in any direction (but never into the entry, and
+	// no self loops, which our profiling layers reject anyway).
+	for k := 0; k < n; k++ {
+		a, b := NodeID(r.Intn(n)), NodeID(1+r.Intn(n-1))
+		if a != b && !g.HasEdge(a, b) {
+			g.MustEdge(a, b)
+		}
+	}
+	g.SetEntry(0)
+	g.SetExit(NodeID(n - 1)) // exit may have succs; dominator code doesn't care
+	return g
+}
+
+func TestDominatorsMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomCFG(r, 3+r.Intn(12))
+		fast := ComputeDominators(g)
+		naive := NaiveDominators(g)
+		for a := 0; a < g.Len(); a++ {
+			for b := 0; b < g.Len(); b++ {
+				want := naive[b][a] // a dominates b
+				got := fast.Dominates(NodeID(a), NodeID(b))
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

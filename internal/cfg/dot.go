@@ -1,0 +1,58 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotOptions controls DOT rendering.
+type DotOptions struct {
+	// Highlight marks a set of edges to draw dashed (e.g. PI edges of an
+	// overlapping graph).
+	Highlight map[Edge]bool
+	// EdgeLabels attaches labels (e.g. Ball-Larus increments) to edges.
+	EdgeLabels map[Edge]string
+	// Shade marks nodes to fill (e.g. overlapping-graph clones).
+	Shade map[NodeID]bool
+}
+
+// Dot renders the graph in Graphviz DOT syntax. It is used by the CLIs for
+// debugging and documentation; nothing in the pipeline parses it back.
+func Dot(g *Graph, opt *DotOptions) string {
+	if opt == nil {
+		opt = &DotOptions{}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for i := 0; i < g.Len(); i++ {
+		id := NodeID(i)
+		attrs := []string{fmt.Sprintf("label=%q", g.Label(id))}
+		switch id {
+		case g.Entry():
+			attrs = append(attrs, "shape=oval")
+		case g.Exit():
+			attrs = append(attrs, "shape=oval", "peripheries=2")
+		}
+		if opt.Shade[id] {
+			attrs = append(attrs, "style=filled", "fillcolor=lightgray")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", id, strings.Join(attrs, ", "))
+	}
+	for _, e := range g.Edges() {
+		var attrs []string
+		if opt.Highlight[e] {
+			attrs = append(attrs, "style=dashed")
+		}
+		if l, ok := opt.EdgeLabels[e]; ok {
+			attrs = append(attrs, fmt.Sprintf("label=%q", l))
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.From, e.To, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

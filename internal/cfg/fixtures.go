@@ -1,0 +1,116 @@
+package cfg
+
+// This file holds the worked examples from the paper as reusable fixtures.
+// They appear in tests throughout the repository, and the paper gives exact
+// expected values for them (path counts, overlap degrees, estimate tables),
+// which makes them high-value oracles.
+
+// PaperLoopCFG returns the CFG of the paper's Table 2 / Table 4 example:
+//
+//	En -> P1; P1 -> B1, P2; P2 -> B2, B3; B1,B2,B3 -> P3;
+//	P3 -> P1 (backedge), Ex
+//
+// It has 12 BL paths in four groups and 3 loop-body paths:
+//
+//	1: P1=>B1=>P3   2: P1=>P2=>B2=>P3   3: P1=>P2=>B3=>P3
+//
+// with maximum overlap degree 2.
+func PaperLoopCFG() *Graph {
+	return MustBuild("paperloop", `
+		En -> P1
+		P1 -> B1 P2
+		P2 -> B2 B3
+		B1 -> P3
+		B2 -> P3
+		B3 -> P3
+		P3 -> P1 Ex
+	`)
+}
+
+// PaperCallerCFG returns function f() from the paper's Figure 2. Successor
+// order is chosen so the three fEn→C1 paths enumerate in the paper's order:
+//
+//	1: fEn=>P1=>P2=>B1=>B3=>C1
+//	2: fEn=>P1=>P2=>B2=>B3=>C1
+//	3: fEn=>P1=>B2=>B3=>C1
+//
+// After the call site C1 the function continues P3 -> {B4, B5} -> B6 -> fEx,
+// giving the two Type II suffixes of the paper's example.
+func PaperCallerCFG() *Graph {
+	return MustBuild("f", `
+		fEn -> P1
+		P1 -> P2 B2a
+		P2 -> B1 B2
+		B1 -> B3
+		B2 -> B3
+		B2a -> B3a
+		B3 -> C1
+		B3a -> C1
+		C1 -> P3
+		P3 -> B4 B5
+		B4 -> B6
+		B5 -> B6a
+		B6 -> fEx
+		B6a -> fEx
+		fEx -> Ex
+	`)
+}
+
+// PaperCalleeCFG returns function g() from the paper's Figure 2 with the
+// five gEn→gEx paths in the paper's order:
+//
+//	1: gEn=>P1=>B3=>gEx
+//	2: gEn=>P1=>P2=>B1=>P3=>B3=>gEx
+//	3: gEn=>P1=>P2=>B1=>P3=>B2=>B3=>gEx
+//	4: gEn=>P1=>P2=>P3=>B3=>gEx
+//	5: gEn=>P1=>P2=>P3=>B2=>B3=>gEx
+//
+// The figure's P3 is reached both from B1 and directly from P2; our graphs
+// disallow parallel edges, so B2/B3 each get a forwarding twin (B2b, B3b)
+// where the original drawing reused a block. The path *sequences* above are
+// what the algorithms consume, and their count and branching structure match
+// the paper exactly.
+func PaperCalleeCFG() *Graph {
+	return MustBuild("g", `
+		gEn -> P1
+		P1 -> B3 P2
+		P2 -> B1 P3b
+		B1 -> P3
+		P3 -> B3a B2
+		P3b -> B3b B2b
+		B2 -> B3c
+		B2b -> B3d
+		B3 -> gEx
+		B3a -> gEx
+		B3b -> gEx
+		B3c -> gEx
+		B3d -> gEx
+		gEx -> Ex
+	`)
+}
+
+// DiamondCFG returns a simple if/else diamond with no loops: 2 BL paths.
+func DiamondCFG() *Graph {
+	return MustBuild("diamond", `
+		En -> P
+		P -> A B
+		A -> Ex
+		B -> Ex
+	`)
+}
+
+// NestedLoopCFG returns a doubly-nested loop used by loop-forest and
+// multi-loop profiling tests:
+//
+//	En -> H1; H1 -> H2, Ex; H2 -> B, X2; B -> H2 (inner backedge);
+//	X2 -> H1 (outer backedge)  ... with X2 also exiting to Ex via T.
+func NestedLoopCFG() *Graph {
+	return MustBuild("nested", `
+		En -> H1
+		H1 -> H2 Ex
+		H2 -> B X2
+		B -> H2
+		X2 -> H1 T
+		T -> Ex
+	`)
+}

@@ -1,0 +1,290 @@
+// Package cfg provides the control-flow-graph substrate used by every other
+// package in this repository: graph construction, depth-first orderings,
+// dominators, natural-loop detection, and reducibility checks.
+//
+// A Graph is a rooted directed graph of basic blocks identified by dense
+// integer NodeIDs. Exactly one node is the entry and exactly one node is the
+// exit; profiling algorithms (Ball-Larus numbering, overlapping-path
+// enumeration) require every node to be reachable from the entry and to reach
+// the exit.
+package cfg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a single Graph. IDs are dense: a graph with
+// n nodes uses IDs 0..n-1.
+type NodeID int
+
+// None is the sentinel for "no node".
+const None NodeID = -1
+
+// Edge is a directed edge between two nodes of a Graph.
+type Edge struct {
+	From, To NodeID
+}
+
+func (e Edge) String() string { return fmt.Sprintf("%d->%d", e.From, e.To) }
+
+// Node is a basic block in a control flow graph.
+type Node struct {
+	ID    NodeID
+	Label string // human-readable name, e.g. "P1" or "B3"
+
+	// Succs and Preds are kept in insertion order; successor order is
+	// semantically meaningful (it fixes the depth-first path numbering
+	// used by Ball-Larus ids).
+	Succs []NodeID
+	Preds []NodeID
+}
+
+// IsPredicate reports whether the node ends in a conditional branch, i.e. has
+// two or more successors. Per the paper, region-terminating blocks are also
+// treated as predicates by the overlapping-path machinery, but that special
+// case is handled by the callers, not here.
+func (n *Node) IsPredicate() bool { return len(n.Succs) >= 2 }
+
+// Graph is a single-procedure control flow graph.
+type Graph struct {
+	Name  string
+	nodes []*Node
+	entry NodeID
+	exit  NodeID
+}
+
+// New returns an empty graph with the given name. Entry and exit must be set
+// with SetEntry/SetExit before validation.
+func New(name string) *Graph {
+	return &Graph{Name: name, entry: None, exit: None}
+}
+
+// AddNode appends a new node with the given label and returns its id.
+func (g *Graph) AddNode(label string) NodeID {
+	id := NodeID(len(g.nodes))
+	if label == "" {
+		label = fmt.Sprintf("n%d", id)
+	}
+	g.nodes = append(g.nodes, &Node{ID: id, Label: label})
+	return id
+}
+
+// AddEdge inserts the edge from -> to. Duplicate edges are rejected: the
+// profiling algorithms identify edges by their endpoints, so parallel edges
+// would be ambiguous. (Callers model "both branch arms jump to the same
+// block" by inserting a forwarding block.)
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("cfg: AddEdge(%d,%d): node out of range [0,%d)", from, to, len(g.nodes))
+	}
+	for _, s := range g.nodes[from].Succs {
+		if s == to {
+			return fmt.Errorf("cfg: duplicate edge %d->%d", from, to)
+		}
+	}
+	g.nodes[from].Succs = append(g.nodes[from].Succs, to)
+	g.nodes[to].Preds = append(g.nodes[to].Preds, from)
+	return nil
+}
+
+// MustEdge is AddEdge for statically-known-good construction code.
+func (g *Graph) MustEdge(from, to NodeID) {
+	if err := g.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the edge from -> to if present and reports whether it
+// was removed.
+func (g *Graph) RemoveEdge(from, to NodeID) bool {
+	if !g.valid(from) || !g.valid(to) {
+		return false
+	}
+	removed := false
+	fn := g.nodes[from]
+	for i, s := range fn.Succs {
+		if s == to {
+			fn.Succs = append(fn.Succs[:i], fn.Succs[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		return false
+	}
+	tn := g.nodes[to]
+	for i, p := range tn.Preds {
+		if p == from {
+			tn.Preds = append(tn.Preds[:i], tn.Preds[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// HasEdge reports whether the edge from -> to exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	if !g.valid(from) {
+		return false
+	}
+	for _, s := range g.nodes[from].Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < len(g.nodes) }
+
+// SetEntry marks id as the entry node.
+func (g *Graph) SetEntry(id NodeID) { g.entry = id }
+
+// SetExit marks id as the exit node.
+func (g *Graph) SetExit(id NodeID) { g.exit = id }
+
+// Entry returns the entry node id (None if unset).
+func (g *Graph) Entry() NodeID { return g.entry }
+
+// Exit returns the exit node id (None if unset).
+func (g *Graph) Exit() NodeID { return g.exit }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Succs returns the successor list of id (shared slice; do not mutate).
+func (g *Graph) Succs(id NodeID) []NodeID { return g.nodes[id].Succs }
+
+// Preds returns the predecessor list of id (shared slice; do not mutate).
+func (g *Graph) Preds(id NodeID) []NodeID { return g.nodes[id].Preds }
+
+// Label returns the label of id.
+func (g *Graph) Label(id NodeID) string {
+	if !g.valid(id) {
+		return fmt.Sprintf("<bad:%d>", id)
+	}
+	return g.nodes[id].Label
+}
+
+// Edges returns every edge in a deterministic order (by from, then successor
+// position).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, n := range g.nodes {
+		for _, s := range n.Succs {
+			out = append(out, Edge{n.ID, s})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Name: g.Name, entry: g.entry, exit: g.exit}
+	c.nodes = make([]*Node, len(g.nodes))
+	for i, n := range g.nodes {
+		c.nodes[i] = &Node{
+			ID:    n.ID,
+			Label: n.Label,
+			Succs: append([]NodeID(nil), n.Succs...),
+			Preds: append([]NodeID(nil), n.Preds...),
+		}
+	}
+	return c
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrNoEntry      = errors.New("cfg: entry node not set")
+	ErrNoExit       = errors.New("cfg: exit node not set")
+	ErrUnreachable  = errors.New("cfg: node unreachable from entry")
+	ErrCannotExit   = errors.New("cfg: node cannot reach exit")
+	ErrEntryHasPred = errors.New("cfg: entry node has predecessors")
+	ErrExitHasSucc  = errors.New("cfg: exit node has successors")
+)
+
+// Validate checks the structural invariants required by the profiling
+// algorithms: entry and exit are set, the entry has no predecessors, the exit
+// has no successors, every node is reachable from the entry, and every node
+// reaches the exit.
+func (g *Graph) Validate() error {
+	if g.entry == None || !g.valid(g.entry) {
+		return ErrNoEntry
+	}
+	if g.exit == None || !g.valid(g.exit) {
+		return ErrNoExit
+	}
+	if len(g.nodes[g.entry].Preds) != 0 {
+		return fmt.Errorf("%w: %s", ErrEntryHasPred, g.Label(g.entry))
+	}
+	if len(g.nodes[g.exit].Succs) != 0 {
+		return fmt.Errorf("%w: %s", ErrExitHasSucc, g.Label(g.exit))
+	}
+	fwd := g.reachableFrom(g.entry, false)
+	for _, n := range g.nodes {
+		if !fwd[n.ID] {
+			return fmt.Errorf("%w: %s", ErrUnreachable, n.Label)
+		}
+	}
+	bwd := g.reachableFrom(g.exit, true)
+	for _, n := range g.nodes {
+		if !bwd[n.ID] {
+			return fmt.Errorf("%w: %s", ErrCannotExit, n.Label)
+		}
+	}
+	return nil
+}
+
+// reachableFrom returns the set of nodes reachable from start following
+// successor edges (or predecessor edges when reverse is true).
+func (g *Graph) reachableFrom(start NodeID, reverse bool) []bool {
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		next := g.nodes[n].Succs
+		if reverse {
+			next = g.nodes[n].Preds
+		}
+		for _, s := range next {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders a compact textual form, useful in test failures.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s entry=%s exit=%s\n", g.Name, g.Label(g.entry), g.Label(g.exit))
+	for _, n := range g.nodes {
+		labels := make([]string, len(n.Succs))
+		for i, s := range n.Succs {
+			labels[i] = g.Label(s)
+		}
+		fmt.Fprintf(&b, "  %s -> [%s]\n", n.Label, strings.Join(labels, " "))
+	}
+	return b.String()
+}
+
+// SortedByLabel returns all node ids ordered by label; handy for
+// deterministic test output.
+func (g *Graph) SortedByLabel() []NodeID {
+	ids := make([]NodeID, len(g.nodes))
+	for i := range g.nodes {
+		ids[i] = NodeID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return g.Label(ids[i]) < g.Label(ids[j]) })
+	return ids
+}

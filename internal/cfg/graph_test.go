@@ -1,0 +1,210 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddNodeAndEdge(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if a != 0 || b != 1 {
+		t.Fatalf("ids = %d,%d; want 0,1", a, b)
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if !g.HasEdge(a, b) {
+		t.Fatal("HasEdge(a,b) = false after AddEdge")
+	}
+	if g.HasEdge(b, a) {
+		t.Fatal("HasEdge(b,a) = true; edge is directed")
+	}
+	if got := g.Succs(a); len(got) != 1 || got[0] != b {
+		t.Fatalf("Succs(a) = %v", got)
+	}
+	if got := g.Preds(b); len(got) != 1 || got[0] != a {
+		t.Fatalf("Preds(b) = %v", got)
+	}
+}
+
+func TestAddEdgeRejectsDuplicates(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("first AddEdge: %v", err)
+	}
+	if err := g.AddEdge(a, b); err == nil {
+		t.Fatal("duplicate AddEdge succeeded; want error")
+	}
+}
+
+func TestAddEdgeRejectsOutOfRange(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("a")
+	if err := g.AddEdge(a, 7); err == nil {
+		t.Fatal("AddEdge to nonexistent node succeeded")
+	}
+	if err := g.AddEdge(-1, a); err == nil {
+		t.Fatal("AddEdge from negative node succeeded")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New("t")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.MustEdge(a, b)
+	g.MustEdge(a, c)
+	if !g.RemoveEdge(a, b) {
+		t.Fatal("RemoveEdge(a,b) = false")
+	}
+	if g.HasEdge(a, b) {
+		t.Fatal("edge a->b still present after removal")
+	}
+	if !g.HasEdge(a, c) {
+		t.Fatal("edge a->c lost by unrelated removal")
+	}
+	if len(g.Preds(b)) != 0 {
+		t.Fatalf("Preds(b) = %v after removal", g.Preds(b))
+	}
+	if g.RemoveEdge(a, b) {
+		t.Fatal("second RemoveEdge(a,b) = true")
+	}
+}
+
+func TestValidateDetectsProblems(t *testing.T) {
+	t.Run("no entry", func(t *testing.T) {
+		g := New("t")
+		g.AddNode("a")
+		if err := g.Validate(); err == nil {
+			t.Fatal("Validate passed with no entry")
+		}
+	})
+	t.Run("unreachable node", func(t *testing.T) {
+		g := New("t")
+		a := g.AddNode("a")
+		b := g.AddNode("b")
+		c := g.AddNode("c") // island
+		g.MustEdge(a, b)
+		g.MustEdge(c, b)
+		g.SetEntry(a)
+		g.SetExit(b)
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "unreachable") {
+			t.Fatalf("err = %v; want unreachable", err)
+		}
+	})
+	t.Run("cannot reach exit", func(t *testing.T) {
+		g := New("t")
+		a := g.AddNode("a")
+		b := g.AddNode("b")
+		c := g.AddNode("c") // dead end
+		g.MustEdge(a, b)
+		g.MustEdge(a, c)
+		g.SetEntry(a)
+		g.SetExit(b)
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "cannot reach exit") {
+			t.Fatalf("err = %v; want cannot-reach-exit", err)
+		}
+	})
+	t.Run("good graph", func(t *testing.T) {
+		if err := PaperLoopCFG().Validate(); err != nil {
+			t.Fatalf("paper loop CFG invalid: %v", err)
+		}
+	})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := PaperLoopCFG()
+	c := g.Clone()
+	c.RemoveEdge(c.Entry(), c.Succs(c.Entry())[0])
+	if err := g.Validate(); err != nil {
+		t.Fatalf("mutating clone damaged original: %v", err)
+	}
+	if g.Len() != c.Len() {
+		t.Fatalf("clone node count %d != %d", c.Len(), g.Len())
+	}
+}
+
+func TestBuildSpec(t *testing.T) {
+	g, err := Build("b", "a -> b c; b -> d; c -> d; d -> Ex")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.Label(g.Entry()) != "a" {
+		t.Fatalf("entry = %s; want a", g.Label(g.Entry()))
+	}
+	if g.Label(g.Exit()) != "Ex" {
+		t.Fatalf("exit = %s; want Ex", g.Label(g.Exit()))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Successor order preserved.
+	s := g.Succs(g.Entry())
+	if g.Label(s[0]) != "b" || g.Label(s[1]) != "c" {
+		t.Fatalf("succ order = %s,%s; want b,c", g.Label(s[0]), g.Label(s[1]))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct{ name, spec string }{
+		{"empty", "   "},
+		{"bad clause", "a b c"},
+		{"two sinks", "a -> b c"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Build("t", tc.spec); err == nil {
+				t.Fatalf("Build(%q) succeeded; want error", tc.spec)
+			}
+		})
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := PaperLoopCFG()
+	e1 := g.Edges()
+	e2 := g.Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge order not deterministic at %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	// 10 real edges in the paper loop example: En->P1, P1->{B1,P2},
+	// P2->{B2,B3}, {B1,B2,B3}->P3, P3->{P1,Ex}.
+	if len(e1) != 10 {
+		t.Fatalf("paper loop has %d edges; want 10", len(e1))
+	}
+}
+
+func TestDotRendersAllNodesAndEdges(t *testing.T) {
+	g := PaperLoopCFG()
+	dot := Dot(g, nil)
+	for i := 0; i < g.Len(); i++ {
+		if !strings.Contains(dot, g.Label(NodeID(i))) {
+			t.Fatalf("dot output missing node %s:\n%s", g.Label(NodeID(i)), dot)
+		}
+	}
+	if !strings.Contains(dot, "digraph") {
+		t.Fatal("not a digraph")
+	}
+	// With options.
+	e := g.Edges()[0]
+	dot = Dot(g, &DotOptions{
+		Highlight:  map[Edge]bool{e: true},
+		EdgeLabels: map[Edge]string{e: "+3"},
+		Shade:      map[NodeID]bool{g.Entry(): true},
+	})
+	if !strings.Contains(dot, "dashed") || !strings.Contains(dot, "+3") || !strings.Contains(dot, "lightgray") {
+		t.Fatalf("dot options not rendered:\n%s", dot)
+	}
+}

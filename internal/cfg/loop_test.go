@@ -1,0 +1,167 @@
+package cfg
+
+import (
+	"errors"
+	"testing"
+)
+
+func byLabel(t *testing.T, g *Graph, l string) NodeID {
+	t.Helper()
+	for i := 0; i < g.Len(); i++ {
+		if g.Label(NodeID(i)) == l {
+			return NodeID(i)
+		}
+	}
+	t.Fatalf("no node labeled %s", l)
+	return None
+}
+
+func TestFindLoopsPaperExample(t *testing.T) {
+	g := PaperLoopCFG()
+	f, err := FindLoops(g)
+	if err != nil {
+		t.Fatalf("FindLoops: %v", err)
+	}
+	if len(f.Loops) != 1 {
+		t.Fatalf("loops = %d; want 1", len(f.Loops))
+	}
+	l := f.Loops[0]
+	if g.Label(l.Head) != "P1" {
+		t.Fatalf("head = %s; want P1", g.Label(l.Head))
+	}
+	if len(l.Backedges) != 1 {
+		t.Fatalf("backedges = %v; want one", l.Backedges)
+	}
+	// Body = {P1, B1, P2, B2, B3, P3}; En and Ex excluded.
+	if len(l.Body) != 6 {
+		t.Fatalf("body = %v; want 6 nodes", labelsOf(g, l.Body))
+	}
+	for _, lbl := range []string{"P1", "B1", "P2", "B2", "B3", "P3"} {
+		if !l.Contains(byLabel(t, g, lbl)) {
+			t.Fatalf("body missing %s", lbl)
+		}
+	}
+	if l.Contains(byLabel(t, g, "En")) || l.Contains(byLabel(t, g, "Ex")) {
+		t.Fatal("body contains En or Ex")
+	}
+
+	exits := l.ExitEdges(g)
+	if len(exits) != 1 || g.Label(exits[0].From) != "P3" || g.Label(exits[0].To) != "Ex" {
+		t.Fatalf("exit edges = %v; want [P3->Ex]", exits)
+	}
+	entries := l.EntryEdges(g)
+	if len(entries) != 1 || g.Label(entries[0].From) != "En" {
+		t.Fatalf("entry edges = %v; want [En->P1]", entries)
+	}
+	if !l.IsBackedge(Edge{byLabel(t, g, "P3"), byLabel(t, g, "P1")}) {
+		t.Fatal("IsBackedge(P3->P1) = false")
+	}
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	g := NestedLoopCFG()
+	f, err := FindLoops(g)
+	if err != nil {
+		t.Fatalf("FindLoops: %v", err)
+	}
+	if len(f.Loops) != 2 {
+		t.Fatalf("loops = %d; want 2", len(f.Loops))
+	}
+	outer := f.ByHead(byLabel(t, g, "H1"))
+	inner := f.ByHead(byLabel(t, g, "H2"))
+	if outer == nil || inner == nil {
+		t.Fatalf("missing loops: outer=%v inner=%v", outer, inner)
+	}
+	if inner.Parent != outer {
+		t.Fatalf("inner.Parent = %v; want outer", inner.Parent)
+	}
+	if outer.Parent != nil {
+		t.Fatalf("outer.Parent = %v; want nil", outer.Parent)
+	}
+	if len(outer.Children) != 1 || outer.Children[0] != inner {
+		t.Fatalf("outer.Children = %v", outer.Children)
+	}
+	// Innermost: H2's body nodes map to inner; X2 maps to outer.
+	if f.Innermost(byLabel(t, g, "B")) != inner {
+		t.Fatal("Innermost(B) != inner")
+	}
+	if f.Innermost(byLabel(t, g, "X2")) != outer {
+		t.Fatal("Innermost(X2) != outer")
+	}
+	if f.Innermost(byLabel(t, g, "En")) != nil {
+		t.Fatal("Innermost(En) != nil")
+	}
+	// Inner body is a strict subset of outer body.
+	for _, v := range inner.Body {
+		if !outer.Contains(v) {
+			t.Fatalf("inner body node %s not in outer body", g.Label(v))
+		}
+	}
+	if len(inner.Body) >= len(outer.Body) {
+		t.Fatal("inner body not smaller than outer body")
+	}
+}
+
+func TestFindLoopsMultipleBackedges(t *testing.T) {
+	// continue-style second backedge: two backedges to the same header
+	// merge into one natural loop.
+	g := MustBuild("t", `
+		En -> H
+		H -> A X
+		A -> B C
+		B -> H
+		C -> H
+		X -> Ex
+	`)
+	f, err := FindLoops(g)
+	if err != nil {
+		t.Fatalf("FindLoops: %v", err)
+	}
+	if len(f.Loops) != 1 {
+		t.Fatalf("loops = %d; want 1", len(f.Loops))
+	}
+	if n := len(f.Loops[0].Backedges); n != 2 {
+		t.Fatalf("backedges = %d; want 2", n)
+	}
+}
+
+func TestFindLoopsIrreducible(t *testing.T) {
+	// Classic irreducible region: two entries into a cycle.
+	g := MustBuild("t", `
+		En -> A B
+		A -> B2
+		B -> A2
+		A2 -> B2 Ex
+		B2 -> A2
+	`)
+	_, err := FindLoops(g)
+	var irr *ErrIrreducible
+	if !errors.As(err, &irr) {
+		t.Fatalf("err = %v; want ErrIrreducible", err)
+	}
+}
+
+func TestFindLoopsAcyclic(t *testing.T) {
+	f, err := FindLoops(DiamondCFG())
+	if err != nil {
+		t.Fatalf("FindLoops: %v", err)
+	}
+	if len(f.Loops) != 0 {
+		t.Fatalf("loops = %v; want none", f.Loops)
+	}
+}
+
+func TestLoopForestLookupsOnPaperCallGraphs(t *testing.T) {
+	for _, g := range []*Graph{PaperCallerCFG(), PaperCalleeCFG()} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", g.Name, err)
+		}
+		f, err := FindLoops(g)
+		if err != nil {
+			t.Fatalf("FindLoops(%s): %v", g.Name, err)
+		}
+		if len(f.Loops) != 0 {
+			t.Fatalf("%s should be loop-free, got %v", g.Name, f.Loops)
+		}
+	}
+}

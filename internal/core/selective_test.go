@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+)
+
+// A program with one hot loop/call site and one cold loop/call site: the
+// selective profiler must pick the hot ones, cost less than full
+// instrumentation, and stay sound.
+const selectiveSrc = `
+var sink = 0;
+
+func hotHelper(x) {
+	if (x % 2 == 0) { return x + 1; }
+	return x - 1;
+}
+func coldHelper(x) {
+	if (x > 50) { return 1; }
+	return 0;
+}
+
+func main() {
+	// hot loop: 2000 iterations, calls hotHelper
+	for (var i = 0; i < 2000; i = i + 1) {
+		if (rand(4) == 0) { sink = sink + hotHelper(i); } else { sink = sink + 1; }
+	}
+	// cold loop: 5 iterations, calls coldHelper
+	for (var j = 0; j < 5; j = j + 1) {
+		sink = sink + coldHelper(rand(100));
+	}
+	print(sink);
+}
+`
+
+func TestSelectiveProfiling(t *testing.T) {
+	s, err := Open(selectiveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 11
+	blRun, err := s.ProfileBL(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.SelectHot(blRun, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, sites := sel.Counts()
+	if loops != 1 || sites != 1 {
+		t.Fatalf("selection = %d loops, %d sites; want the hot one of each", loops, sites)
+	}
+
+	k := s.MaxDegree()
+	full, err := s.ProfileOL(seed, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := s.ProfileSelective(seed, k, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Selective instrumentation must cost less than full, and the cold
+	// structures must produce no overlap counters.
+	fullOps := full.Overhead.LoopOps + full.Overhead.InterOps
+	partOps := partial.Overhead.LoopOps + partial.Overhead.InterOps
+	if partOps >= fullOps {
+		t.Fatalf("selective ops %d not below full %d", partOps, fullOps)
+	}
+	if len(partial.Counters.Loop) >= len(full.Counters.Loop) &&
+		len(full.Counters.Loop) > 0 {
+		// The cold loop runs only 5 iterations; its counters are few,
+		// so just require no *more* counters than full.
+		t.Fatalf("selective produced %d loop counters, full %d",
+			len(partial.Counters.Loop), len(full.Counters.Loop))
+	}
+
+	// Estimation stays sound and the hot structures stay precise.
+	tr, err := s.Trace(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := tr.Flows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := int64(rf.Total())
+	pe, err := s.Estimate(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Definite() > real || pe.Potential() < real {
+		t.Fatalf("selective estimate [%d,%d] misses real %d", pe.Definite(), pe.Potential(), real)
+	}
+	peFull, err := s.Estimate(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peBL, err := s.Estimate(blRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selective precision sits between BL-only and full instrumentation.
+	if pe.Definite() < peBL.Definite() || pe.Potential() > peBL.Potential() {
+		t.Fatalf("selective looser than BL-only: [%d,%d] vs [%d,%d]",
+			pe.Definite(), pe.Potential(), peBL.Definite(), peBL.Potential())
+	}
+	if pe.Definite() > peFull.Definite() || pe.Potential() < peFull.Potential() {
+		t.Fatalf("selective tighter than full instrumentation: [%d,%d] vs [%d,%d]",
+			pe.Definite(), pe.Potential(), peFull.Definite(), peFull.Potential())
+	}
+	// And because the selection covers the hot flow, it should recover
+	// most of the full precision gap over BL.
+	gapFull := peFull.Definite() - peBL.Definite()
+	gapSel := pe.Definite() - peBL.Definite()
+	if gapFull > 0 && float64(gapSel) < 0.7*float64(gapFull) {
+		t.Fatalf("selective recovered only %d of %d definite-flow gap", gapSel, gapFull)
+	}
+}
+
+func TestSelectHotCoverageExtremes(t *testing.T) {
+	s, err := Open(selectiveSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blRun, err := s.ProfileBL(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.SelectHot(blRun, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := s.SelectHot(blRun, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLoops, aSites := all.Counts()
+	nLoops, nSites := none.Counts()
+	if aLoops < 2 || aSites < 2 {
+		t.Fatalf("full coverage selected %d loops / %d sites; want all executed ones", aLoops, aSites)
+	}
+	if nLoops != 0 || nSites != 0 {
+		t.Fatalf("zero coverage selected %d/%d; want none", nLoops, nSites)
+	}
+	// Clamping out-of-range coverages.
+	if _, err := s.SelectHot(blRun, 7.5); err != nil {
+		t.Fatal(err)
+	}
+}

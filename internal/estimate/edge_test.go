@@ -1,0 +1,175 @@
+package estimate
+
+import (
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/interp"
+	"pathprof/internal/lang"
+	"pathprof/internal/profile"
+)
+
+func blProfileOf(t *testing.T, src string, seed uint64) (*profile.Info, []map[int64]uint64) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	m := interp.New(prog, seed)
+	rt, err := instrument.New(info, instrument.Config{K: -1}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return info, rt.C.BL
+}
+
+func TestEdgeToPathsExactOnSingleDiamondFunction(t *testing.T) {
+	// A function that is one diamond: every path crosses a unique arm
+	// edge, so the edge profile determines the path profile exactly.
+	// (Inside a loop this fails — iteration boundaries let the same edge
+	// counts arise from different path mixes — which the correlated-
+	// branch test below demonstrates.)
+	info, prof := blProfileOf(t, `
+		func pick(x) {
+			if (x == 0) { return 10; }
+			return 20;
+		}
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 100; i = i + 1) { s = s + pick(rand(3)); }
+			print(s);
+		}
+	`, 5)
+	fi := info.Funcs[0] // pick
+	ep, err := EdgeProfileFromPaths(fi.DAG, prof[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EdgeToPaths(fi, ep, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact() != res.N {
+		t.Fatalf("diamond function: %d/%d exact; edge profiles determine it fully", res.Exact(), res.N)
+	}
+	for vi, id := range res.IDs {
+		if res.Res.Lower[vi] != int64(prof[0][id]) {
+			t.Fatalf("path %d pinned to %d; real %d", id, res.Res.Lower[vi], prof[0][id])
+		}
+	}
+}
+
+func TestEdgeToPathsImpreciseOnCorrelatedBranches(t *testing.T) {
+	// The showdown's classic case: two perfectly correlated branches.
+	// Only TT and FF execute, but the edge profile cannot rule out TF
+	// and FT.
+	info, prof := blProfileOf(t, `
+		var s = 0;
+		func main() {
+			for (var i = 0; i < 100; i = i + 1) {
+				var c = rand(2);
+				if (c == 0) { s = s + 1; } else { s = s - 1; }
+				if (c == 0) { s = s * 2; } else { s = s / 2; }
+			}
+		}
+	`, 5)
+	sum, err := EdgeVsPaths(info, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Definite > sum.Real || sum.Potential < sum.Real {
+		t.Fatalf("flows [%d,%d] miss real %d", sum.Definite, sum.Potential, sum.Real)
+	}
+	if sum.Potential == sum.Real && sum.Definite == sum.Real {
+		t.Fatal("correlated branches estimated exactly from edges; the showdown says impossible")
+	}
+	if sum.Exact == sum.Vars {
+		t.Fatal("all paths pinned despite branch correlation")
+	}
+}
+
+func TestEdgeToPathsSoundPerPath(t *testing.T) {
+	info, prof := blProfileOf(t, `
+		func work(x) {
+			var r = 0;
+			if (x % 3 == 0) { r = x * 2; } else {
+				if (x % 5 == 0) { r = x + 7; } else { r = x - 1; }
+			}
+			return r;
+		}
+		func main() {
+			var acc = 0;
+			for (var i = 0; i < 150; i = i + 1) {
+				acc = acc + work(rand(30));
+				if (acc > 1000) { acc = acc - 1000; }
+			}
+			print(acc);
+		}
+	`, 12)
+	for fidx, fi := range info.Funcs {
+		if len(prof[fidx]) == 0 {
+			continue
+		}
+		ep, err := EdgeProfileFromPaths(fi.DAG, prof[fidx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EdgeToPaths(fi, ep, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vi, id := range res.IDs {
+			real := int64(prof[fidx][id])
+			if res.Res.Lower[vi] > real || res.Res.Upper[vi] < real {
+				t.Fatalf("%s path %d: [%d,%d] misses real %d",
+					fi.Fn.Name, id, res.Res.Lower[vi], res.Res.Upper[vi], real)
+			}
+		}
+	}
+}
+
+func TestEdgeProfileCountsMatchPathIncidence(t *testing.T) {
+	info, prof := blProfileOf(t, `
+		func main() {
+			var n = 0;
+			for (var i = 0; i < 40; i = i + 1) {
+				if (rand(2) == 0) { n = n + 1; }
+			}
+			print(n);
+		}
+	`, 3)
+	fi := info.Funcs[0]
+	ep, err := EdgeProfileFromPaths(fi.DAG, prof[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow conservation at every interior node: in-count == out-count.
+	for v := 0; v < fi.G.Len(); v++ {
+		var in, out int64
+		for _, e := range fi.DAG.Edges {
+			if int(e.From) == v {
+				out += ep.Counts[e.Index]
+			}
+			if int(e.To) == v {
+				in += ep.Counts[e.Index]
+			}
+		}
+		switch v {
+		case int(fi.G.Entry()):
+			continue
+		case int(fi.G.Exit()):
+			continue
+		default:
+			if in != out {
+				t.Fatalf("node %s: in %d != out %d", fi.G.Label(fi.G.Entry()), in, out)
+			}
+		}
+	}
+}

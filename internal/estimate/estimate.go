@@ -1,0 +1,58 @@
+// Package estimate derives lower and upper bounds on interesting-path
+// frequencies from profiles, implementing the paper's Sections 2.2 and 3.2:
+// BL-only estimation (degree -1) and overlapping-path estimation at any
+// degree, for loops (two consecutive iterations) and procedure boundaries
+// (Type I and Type II), all on top of the generic bound solver.
+package estimate
+
+import (
+	"pathprof/internal/bounds"
+)
+
+// Mode selects the constraint set.
+type Mode int
+
+const (
+	// Paper uses exactly the paper's candidates: profiled OF sum groups
+	// (equalities), the call-count group, and the F/X/E caps of
+	// Eqs. 5/6/11/12.
+	Paper Mode = iota
+	// Extended additionally uses row/column sum equalities where they
+	// are provably sound (bottom-exit loops without inner loops,
+	// single-target direct call sites) — the ablation DESIGN.md calls
+	// out.
+	Extended
+)
+
+func (m Mode) String() string {
+	if m == Extended {
+		return "extended"
+	}
+	return "paper"
+}
+
+// Estimate is the solved bound set of one estimation problem, with the
+// ground-truth alignment left to the caller.
+type Estimate struct {
+	// Res holds per-variable bounds.
+	Res *bounds.Result
+	// N is the variable count.
+	N int
+}
+
+// Definite returns the sum of lower bounds.
+func (e *Estimate) Definite() int64 { return e.Res.Definite() }
+
+// Potential returns the sum of upper bounds.
+func (e *Estimate) Potential() int64 { return e.Res.Potential() }
+
+// Exact returns the number of variables with equal bounds.
+func (e *Estimate) Exact() int { return e.Res.Exact() }
+
+// minI64 is a tiny helper (the caps are min-of-candidates everywhere).
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

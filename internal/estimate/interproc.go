@@ -1,0 +1,388 @@
+package estimate
+
+import (
+	"fmt"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/bounds"
+	"pathprof/internal/cfg"
+	"pathprof/internal/profile"
+)
+
+// MaxVars bounds the variable count of one interprocedural estimation
+// problem; sites beyond it are reported as skipped rather than estimated.
+const MaxVars = 1 << 20
+
+// ErrTooLarge reports an estimation problem over MaxVars.
+var ErrTooLarge = fmt.Errorf("estimate: problem exceeds %d variables", MaxVars)
+
+// InterResult is the bound estimate for the interesting paths of one
+// (caller, call site, callee) triple, one direction (Type I or Type II).
+// For Type I, variable (p, q) is prefix p concatenated with callee path q,
+// at index p*NQ + q. For Type II, variable (q, s) is callee path q
+// concatenated with caller suffix s, at index q*NS + s.
+type InterResult struct {
+	Estimate
+	// PrefixAccums (Type I) aligns prefix indices with register values.
+	PrefixAccums []int64
+	// QIDs aligns callee-path indices with BL path ids.
+	QIDs []int64
+	// NSuffix (Type II) is the suffix count.
+	NSuffix int
+}
+
+// calleeEntryPaths enumerates the callee's BL paths that start at its entry
+// (the possible first components of Type I second halves).
+func calleeEntryPaths(callee *profile.FuncInfo, limit int64) ([]*bl.Path, error) {
+	paths, err := callee.DAG.EnumeratePaths(limit)
+	if err != nil {
+		return nil, err
+	}
+	var out []*bl.Path
+	for _, p := range paths {
+		if _, afterBack := p.StartHeader(); !afterBack {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// calleeExitPaths enumerates the callee's BL paths that end at its exit
+// (the possible first components of Type II pairs).
+func calleeExitPaths(callee *profile.FuncInfo, limit int64) ([]*bl.Path, error) {
+	paths, err := callee.DAG.EnumeratePaths(limit)
+	if err != nil {
+		return nil, err
+	}
+	var out []*bl.Path
+	for _, p := range paths {
+		if _, atBack := p.EndBackedge(); !atBack {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// TypeI estimates the Type I interesting paths of one call edge.
+//
+// blCaller/blCallee are BL profiles, t1 the degree-k Type I counters
+// (ignored for k < 0), calls the call count C of this (caller, site,
+// callee).
+func TypeI(info *profile.Info, caller *profile.FuncInfo, cs *profile.CallSiteInfo,
+	calleeIdx int, blCaller, blCallee map[int64]uint64,
+	t1 map[profile.TypeIKey]uint64, calls uint64, k int, mode Mode) (*InterResult, error) {
+
+	callee := info.Funcs[calleeIdx]
+	ps, err := caller.Prefixes(cs)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := calleeEntryPaths(callee, info.Limits.MaxPathsPerFunc)
+	if err != nil {
+		return nil, err
+	}
+	np, nq := len(ps.Items), len(qs)
+	if np*nq > MaxVars || np == 0 || nq == 0 {
+		return nil, ErrTooLarge
+	}
+
+	// F_p: frequency of each prefix from the caller's BL profile.
+	fp := make([]int64, np)
+	for id, n := range blCaller {
+		p, err := caller.DAG.PathForID(id)
+		if err != nil {
+			return nil, err
+		}
+		if a, ok := p.AccumAt(cs.Block); ok {
+			if pi := ps.IndexOfAccum(a); pi >= 0 {
+				fp[pi] += int64(n)
+			}
+		}
+	}
+	// F_q: frequency of each callee entry path.
+	fq := make([]int64, nq)
+	qids := make([]int64, nq)
+	for qi, q := range qs {
+		qids[qi] = q.ID
+		fq[qi] = int64(blCallee[q.ID])
+	}
+
+	prob := &bounds.Problem{N: np * nq, Caps: make([]int64, np*nq)}
+	for pi := 0; pi < np; pi++ {
+		for qi := 0; qi < nq; qi++ {
+			prob.Caps[pi*nq+qi] = minI64(fp[pi], fq[qi]) // Eqs. 11/12
+		}
+	}
+	// Eq. 9: all pairs sum to the call count.
+	all := make([]int, np*nq)
+	for i := range all {
+		all[i] = i
+	}
+	prob.Groups = append(prob.Groups, bounds.Group{Vars: all, Value: int64(calls), Equality: true})
+
+	if k >= 0 {
+		effK := callee.EffectiveKEntry(k)
+		x, err := callee.EntryExt(effK)
+		if err != nil {
+			return nil, err
+		}
+		// Decode the observed counters once.
+		type obs struct {
+			pi     int
+			blocks []cfg.NodeID
+			n      int64
+		}
+		var observed []obs
+		for key, n := range t1 {
+			if key.Caller != caller.Index || key.Site != cs.Index || key.Callee != calleeIdx {
+				continue
+			}
+			pi := ps.IndexOfAccum(key.Prefix)
+			if pi < 0 {
+				return nil, fmt.Errorf("estimate: unknown prefix accum %d at %s", key.Prefix, caller.Fn.Name)
+			}
+			ext, err := x.Decode(key.Ext)
+			if err != nil {
+				return nil, err
+			}
+			observed = append(observed, obs{pi: pi, blocks: ext, n: int64(n)})
+		}
+		// OF sum equalities at every degree d <= k (see the loop
+		// estimator for why the coarser levels are included).
+		for d := 0; d <= effK; d++ {
+			xd, err := callee.EntryExt(d)
+			if err != nil {
+				return nil, err
+			}
+			cutVars := map[string][]int{}
+			for qi, q := range qs {
+				key := bl.SeqKey(xd.CutSeq(q.Blocks))
+				cutVars[key] = append(cutVars[key], qi)
+			}
+			of := map[int]map[string]int64{}
+			for _, o := range observed {
+				key := bl.SeqKey(xd.CutSeq(o.blocks))
+				m := of[o.pi]
+				if m == nil {
+					m = map[string]int64{}
+					of[o.pi] = m
+				}
+				m[key] += o.n
+			}
+			for pi := 0; pi < np; pi++ {
+				for key, members := range cutVars {
+					vars := make([]int, len(members))
+					for vi, qi := range members {
+						vars[vi] = pi*nq + qi
+					}
+					var val int64
+					if m := of[pi]; m != nil {
+						val = m[key]
+					}
+					prob.Groups = append(prob.Groups, bounds.Group{Vars: vars, Value: val, Equality: true})
+				}
+			}
+		}
+	}
+
+	if mode == Extended && !cs.Indirect {
+		// Every traversal of prefix p executes the call, so row sums
+		// equal F_p exactly for direct calls.
+		for pi := 0; pi < np; pi++ {
+			vars := make([]int, nq)
+			for qi := 0; qi < nq; qi++ {
+				vars[qi] = pi*nq + qi
+			}
+			prob.Groups = append(prob.Groups, bounds.Group{Vars: vars, Value: fp[pi], Equality: true})
+		}
+	}
+
+	res, err := bounds.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	return &InterResult{
+		Estimate:     Estimate{Res: res, N: np * nq},
+		PrefixAccums: prefixAccums(ps),
+		QIDs:         qids,
+	}, nil
+}
+
+func prefixAccums(ps *profile.PrefixSet) []int64 {
+	out := make([]int64, len(ps.Items))
+	for i, it := range ps.Items {
+		out[i] = it.Accum
+	}
+	return out
+}
+
+// TypeII estimates the Type II interesting paths of one call edge.
+func TypeII(info *profile.Info, caller *profile.FuncInfo, cs *profile.CallSiteInfo,
+	calleeIdx int, blCaller, blCallee map[int64]uint64,
+	t2 map[profile.TypeIIKey]uint64, calls uint64, k int, mode Mode) (*InterResult, error) {
+
+	callee := info.Funcs[calleeIdx]
+	qs, err := calleeExitPaths(callee, info.Limits.MaxPathsPerFunc)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := caller.Suffixes(cs)
+	if err != nil {
+		return nil, err
+	}
+	nq, ns := len(qs), len(ss.Seqs)
+	if nq*ns > MaxVars || nq == 0 || ns == 0 {
+		return nil, ErrTooLarge
+	}
+
+	fq := make([]int64, nq)
+	qids := make([]int64, nq)
+	qidx := map[int64]int{}
+	for qi, q := range qs {
+		qids[qi] = q.ID
+		fq[qi] = int64(blCallee[q.ID])
+		qidx[q.ID] = qi
+	}
+	// F_s: frequencies of caller suffixes.
+	fs := make([]int64, ns)
+	for id, n := range blCaller {
+		p, err := caller.DAG.PathForID(id)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.AccumAt(cs.Block); !ok {
+			continue
+		}
+		blocks := suffixOf(p, cs)
+		if si := ss.IndexOf(blocks); si >= 0 {
+			fs[si] += int64(n)
+		}
+	}
+
+	prob := &bounds.Problem{N: nq * ns, Caps: make([]int64, nq*ns)}
+	for qi := 0; qi < nq; qi++ {
+		for si := 0; si < ns; si++ {
+			prob.Caps[qi*ns+si] = minI64(fq[qi], fs[si])
+		}
+	}
+	all := make([]int, nq*ns)
+	for i := range all {
+		all[i] = i
+	}
+	prob.Groups = append(prob.Groups, bounds.Group{Vars: all, Value: int64(calls), Equality: true})
+
+	if k >= 0 {
+		effK := cs.EffectiveKSuffix(k)
+		x, err := cs.SuffixExt(effK)
+		if err != nil {
+			return nil, err
+		}
+		type obs struct {
+			qi     int
+			blocks []cfg.NodeID
+			n      int64
+		}
+		var observed []obs
+		for key, n := range t2 {
+			if key.Caller != caller.Index || key.Site != cs.Index || key.Callee != calleeIdx {
+				continue
+			}
+			qi, ok := qidx[key.Path]
+			if !ok {
+				return nil, fmt.Errorf("estimate: unknown callee exit path %d", key.Path)
+			}
+			ext, err := x.Decode(key.Ext)
+			if err != nil {
+				return nil, err
+			}
+			observed = append(observed, obs{qi: qi, blocks: ext, n: int64(n)})
+		}
+		for d := 0; d <= effK; d++ {
+			xd, err := cs.SuffixExt(d)
+			if err != nil {
+				return nil, err
+			}
+			cutVars := map[string][]int{}
+			for si, sfx := range ss.Seqs {
+				key := bl.SeqKey(xd.CutSeq(sfx))
+				cutVars[key] = append(cutVars[key], si)
+			}
+			of := map[int]map[string]int64{}
+			for _, o := range observed {
+				key := bl.SeqKey(xd.CutSeq(o.blocks))
+				m := of[o.qi]
+				if m == nil {
+					m = map[string]int64{}
+					of[o.qi] = m
+				}
+				m[key] += o.n
+			}
+			for qi := 0; qi < nq; qi++ {
+				for key, members := range cutVars {
+					vars := make([]int, len(members))
+					for vi, si := range members {
+						vars[vi] = qi*ns + si
+					}
+					var val int64
+					if m := of[qi]; m != nil {
+						val = m[key]
+					}
+					prob.Groups = append(prob.Groups, bounds.Group{Vars: vars, Value: val, Equality: true})
+				}
+			}
+		}
+	}
+
+	if mode == Extended && soloCallSite(info, calleeIdx, caller, cs) {
+		// The callee returns only to this site, so each exit path q's
+		// row sums to F_q exactly.
+		for qi := 0; qi < nq; qi++ {
+			vars := make([]int, ns)
+			for si := 0; si < ns; si++ {
+				vars[si] = qi*ns + si
+			}
+			prob.Groups = append(prob.Groups, bounds.Group{Vars: vars, Value: fq[qi], Equality: true})
+		}
+	}
+
+	res, err := bounds.Solve(prob)
+	if err != nil {
+		return nil, err
+	}
+	return &InterResult{
+		Estimate: Estimate{Res: res, N: nq * ns},
+		QIDs:     qids,
+		NSuffix:  ns,
+	}, nil
+}
+
+// suffixOf slices the caller path's blocks from the call site (nil when the
+// path does not visit the site).
+func suffixOf(p *bl.Path, cs *profile.CallSiteInfo) []cfg.NodeID {
+	for i, b := range p.Blocks {
+		if b == cs.Block {
+			return p.Blocks[i:]
+		}
+	}
+	return nil
+}
+
+// soloCallSite reports whether callee is statically called from exactly one
+// site — this one — and no indirect sites exist in the program.
+func soloCallSite(info *profile.Info, calleeIdx int, caller *profile.FuncInfo, cs *profile.CallSiteInfo) bool {
+	count := 0
+	for _, fi := range info.Funcs {
+		for _, other := range fi.CallSites {
+			if other.Indirect {
+				return false
+			}
+			if other.Callee == calleeIdx {
+				count++
+				if fi != caller || other != cs {
+					return false
+				}
+			}
+		}
+	}
+	return count == 1
+}

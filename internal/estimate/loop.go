@@ -1,0 +1,203 @@
+package estimate
+
+import (
+	"fmt"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/bounds"
+	"pathprof/internal/cfg"
+	"pathprof/internal/profile"
+)
+
+// LoopResult is the bound estimate for one loop's k^2 interesting paths.
+// Variable (i, j) — loop path i followed by loop path j — lives at index
+// i*N + j.
+type LoopResult struct {
+	Estimate
+	Li *profile.LoopInfo
+}
+
+// Var returns the variable index of pair (i, j).
+func (r *LoopResult) Var(i, j int) int { return i*r.Li.LP.Count() + j }
+
+// Loop estimates the interesting-path frequencies of one loop.
+//
+// k = -1 estimates from the BL profile alone (the paper's baseline);
+// k >= 0 additionally uses the degree-k overlapping-path counters
+// (clamped to the loop's maximum useful degree).
+func Loop(fi *profile.FuncInfo, li *profile.LoopInfo, blProf map[int64]uint64,
+	loopCounters map[profile.LoopKey]uint64, k int, mode Mode) (*LoopResult, error) {
+
+	n := li.LP.Count()
+	lf, err := bl.ComputeLoopFlow(fi.DAG, li.LP, blProf)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &bounds.Problem{N: n * n, Caps: make([]int64, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// Eqs. 5 and 6: F_p - X_p and F_q - E_q.
+			p.Caps[i*n+j] = minI64(int64(lf.F[i]-lf.X[i]), int64(lf.F[j]-lf.E[j]))
+		}
+	}
+
+	sound := rowColEqualitySound(fi, li)
+
+	if k < 0 {
+		// BL-only: row sums bounded by F_i - X_i; equalities only in
+		// Extended mode on loops where that is provably exact.
+		for i := 0; i < n; i++ {
+			vars := make([]int, n)
+			for j := 0; j < n; j++ {
+				vars[j] = i*n + j
+			}
+			p.Groups = append(p.Groups, bounds.Group{
+				Vars: vars, Value: int64(lf.F[i] - lf.X[i]),
+				Equality: mode == Extended && sound,
+			})
+		}
+		if mode == Extended && sound {
+			addColGroups(p, lf, n, true)
+		}
+	} else {
+		if err := addOFGroups(p, fi, li, loopCounters, k, n); err != nil {
+			return nil, err
+		}
+		if mode == Extended && sound {
+			addRowGroups(p, lf, n, true)
+			addColGroups(p, lf, n, true)
+		}
+	}
+
+	res, err := bounds.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	return &LoopResult{Estimate: Estimate{Res: res, N: n * n}, Li: li}, nil
+}
+
+func addRowGroups(p *bounds.Problem, lf *bl.LoopFlow, n int, eq bool) {
+	for i := 0; i < n; i++ {
+		vars := make([]int, n)
+		for j := 0; j < n; j++ {
+			vars[j] = i*n + j
+		}
+		p.Groups = append(p.Groups, bounds.Group{Vars: vars, Value: int64(lf.F[i] - lf.X[i]), Equality: eq})
+	}
+}
+
+func addColGroups(p *bounds.Problem, lf *bl.LoopFlow, n int, eq bool) {
+	for j := 0; j < n; j++ {
+		vars := make([]int, n)
+		for i := 0; i < n; i++ {
+			vars[i] = i*n + j
+		}
+		p.Groups = append(p.Groups, bounds.Group{Vars: vars, Value: int64(lf.F[j] - lf.E[j]), Equality: eq})
+	}
+}
+
+// addOFGroups builds the paper's OF sum equalities from degree-k loop
+// counters: for each first component i and each distinct degree-k cut
+// prefix c, the variables {(i, j) : cut(j) == c} sum to the observed count.
+func addOFGroups(p *bounds.Problem, fi *profile.FuncInfo, li *profile.LoopInfo,
+	counters map[profile.LoopKey]uint64, k int, n int) error {
+
+	effK := li.EffectiveK(k)
+	x, err := li.Ext(effK)
+	if err != nil {
+		return err
+	}
+	// Decode and classify the observed counters once. A counter's base
+	// path id maps to the first component's loop-path index; counters
+	// whose base has no full occurrence, or that are not Full, belong to
+	// no interesting pair and are excluded — exactly what keeps the
+	// equalities exact (see DESIGN.md).
+	type obs struct {
+		i      int
+		blocks []cfg.NodeID
+		n      int64
+	}
+	var observed []obs
+	for key, cnt := range counters {
+		if key.Func != fi.Index || key.Loop != li.Index || !key.Full {
+			continue
+		}
+		base, err := fi.DAG.PathForID(key.Base)
+		if err != nil {
+			return err
+		}
+		occ, ok := bl.AnalyzeLoop(base, li.LP, fi.DAG)
+		if !ok || !occ.Full || occ.SeqIndex < 0 {
+			continue
+		}
+		ext, err := x.Decode(key.Ext)
+		if err != nil {
+			return fmt.Errorf("estimate: decode loop ext: %w", err)
+		}
+		observed = append(observed, obs{i: occ.SeqIndex, blocks: ext, n: int64(cnt)})
+	}
+
+	// Emit OF sum equalities for every degree d <= k: the degree-d
+	// groups are exact aggregations of the degree-k counters, and
+	// including the coarser levels makes precision provably monotone in
+	// the profiled degree.
+	for d := 0; d <= effK; d++ {
+		xd, err := li.Ext(d)
+		if err != nil {
+			return err
+		}
+		cutVars := map[string][]int{}
+		for j, seq := range li.LP.Seqs {
+			key := bl.SeqKey(xd.CutSeq(seq))
+			cutVars[key] = append(cutVars[key], j)
+		}
+		of := map[int]map[string]int64{}
+		for _, o := range observed {
+			key := bl.SeqKey(xd.CutSeq(o.blocks))
+			m := of[o.i]
+			if m == nil {
+				m = map[string]int64{}
+				of[o.i] = m
+			}
+			m[key] += o.n
+		}
+		for i := 0; i < n; i++ {
+			for key, js := range cutVars {
+				vars := make([]int, len(js))
+				for vi, j := range js {
+					vars[vi] = i*n + j
+				}
+				var val int64
+				if m := of[i]; m != nil {
+					val = m[key]
+				}
+				p.Groups = append(p.Groups, bounds.Group{Vars: vars, Value: val, Equality: true})
+			}
+		}
+	}
+	return nil
+}
+
+// rowColEqualitySound reports whether row/column sum equalities are exact
+// for this loop: every backedge crossing must be followed by a complete
+// iteration and every non-first iteration preceded by one. That holds when
+// the loop has no inner loops (no inner backedges can cut a BL path
+// mid-iteration) and every exit edge leaves from a tail.
+func rowColEqualitySound(fi *profile.FuncInfo, li *profile.LoopInfo) bool {
+	if len(li.Loop.Children) > 0 {
+		return false
+	}
+	for _, e := range li.Loop.ExitEdges(fi.G) {
+		tail := false
+		for _, be := range li.Loop.Backedges {
+			if be.From == e.From {
+				tail = true
+			}
+		}
+		if !tail {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the bundled benchmark suite: Table 1 (flow
+// attribution), Figures 5/6 (estimation precision versus degree of overlap),
+// Figures 7/8/9 (profiling overhead versus degree), and Tables 8/9 (the
+// summary rows at k ≈ max/3).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"pathprof/internal/estimate"
+	"pathprof/internal/instrument"
+	"pathprof/internal/interp"
+	"pathprof/internal/overhead"
+	"pathprof/internal/profile"
+	"pathprof/internal/trace"
+	"pathprof/internal/workload"
+)
+
+// KRun is the outcome of one instrumented run at a fixed degree.
+type KRun struct {
+	K        int
+	Counters *profile.Counters
+	Report   overhead.Report
+}
+
+// BenchRun bundles everything collected for one benchmark: the ground-truth
+// trace plus one instrumented run per degree from -1 (BL only) to the
+// program's maximum.
+type BenchRun struct {
+	B      *workload.Benchmark
+	Info   *profile.Info
+	Tracer *trace.Tracer
+	// BaseOps is the uninstrumented operation count.
+	BaseOps int64
+	MaxK    int
+	// Runs holds the per-degree instrumented runs; Runs[k+1] is degree k.
+	Runs []*KRun
+
+	realFlows *trace.RealFlows
+}
+
+// At returns the degree-k run.
+func (br *BenchRun) At(k int) *KRun { return br.Runs[k+1] }
+
+// Real returns the exact interesting-path flows (cached).
+func (br *BenchRun) Real() (trace.RealFlows, error) {
+	if br.realFlows != nil {
+		return *br.realFlows, nil
+	}
+	rf, err := br.Tracer.Flows()
+	if err != nil {
+		return rf, err
+	}
+	br.realFlows = &rf
+	return rf, nil
+}
+
+// Collect runs one benchmark through the whole pipeline.
+func Collect(b *workload.Benchmark) (*BenchRun, error) {
+	prog, err := b.Compile()
+	if err != nil {
+		return nil, err
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		return nil, err
+	}
+
+	mt := interp.New(prog, b.Seed)
+	tr := trace.NewTracer(info, mt)
+	if err := mt.Run(); err != nil {
+		return nil, fmt.Errorf("%s: trace run: %w", b.Name, err)
+	}
+	if tr.Err != nil {
+		return nil, fmt.Errorf("%s: tracer: %w", b.Name, tr.Err)
+	}
+
+	br := &BenchRun{B: b, Info: info, Tracer: tr, BaseOps: mt.BaseOps, MaxK: info.MaxDegree()}
+	for k := -1; k <= br.MaxK; k++ {
+		m := interp.New(prog, b.Seed)
+		rt, err := instrument.New(info, instrument.Config{K: k, Loops: k >= 0, Interproc: k >= 0}, m)
+		if err != nil {
+			return nil, fmt.Errorf("%s k=%d: %w", b.Name, k, err)
+		}
+		if err := m.Run(); err != nil {
+			return nil, fmt.Errorf("%s k=%d: instrumented run: %w", b.Name, k, err)
+		}
+		if rt.Err != nil {
+			return nil, fmt.Errorf("%s k=%d: runtime: %w", b.Name, k, rt.Err)
+		}
+		br.Runs = append(br.Runs, &KRun{K: k, Counters: rt.C, Report: rt.Report(mt.BaseOps)})
+	}
+	return br, nil
+}
+
+// CollectAll runs the full benchmark suite, one benchmark per goroutine
+// (each benchmark's runs stay sequential; they share nothing).
+func CollectAll() ([]*BenchRun, error) {
+	benches := workload.All()
+	out := make([]*BenchRun, len(benches))
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b *workload.Benchmark) {
+			defer wg.Done()
+			out[i], errs[i] = Collect(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// KChosen returns the paper's operating point: approximately one third of
+// the maximum possible overlap, and at least 1.
+func (br *BenchRun) KChosen() int {
+	k := (br.MaxK + 2) / 3
+	if k < 1 {
+		k = 1
+	}
+	if k > br.MaxK {
+		k = br.MaxK
+	}
+	return k
+}
+
+// FlowEstimate aggregates a whole-program estimation at one degree.
+type FlowEstimate struct {
+	// Real, Definite and Potential are total interesting-path flows.
+	Real, Definite, Potential int64
+	// Vars counts interesting paths considered; Exact those with equal
+	// bounds.
+	Vars, Exact int
+	// Skipped counts estimation problems over the size limit.
+	Skipped int
+}
+
+// EstimateAll solves every loop and call-edge estimation problem of the
+// benchmark at degree k and aggregates the flows.
+func EstimateAll(br *BenchRun, k int, mode estimate.Mode) (FlowEstimate, error) {
+	var fe FlowEstimate
+	rf, err := br.Real()
+	if err != nil {
+		return fe, err
+	}
+	fe.Real = int64(rf.Total())
+	c := br.At(k).Counters
+
+	for fidx, fi := range br.Info.Funcs {
+		for _, li := range fi.Loops {
+			res, err := estimate.Loop(fi, li, c.BL[fidx], c.Loop, k, mode)
+			if err != nil {
+				return fe, fmt.Errorf("%s: loop %d of %s: %w", br.B.Name, li.Index, fi.Fn.Name, err)
+			}
+			fe.Definite += res.Definite()
+			fe.Potential += res.Potential()
+			fe.Vars += res.N
+			fe.Exact += res.Exact()
+		}
+	}
+
+	for ck, calls := range br.Tracer.Calls {
+		caller := br.Info.Funcs[ck.Caller]
+		cs := caller.CallSites[ck.Site]
+		r1, err := estimate.TypeI(br.Info, caller, cs, ck.Callee,
+			c.BL[ck.Caller], c.BL[ck.Callee], c.TypeI, calls, k, mode)
+		if err == estimate.ErrTooLarge {
+			fe.Skipped++
+		} else if err != nil {
+			return fe, fmt.Errorf("%s: typeI %v: %w", br.B.Name, ck, err)
+		} else {
+			fe.Definite += r1.Definite()
+			fe.Potential += r1.Potential()
+			fe.Vars += r1.N
+			fe.Exact += r1.Exact()
+		}
+		r2, err := estimate.TypeII(br.Info, caller, cs, ck.Callee,
+			c.BL[ck.Caller], c.BL[ck.Callee], c.TypeII, calls, k, mode)
+		if err == estimate.ErrTooLarge {
+			fe.Skipped++
+		} else if err != nil {
+			return fe, fmt.Errorf("%s: typeII %v: %w", br.B.Name, ck, err)
+		} else {
+			fe.Definite += r2.Definite()
+			fe.Potential += r2.Potential()
+			fe.Vars += r2.N
+			fe.Exact += r2.Exact()
+		}
+	}
+	return fe, nil
+}

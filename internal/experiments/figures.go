@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"pathprof/internal/estimate"
+	"pathprof/internal/stats"
+)
+
+// Figure5 computes, per benchmark, the definite and potential total flows of
+// interesting paths as a function of the degree of overlap (x = -1 is the
+// BL-only estimate), normalized as signed percentage error against the real
+// flow — the paper's Figure 5.
+func Figure5(runs []*BenchRun, mode estimate.Mode) ([]*stats.Series, error) {
+	var out []*stats.Series
+	for _, br := range runs {
+		def := &stats.Series{Name: br.B.Name + "/definite"}
+		pot := &stats.Series{Name: br.B.Name + "/potential"}
+		for k := -1; k <= br.MaxK; k++ {
+			fe, err := EstimateAll(br, k, mode)
+			if err != nil {
+				return nil, err
+			}
+			def.Add(k, stats.PctErr(fe.Definite, fe.Real))
+			pot.Add(k, stats.PctErr(fe.Potential, fe.Real))
+		}
+		out = append(out, def, pot)
+	}
+	return out, nil
+}
+
+// RenderFigure5 renders the Figure 5 series.
+func RenderFigure5(series []*stats.Series) string {
+	return joinSeries("Figure 5: estimated total flow error (%) vs degree of overlap (x=-1 is BL)", series)
+}
+
+// Figure6 computes the percentage of interesting paths whose estimated
+// frequency is exact (lower == upper) as a function of degree — the paper's
+// Figure 6.
+func Figure6(runs []*BenchRun, mode estimate.Mode) ([]*stats.Series, error) {
+	var out []*stats.Series
+	for _, br := range runs {
+		s := &stats.Series{Name: br.B.Name}
+		for k := -1; k <= br.MaxK; k++ {
+			fe, err := EstimateAll(br, k, mode)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(k, stats.Pct(int64(fe.Exact), int64(fe.Vars)))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RenderFigure6 renders the Figure 6 series.
+func RenderFigure6(series []*stats.Series) string {
+	return joinSeries("Figure 6: precisely estimated interesting paths (%) vs degree of overlap", series)
+}
+
+// Figure7 computes the overhead of profiling overlapping *loop* paths per
+// degree — the paper's Figure 7.
+func Figure7(runs []*BenchRun) []*stats.Series {
+	var out []*stats.Series
+	for _, br := range runs {
+		s := &stats.Series{Name: br.B.Name}
+		for k := 0; k <= br.MaxK; k++ {
+			s.Add(k, br.At(k).Report.LoopPct())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RenderFigure7 renders the Figure 7 series.
+func RenderFigure7(series []*stats.Series) string {
+	return joinSeries("Figure 7: overhead of profiling OL loop paths (%) vs degree", series)
+}
+
+// Figure8 computes the overhead of profiling overlapping *interprocedural*
+// paths per degree — the paper's Figure 8.
+func Figure8(runs []*BenchRun) []*stats.Series {
+	var out []*stats.Series
+	for _, br := range runs {
+		s := &stats.Series{Name: br.B.Name}
+		for k := 0; k <= br.MaxK; k++ {
+			s.Add(k, br.At(k).Report.InterPct())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RenderFigure8 renders the Figure 8 series.
+func RenderFigure8(series []*stats.Series) string {
+	return joinSeries("Figure 8: overhead of profiling OL interprocedural paths (%) vs degree", series)
+}
+
+// Figure9 computes the overhead of profiling *all* overlapping paths per
+// degree — the paper's Figure 9.
+func Figure9(runs []*BenchRun) []*stats.Series {
+	var out []*stats.Series
+	for _, br := range runs {
+		s := &stats.Series{Name: br.B.Name}
+		for k := 0; k <= br.MaxK; k++ {
+			s.Add(k, br.At(k).Report.AllPct())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RenderFigure9 renders the Figure 9 series.
+func RenderFigure9(series []*stats.Series) string {
+	return joinSeries("Figure 9: overhead of profiling all OL paths (%) vs degree", series)
+}

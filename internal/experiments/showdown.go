@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathprof/internal/estimate"
+	"pathprof/internal/stats"
+)
+
+// The "showdown" experiment quantifies the profile-information hierarchy the
+// paper builds on. Section 1 frames overlapping-path estimation as
+// "analogous to the approach developed in [4] (Ball, Mataga & Sagiv) to
+// estimate the frequencies of BL paths from edge profiles" — so this
+// harness runs both levels side by side:
+//
+//	edge profile   → BL path bounds        (the showdown, level 1)
+//	BL profile     → interesting-path bounds (the paper at k = -1, level 2)
+//	OL-k profile   → interesting-path bounds (the paper's contribution)
+
+// ShowdownRow is one benchmark's three-level comparison. Errors are the
+// definite/potential signed percentages against the level's own real flow.
+type ShowdownRow struct {
+	Name string
+	// Edge->BL paths.
+	EdgeDef, EdgePot float64
+	EdgeExactPct     float64
+	// BL->interesting.
+	BLDef, BLPot float64
+	// OL-k->interesting (k ~ max/3).
+	OLDef, OLPot float64
+}
+
+// Showdown computes the hierarchy table.
+func Showdown(runs []*BenchRun, mode estimate.Mode) ([]ShowdownRow, error) {
+	var out []ShowdownRow
+	for _, br := range runs {
+		blRun := br.At(-1)
+		edge, err := estimate.EdgeVsPaths(br.Info, blRun.Counters.BL)
+		if err != nil {
+			return nil, err
+		}
+		bl, err := EstimateAll(br, -1, mode)
+		if err != nil {
+			return nil, err
+		}
+		ol, err := EstimateAll(br, br.KChosen(), mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ShowdownRow{
+			Name:         br.B.Name,
+			EdgeDef:      stats.PctErr(edge.Definite, edge.Real),
+			EdgePot:      stats.PctErr(edge.Potential, edge.Real),
+			EdgeExactPct: stats.Pct(int64(edge.Exact), int64(edge.Vars)),
+			BLDef:        stats.PctErr(bl.Definite, bl.Real),
+			BLPot:        stats.PctErr(bl.Potential, bl.Real),
+			OLDef:        stats.PctErr(ol.Definite, ol.Real),
+			OLPot:        stats.PctErr(ol.Potential, ol.Real),
+		})
+	}
+	return out, nil
+}
+
+// RenderShowdown renders the hierarchy table.
+func RenderShowdown(rows []ShowdownRow) string {
+	t := stats.NewTable("Benchmark",
+		"edge->BLpath def/pot %", "BLpath exact %",
+		"BL->interesting def/pot %", "OL-k->interesting def/pot %")
+	for _, r := range rows {
+		t.Row(r.Name,
+			fmt.Sprintf("%+.1f / %+.1f", r.EdgeDef, r.EdgePot),
+			fmt.Sprintf("%.1f", r.EdgeExactPct),
+			fmt.Sprintf("%+.1f / %+.1f", r.BLDef, r.BLPot),
+			fmt.Sprintf("%+.1f / %+.1f", r.OLDef, r.OLPot))
+	}
+	return "Showdown: the estimation hierarchy (edge -> BL paths -> interesting paths)\n" + t.String()
+}

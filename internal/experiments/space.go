@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathprof/internal/stats"
+	"pathprof/internal/workload"
+)
+
+// The space experiment reproduces the paper's Section 1 cost argument with
+// static counts: profiling interesting paths directly needs one counter per
+// (i ! j) pair — quadratic in the loop-path count (the paper's example: a
+// 099.go function with 283063 loop paths would need 283063² two-iteration
+// counters) — while overlapping paths multiply the base count only by the
+// number of degree-k extensions (×2 at degree 1, ×4 at degree 2 in the
+// paper's example).
+
+// SpaceRow is one benchmark's static/dynamic counter census.
+type SpaceRow struct {
+	Name string
+	// Interesting counts the statically possible interesting paths:
+	// loop pairs + Type I + Type II combinations.
+	Interesting int64
+	// OLPaths counts the statically possible degree-k overlapping paths
+	// at k = KChosen.
+	OLPaths int64
+	// K is the degree used.
+	K int
+	// Touched counts the counters the degree-k run actually populated.
+	Touched int
+}
+
+// Space computes the census. Enumeration limits cap the work; rows at the
+// cap report the cap (a lower bound).
+func Space(runs []*BenchRun) ([]SpaceRow, error) {
+	const limit = 1 << 20
+	var out []SpaceRow
+	for _, br := range runs {
+		k := br.KChosen()
+		row := SpaceRow{Name: br.B.Name, K: k}
+
+		for _, fi := range br.Info.Funcs {
+			// Loop interesting paths: Σ per loop of (#seqs)²; OL
+			// paths: Σ (#base paths ending at the loop's backedges)
+			// × (#degree-k cut extensions).
+			ways := fi.DAG.Ways()
+			for _, li := range fi.Loops {
+				n := int64(li.LP.Count())
+				row.Interesting += n * n
+				var bases int64
+				for _, be := range li.Loop.Backedges {
+					bases += ways[be.From]
+				}
+				x, err := li.Ext(li.EffectiveK(k))
+				if err != nil {
+					return nil, err
+				}
+				cuts, err := x.EnumerateCutExts(limit)
+				if err != nil {
+					return nil, err
+				}
+				row.OLPaths += bases * int64(len(cuts))
+			}
+			// Interprocedural counts per call site: prefixes ×
+			// callee paths for Type I, callee exit paths × suffixes
+			// for Type II; OL variants replace the full second
+			// component by its degree-k cuts.
+			for _, cs := range fi.CallSites {
+				callees := calleesOf(br, fi.Index, cs.Index)
+				if len(callees) == 0 {
+					continue
+				}
+				ps, err := fi.Prefixes(cs)
+				if err != nil {
+					return nil, err
+				}
+				ss, err := fi.Suffixes(cs)
+				if err != nil {
+					return nil, err
+				}
+				for _, calleeIdx := range callees {
+					callee := br.Info.Funcs[calleeIdx]
+					row.Interesting += int64(len(ps.Items)) * callee.DAG.Total()
+					row.Interesting += callee.DAG.Total() * int64(len(ss.Seqs))
+
+					xe, err := callee.EntryExt(callee.EffectiveKEntry(k))
+					if err != nil {
+						return nil, err
+					}
+					entryCuts, err := xe.EnumerateCutExts(limit)
+					if err != nil {
+						return nil, err
+					}
+					row.OLPaths += int64(len(ps.Items)) * int64(len(entryCuts))
+
+					xs, err := cs.SuffixExt(cs.EffectiveKSuffix(k))
+					if err != nil {
+						return nil, err
+					}
+					sufCuts, err := xs.EnumerateCutExts(limit)
+					if err != nil {
+						return nil, err
+					}
+					row.OLPaths += callee.DAG.Total() * int64(len(sufCuts))
+				}
+			}
+		}
+
+		c := br.At(k).Counters
+		row.Touched = len(c.Loop) + len(c.TypeI) + len(c.TypeII)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// calleesOf lists the callee indices observed at one call site.
+func calleesOf(br *BenchRun, caller, site int) []int {
+	var out []int
+	for ck := range br.Tracer.Calls {
+		if ck.Caller == caller && ck.Site == site {
+			out = append(out, ck.Callee)
+		}
+	}
+	return out
+}
+
+// RenderSpace renders the census.
+func RenderSpace(rows []SpaceRow) string {
+	t := stats.NewTable("Benchmark", "Interesting paths (static)", "OL-k paths (static)", "k", "Counters touched")
+	for _, r := range rows {
+		t.Row(r.Name,
+			fmt.Sprintf("%d", r.Interesting),
+			fmt.Sprintf("%d", r.OLPaths),
+			fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%d", r.Touched))
+	}
+	return "Space: counters needed to profile interesting paths directly vs OL-k (k~max/3)\n" + t.String()
+}
+
+// SpaceDemo builds the path-rich kernel the paper's 099.go anecdote is
+// about: a loop whose body chains eight independent diamonds has 2^8 = 256
+// loop paths, hence 65536 two-iteration interesting paths — while the
+// degree-1 overlapping paths stay linear in the base count.
+func SpaceDemo() ([]SpaceRow, error) {
+	src := `
+	var s = 0;
+	func main() {
+		for (var i = 0; i < 200; i = i + 1) {
+	`
+	for d := 0; d < 8; d++ {
+		src += fmt.Sprintf("\t\t\tif (rand(2) == 0) { s = s + %d; } else { s = s - %d; }\n", d+1, d+1)
+	}
+	src += `
+		}
+		print(s);
+	}
+	`
+	b := &workload.Benchmark{Name: "space-demo", Source: src, Seed: 11, Model: "8-diamond loop body: 256 loop paths"}
+	var rows []SpaceRow
+	for _, k := range []int{0, 1, 2} {
+		br, err := Collect(b)
+		if err != nil {
+			return nil, err
+		}
+		fi := br.Info.Funcs[0]
+		li := fi.Loops[0]
+		n := int64(li.LP.Count())
+		x, err := li.Ext(li.EffectiveK(k))
+		if err != nil {
+			return nil, err
+		}
+		cuts, err := x.EnumerateCutExts(1 << 20)
+		if err != nil {
+			return nil, err
+		}
+		ways := fi.DAG.Ways()
+		var bases int64
+		for _, be := range li.Loop.Backedges {
+			bases += ways[be.From]
+		}
+		kk := k
+		if kk > br.MaxK {
+			kk = br.MaxK
+		}
+		var touched int
+		if kk <= br.MaxK {
+			touched = len(br.At(kk).Counters.Loop)
+		}
+		rows = append(rows, SpaceRow{
+			Name:        fmt.Sprintf("space-demo k=%d", k),
+			Interesting: n * n,
+			OLPaths:     bases * int64(len(cuts)),
+			K:           k,
+			Touched:     touched,
+		})
+	}
+	return rows, nil
+}

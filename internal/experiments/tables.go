@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pathprof/internal/estimate"
+	"pathprof/internal/stats"
+)
+
+// Table1Row is one row of the paper's Table 1: flow attributable to
+// interesting paths.
+type Table1Row struct {
+	Name                       string
+	LoopPct, ProcPct, TotalPct float64
+}
+
+// Table1 computes the flow-attribution rows.
+func Table1(runs []*BenchRun) []Table1Row {
+	var out []Table1Row
+	for _, br := range runs {
+		a := br.Tracer.Attr
+		out = append(out, Table1Row{
+			Name:    br.B.Name,
+			LoopPct: a.LoopPct(), ProcPct: a.ProcPct(), TotalPct: a.TotalPct(),
+		})
+	}
+	return out
+}
+
+// RenderTable1 renders Table 1 as text.
+func RenderTable1(rows []Table1Row) string {
+	t := stats.NewTable("Benchmark", "Loop Backedges %", "Procedure Boundaries %", "Total Flow %")
+	for _, r := range rows {
+		t.Row(r.Name,
+			fmt.Sprintf("%.1f", r.LoopPct),
+			fmt.Sprintf("%.1f", r.ProcPct),
+			fmt.Sprintf("%.1f", r.TotalPct))
+	}
+	return "Table 1: flow attributable to interesting paths\n" + t.String()
+}
+
+// Table8Row is one row of the paper's Table 8: definite/potential flow at
+// the BL baseline and at k ≈ max/3.
+type Table8Row struct {
+	Name               string
+	Real               int64
+	BLDef, BLPot       int64
+	BLDefPct, BLPotPct float64
+	OLDef, OLPot       int64
+	OLDefPct, OLPotPct float64
+	KChosen, KMax      int
+}
+
+// Table8 computes the flow-estimate rows.
+func Table8(runs []*BenchRun, mode estimate.Mode) ([]Table8Row, error) {
+	var out []Table8Row
+	for _, br := range runs {
+		bl, err := EstimateAll(br, -1, mode)
+		if err != nil {
+			return nil, err
+		}
+		k := br.KChosen()
+		ol, err := EstimateAll(br, k, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table8Row{
+			Name: br.B.Name, Real: bl.Real,
+			BLDef: bl.Definite, BLPot: bl.Potential,
+			BLDefPct: stats.PctErr(bl.Definite, bl.Real),
+			BLPotPct: stats.PctErr(bl.Potential, bl.Real),
+			OLDef:    ol.Definite, OLPot: ol.Potential,
+			OLDefPct: stats.PctErr(ol.Definite, ol.Real),
+			OLPotPct: stats.PctErr(ol.Potential, ol.Real),
+			KChosen:  k, KMax: br.MaxK,
+		})
+	}
+	return out, nil
+}
+
+// RenderTable8 renders Table 8 as text, with the average row the paper
+// includes.
+func RenderTable8(rows []Table8Row) string {
+	t := stats.NewTable("Benchmark", "Real Flow",
+		"BL Definite", "BL Potential", "OL-k Definite", "OL-k Potential", "k", "k Max")
+	var sumReal, sumBLD, sumBLP, sumOLD, sumOLP int64
+	var sumK, sumKMax int
+	for _, r := range rows {
+		t.Row(r.Name,
+			fmt.Sprintf("%d", r.Real),
+			fmt.Sprintf("%d (%+.1f%%)", r.BLDef, r.BLDefPct),
+			fmt.Sprintf("%d (%+.1f%%)", r.BLPot, r.BLPotPct),
+			fmt.Sprintf("%d (%+.1f%%)", r.OLDef, r.OLDefPct),
+			fmt.Sprintf("%d (%+.1f%%)", r.OLPot, r.OLPotPct),
+			fmt.Sprintf("%d", r.KChosen),
+			fmt.Sprintf("%d", r.KMax))
+		sumReal += r.Real
+		sumBLD += r.BLDef
+		sumBLP += r.BLPot
+		sumOLD += r.OLDef
+		sumOLP += r.OLPot
+		sumK += r.KChosen
+		sumKMax += r.KMax
+	}
+	n := int64(len(rows))
+	if n > 0 {
+		t.Row("Average",
+			fmt.Sprintf("%d", sumReal/n),
+			fmt.Sprintf("%d (%+.1f%%)", sumBLD/n, stats.PctErr(sumBLD, sumReal)),
+			fmt.Sprintf("%d (%+.1f%%)", sumBLP/n, stats.PctErr(sumBLP, sumReal)),
+			fmt.Sprintf("%d (%+.1f%%)", sumOLD/n, stats.PctErr(sumOLD, sumReal)),
+			fmt.Sprintf("%d (%+.1f%%)", sumOLP/n, stats.PctErr(sumOLP, sumReal)),
+			fmt.Sprintf("%d", sumK/len(rows)),
+			fmt.Sprintf("%d", sumKMax/len(rows)))
+	}
+	return "Table 8: definite and potential flows (BL vs OL-k at k~max/3)\n" + t.String()
+}
+
+// Table9Row is one row of the paper's Table 9: instrumentation overhead.
+type Table9Row struct {
+	Name                             string
+	BLPct, LoopPct, InterPct, AllPct float64
+	Ratio                            float64
+}
+
+// Table9 computes the overhead rows at k ≈ max/3.
+func Table9(runs []*BenchRun) []Table9Row {
+	var out []Table9Row
+	for _, br := range runs {
+		rep := br.At(br.KChosen()).Report
+		blRep := br.At(-1).Report
+		out = append(out, Table9Row{
+			Name:     br.B.Name,
+			BLPct:    blRep.BLPct(),
+			LoopPct:  rep.LoopPct(),
+			InterPct: rep.InterPct(),
+			AllPct:   rep.AllPct(),
+			Ratio:    rep.AllPct() / max1(blRep.BLPct()),
+		})
+	}
+	return out
+}
+
+func max1(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// RenderTable9 renders Table 9 as text.
+func RenderTable9(rows []Table9Row) string {
+	t := stats.NewTable("Benchmark", "BL %", "OL Loop %", "OL Interproc %", "OL All %", "All/BL")
+	var sBL, sL, sI, sA, sR float64
+	for _, r := range rows {
+		t.Row(r.Name,
+			fmt.Sprintf("%.1f", r.BLPct),
+			fmt.Sprintf("%.1f", r.LoopPct),
+			fmt.Sprintf("%.1f", r.InterPct),
+			fmt.Sprintf("%.1f", r.AllPct),
+			fmt.Sprintf("%.2f", r.Ratio))
+		sBL += r.BLPct
+		sL += r.LoopPct
+		sI += r.InterPct
+		sA += r.AllPct
+		sR += r.Ratio
+	}
+	if n := float64(len(rows)); n > 0 {
+		t.Row("Average",
+			fmt.Sprintf("%.1f", sBL/n),
+			fmt.Sprintf("%.1f", sL/n),
+			fmt.Sprintf("%.1f", sI/n),
+			fmt.Sprintf("%.1f", sA/n),
+			fmt.Sprintf("%.2f", sR/n))
+	}
+	return "Table 9: instrumentation overhead (k~max/3)\n" + t.String()
+}
+
+// joinSeries renders a figure's series under a caption.
+func joinSeries(caption string, series []*stats.Series) string {
+	var b strings.Builder
+	b.WriteString(caption)
+	b.WriteByte('\n')
+	for _, s := range series {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

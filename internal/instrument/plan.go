@@ -1,0 +1,133 @@
+package instrument
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/olpath"
+	"pathprof/internal/profile"
+)
+
+// DescribePlan renders the instrumentation a configuration places on one
+// function, edge by edge — the textual analogue of the paper's Figure 1(d)
+// (the instrumented CFG with `r`/`ro`/`ol` actions on its edges). It is a
+// documentation artifact: the runtime executes the same actions through its
+// listener, and the dump lets a reader audit exactly which probes a degree-k
+// configuration implies.
+func DescribePlan(info *profile.Info, conf Config, fnIdx int) (string, error) {
+	fi := info.Funcs[fnIdx]
+	var b strings.Builder
+	fmt.Fprintf(&b, "instrumentation plan for %s (k=%d, loops=%v, interproc=%v)\n",
+		fi.Fn.Name, conf.K, conf.Loops, conf.Interproc)
+
+	actions := map[cfg2][]string{}
+	add := func(from, to cfg.NodeID, s string) {
+		k := cfg2{from, to}
+		actions[k] = append(actions[k], s)
+	}
+
+	// Ball-Larus register actions.
+	for _, e := range fi.DAG.Edges {
+		switch e.Kind {
+		case bl.Real:
+			if e.Val != 0 {
+				add(e.From, e.To, fmt.Sprintf("r += %d", e.Val))
+			}
+		case bl.ExitDummy:
+			// Realized on the backedge.
+			be := e.Backedge
+			ed := fi.DAG.EntryDummy(be.To)
+			add(be.From, be.To, fmt.Sprintf("count[r + %d]++; r = %d", e.Val, ed.Val))
+		}
+	}
+	// count[r]++ on the exit block's completion is a block action; shown
+	// against the exit node itself.
+	fmt.Fprintf(&b, "  at %s: count[r]++ (path completes)\n", fi.G.Label(fi.G.Exit()))
+
+	if conf.Loops && conf.K >= 0 {
+		for i, li := range fi.Loops {
+			if !conf.Selection.LoopOn(fnIdx, i) {
+				continue
+			}
+			x, err := li.Ext(li.EffectiveK(conf.K))
+			if err != nil {
+				return "", err
+			}
+			describeRegion(fi, x, fmt.Sprintf("loop%d.ro", i), add)
+			for _, be := range li.Loop.Backedges {
+				add(be.From, be.To, fmt.Sprintf("flush loop%d counter; loop%d.ro = r; loop%d.ol = 0", i, i, i))
+			}
+			for _, e := range li.Loop.ExitEdges(fi.G) {
+				add(e.From, e.To, fmt.Sprintf("if loop%d active: flush loop%d counter", i, i))
+			}
+			for _, e := range li.Loop.EntryEdges(fi.G) {
+				add(e.From, e.To, fmt.Sprintf("loop%d.ro = -inf", i))
+			}
+		}
+	}
+
+	if conf.Interproc && conf.K >= 0 {
+		x, err := fi.EntryExt(fi.EffectiveKEntry(conf.K))
+		if err != nil {
+			return "", err
+		}
+		describeRegion(fi, x, "entry.ro", add)
+		for i, cs := range fi.CallSites {
+			if !conf.Selection.SiteOn(fnIdx, i) {
+				continue
+			}
+			sx, err := cs.SuffixExt(cs.EffectiveKSuffix(conf.K))
+			if err != nil {
+				return "", err
+			}
+			describeRegion(fi, sx, fmt.Sprintf("site%d.ro", i), add)
+			fmt.Fprintf(&b, "  at %s: call probe (pass r, site %d, callee id); on return arm site%d.ro\n",
+				fi.G.Label(cs.Block), i, i)
+		}
+	}
+
+	keys := make([]cfg2, 0, len(actions))
+	for k := range actions {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s -> %s: %s\n",
+			fi.G.Label(k.from), fi.G.Label(k.to), strings.Join(actions[k], "; "))
+	}
+	return b.String(), nil
+}
+
+type cfg2 struct{ from, to cfg.NodeID }
+
+// describeRegion emits the DI/PI probe actions of one extension region.
+func describeRegion(fi *profile.FuncInfo, x *olpath.Ext, reg string, add func(from, to cfg.NodeID, s string)) {
+	for v := 0; v < fi.G.Len(); v++ {
+		if !x.InRegion(cfg.NodeID(v)) {
+			continue
+		}
+		for _, s := range fi.G.Succs(cfg.NodeID(v)) {
+			e := cfg.Edge{From: cfg.NodeID(v), To: s}
+			if fi.DAG.IsBackedge(e) {
+				continue
+			}
+			switch x.Classify(e) {
+			case olpath.DI:
+				add(e.From, e.To, fmt.Sprintf("%s += %d", reg, x.Val(e)))
+			case olpath.PI:
+				add(e.From, e.To, fmt.Sprintf("(ol<=k)? %s += %d", reg, x.Val(e)))
+			}
+			if x.InOG(s) && fi.DAG.PredicateLike(s) {
+				add(e.From, e.To, "ol++")
+			}
+		}
+	}
+}

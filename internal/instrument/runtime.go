@@ -1,0 +1,452 @@
+// Package instrument implements the instrumented profiling runtime: the
+// realization of the paper's probe insertion as interpreter-attached edge
+// probes. The probe *sites* and the register machinery (`r` for Ball-Larus
+// ids, `ro`/`ol` per overlap region) follow Section 2.3 and Section 3.3 of
+// the paper; probe costs accrue per executed probe operation so the
+// overhead model can report the paper's overhead percentages.
+package instrument
+
+import (
+	"fmt"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/interp"
+	"pathprof/internal/olpath"
+	"pathprof/internal/overhead"
+	"pathprof/internal/profile"
+)
+
+// Config selects what to instrument.
+type Config struct {
+	// K is the degree of overlap (clamped per region to its maximum
+	// useful degree). K applies to loop and interprocedural overlapping
+	// paths alike, as in the paper's sweeps.
+	K int
+	// Loops enables overlapping-loop-path profiling.
+	Loops bool
+	// Interproc enables Type I / Type II interprocedural profiling.
+	Interproc bool
+	// Selection restricts overlapping-path probes to chosen loops and
+	// call sites (nil = everything). Ball-Larus probes are unaffected.
+	Selection *profile.Selection
+	// ChordBL places Ball-Larus increments on spanning-tree chords
+	// (Ball-Larus's probe-placement optimization) instead of on every
+	// valued edge; affects probe-cost accounting only — path ids are
+	// identical by construction.
+	ChordBL bool
+	// ChordProfile, when set with ChordBL, weights the spanning tree
+	// with a prior run's BL profile so the hottest edges escape
+	// instrumentation (the two-phase placement Ball-Larus describe).
+	ChordProfile *profile.Counters
+}
+
+// Runtime is the instrumented-run listener. Register it on a machine, run,
+// then read Counters and Ops.
+type Runtime struct {
+	interp.BaseListener
+	Info *profile.Info
+	Cfg  Config
+	// C holds the collected counters.
+	C *profile.Counters
+	// BLOps, LoopOps, InterOps tally probe operations by category.
+	BLOps, LoopOps, InterOps int64
+	// Err records the first internal error.
+	Err error
+
+	idx     int
+	pending *pendingCall
+	plans   []*funcPlan
+}
+
+type pendingCall struct {
+	caller, site int
+	prefix       int64
+}
+
+// funcPlan caches per-function instrumentation state.
+type funcPlan struct {
+	fi *profile.FuncInfo
+	// chords is the BL probe placement when Config.ChordBL is on.
+	chords *bl.Chords
+	// loopExts[i] is loop i's extension region at its effective degree
+	// (nil when loop profiling is off).
+	loopExts []*olpath.Ext
+	// entryExt is the Type I region (nil when interproc is off).
+	entryExt *olpath.Ext
+	// suffixExts[i] is call site i's Type II region.
+	suffixExts []*olpath.Ext
+}
+
+type suffixState struct {
+	tr     *olpath.Tracker
+	site   int
+	callee int
+	q      int64
+}
+
+type frProbe struct {
+	plan *funcPlan
+	w    *bl.Walker
+	// loopTr[i] tracks loop i's extension; loopBase[i] is the base path.
+	loopTr   []*olpath.Tracker
+	loopBase []int64
+	// entryTr tracks the Type I extension until the first path completes.
+	entryTr  *olpath.Tracker
+	entryKey pendingCall
+	// suffixes are the in-flight Type II extensions.
+	suffixes []suffixState
+	lastID   int64
+}
+
+// New creates a runtime for info under cfg and registers it on m.
+func New(info *profile.Info, cfg Config, m *interp.Machine) (*Runtime, error) {
+	rt := &Runtime{
+		Info: info,
+		Cfg:  cfg,
+		C:    profile.NewCounters(len(info.Funcs)),
+	}
+	for _, fi := range info.Funcs {
+		fp := &funcPlan{fi: fi}
+		if cfg.ChordBL {
+			weight := bl.UniformWeight
+			if cfg.ChordProfile != nil {
+				w, err := bl.ProfileWeight(fi.DAG, cfg.ChordProfile.BL[fi.Index])
+				if err != nil {
+					return nil, fmt.Errorf("instrument: %s: %w", fi.Fn.Name, err)
+				}
+				weight = w
+			}
+			ch, err := bl.ComputeChords(fi.DAG, weight)
+			if err != nil {
+				return nil, fmt.Errorf("instrument: %s: %w", fi.Fn.Name, err)
+			}
+			fp.chords = ch
+		}
+		if cfg.Loops && cfg.K >= 0 {
+			fp.loopExts = make([]*olpath.Ext, len(fi.Loops))
+			for i, li := range fi.Loops {
+				x, err := li.Ext(li.EffectiveK(cfg.K))
+				if err != nil {
+					return nil, fmt.Errorf("instrument: %s: %w", fi.Fn.Name, err)
+				}
+				fp.loopExts[i] = x
+			}
+		}
+		if cfg.Interproc && cfg.K >= 0 {
+			x, err := fi.EntryExt(fi.EffectiveKEntry(cfg.K))
+			if err != nil {
+				return nil, fmt.Errorf("instrument: %s: %w", fi.Fn.Name, err)
+			}
+			fp.entryExt = x
+			fp.suffixExts = make([]*olpath.Ext, len(fi.CallSites))
+			for i, cs := range fi.CallSites {
+				sx, err := cs.SuffixExt(cs.EffectiveKSuffix(cfg.K))
+				if err != nil {
+					return nil, fmt.Errorf("instrument: %s: %w", fi.Fn.Name, err)
+				}
+				fp.suffixExts[i] = sx
+			}
+		}
+		rt.plans = append(rt.plans, fp)
+	}
+	rt.idx = m.AddListener(rt)
+	return rt, nil
+}
+
+// Report packages the run's overhead against a base-op count.
+func (rt *Runtime) Report(baseOps int64) overhead.Report {
+	return overhead.Report{
+		BaseOps:  baseOps,
+		BLOps:    rt.BLOps,
+		LoopOps:  rt.LoopOps,
+		InterOps: rt.InterOps,
+	}
+}
+
+func (rt *Runtime) setErr(err error) {
+	if rt.Err == nil && err != nil {
+		rt.Err = err
+	}
+}
+
+func (rt *Runtime) state(fr *interp.Frame) *frProbe {
+	ps, _ := fr.Data[rt.idx].(*frProbe)
+	return ps
+}
+
+// OnEnter implements interp.Listener.
+func (rt *Runtime) OnEnter(fr *interp.Frame) {
+	fp := rt.plans[rt.Info.OfFunc(fr.Fn).Index]
+	ps := &frProbe{
+		plan: fp,
+		w:    bl.NewWalker(fp.fi.DAG),
+	}
+	if fp.loopExts != nil {
+		ps.loopTr = make([]*olpath.Tracker, len(fp.loopExts))
+		ps.loopBase = make([]int64, len(fp.loopExts))
+		for i, x := range fp.loopExts {
+			ps.loopTr[i] = olpath.NewTracker(x)
+		}
+	}
+	if fp.entryExt != nil && rt.pending != nil {
+		ps.entryTr = olpath.NewTracker(fp.entryExt)
+		ps.entryTr.Activate()
+		ps.entryKey = *rt.pending
+		rt.InterOps += 2 * overhead.RegOp // func id store + prefix save
+	}
+	rt.pending = nil
+	fr.Data[rt.idx] = ps
+}
+
+// OnEdge implements interp.Listener.
+func (rt *Runtime) OnEdge(fr *interp.Frame, from, to int) {
+	ps := rt.state(fr)
+	fp := ps.plan
+	fi := fp.fi
+	e := cfg.Edge{From: cfg.NodeID(from), To: cfg.NodeID(to)}
+	isBackedge := fi.DAG.IsBackedge(e)
+
+	// Ball-Larus register work. Naive placement: one op per non-zero
+	// increment, and backedges pay the two register reloads. Chord
+	// placement: one op per chord edge with a non-zero chord increment
+	// (the dummy edges a backedge stands for included).
+	if fp.chords == nil {
+		if !isBackedge {
+			if re := fi.DAG.RealEdge(e); re != nil && re.Val != 0 {
+				rt.BLOps += overhead.RegOp
+			}
+		} else {
+			rt.BLOps += 2 * overhead.RegOp
+		}
+	} else {
+		charge := func(de *bl.DAGEdge) {
+			if de != nil && fp.chords.IsChord(de) && fp.chords.Inc(de) != 0 {
+				rt.BLOps += overhead.RegOp
+			}
+		}
+		if !isBackedge {
+			charge(fi.DAG.RealEdge(e))
+		} else {
+			charge(fi.DAG.ExitDummy(e))
+			charge(fi.DAG.EntryDummy(e.To))
+		}
+	}
+
+	// Overlap-region probe work happens before the walker consumes the
+	// edge (probes sit on the edge itself).
+	if ps.loopTr != nil {
+		rt.loopEdge(ps, e, isBackedge)
+	}
+	if ps.entryTr != nil && !isBackedge {
+		rt.extStep(ps.entryTr, e, &rt.InterOps)
+	}
+	for i := range ps.suffixes {
+		if !isBackedge {
+			rt.extStep(ps.suffixes[i].tr, e, &rt.InterOps)
+		}
+	}
+
+	inst, err := ps.w.Step(cfg.NodeID(to))
+	if err != nil {
+		rt.setErr(err)
+		return
+	}
+	if inst != nil {
+		rt.completed(ps, inst)
+		// A backedge both completes a path and activates the loop's
+		// extension with the completed path as base.
+		if ps.loopTr != nil {
+			li := fi.LoopOfBackedge[e]
+			if li == nil {
+				rt.setErr(fmt.Errorf("instrument: backedge %v without loop in %s", e, fi.Fn.Name))
+				return
+			}
+			if !rt.Cfg.Selection.LoopOn(fi.Index, li.Index) {
+				return
+			}
+			tr := ps.loopTr[li.Index]
+			if tr.Active {
+				rt.flushLoop(ps, li, tr, true)
+			}
+			tr.Activate()
+			ps.loopBase[li.Index] = inst.PathID
+			rt.LoopOps += 3 * overhead.RegOp // ro = r + y; r = x; ol = 0
+		}
+	}
+}
+
+// loopEdge handles loop-overlap probes for one edge.
+func (rt *Runtime) loopEdge(ps *frProbe, e cfg.Edge, isBackedge bool) {
+	fi := ps.plan.fi
+	for i, li := range fi.Loops {
+		if !rt.Cfg.Selection.LoopOn(fi.Index, i) {
+			continue
+		}
+		x := ps.plan.loopExts[i]
+		tr := ps.loopTr[i]
+		inFrom := li.Loop.Contains(e.From)
+		inTo := li.Loop.Contains(e.To)
+		switch {
+		case isBackedge && li.Loop.IsBackedge(e):
+			// Handled after the walker step (needs the completed
+			// path id); nothing here.
+		case inFrom && !inTo:
+			// Loop exit edge: flush an active extension. The
+			// iteration is full iff it leaves from one of this
+			// loop's tails.
+			rt.LoopOps += overhead.GuardOp
+			if tr.Active {
+				rt.flushLoop(ps, li, tr, isTailOf(li, e.From))
+			}
+		case inFrom && inTo:
+			if isBackedge {
+				// Another loop's backedge inside this body: the
+				// overlapped iteration is interrupted mid-way;
+				// it can no longer complete as a full sequence.
+				tr.MarkBroken()
+				continue
+			}
+			// In-body edge: DI/PI probes execute statically.
+			switch x.Classify(e) {
+			case olpath.DI:
+				rt.LoopOps += overhead.RegOp
+			case olpath.PI:
+				rt.LoopOps += overhead.GuardOp
+				if tr.Active && !tr.Frozen {
+					rt.LoopOps += overhead.RegOp
+				}
+			}
+			tr.Step(e)
+			// The paper's `ol++` at every predicate inside the
+			// loop.
+			if fi.DAG.PredicateLike(e.To) {
+				rt.LoopOps += overhead.RegOp
+			}
+		case !inFrom && inTo:
+			// Loop entry edge: `ro = -infinity`.
+			rt.LoopOps += overhead.RegOp
+		}
+	}
+}
+
+// isTailOf reports whether v is the source of one of li's backedges.
+func isTailOf(li *profile.LoopInfo, v cfg.NodeID) bool {
+	for _, be := range li.Loop.Backedges {
+		if be.From == v {
+			return true
+		}
+	}
+	return false
+}
+
+// flushLoop finalizes one loop extension into a counter.
+func (rt *Runtime) flushLoop(ps *frProbe, li *profile.LoopInfo, tr *olpath.Tracker, full bool) {
+	if tr.Broken {
+		full = false
+	}
+	ext := tr.Finalize()
+	rt.C.Loop[profile.LoopKey{
+		Func: ps.plan.fi.Index, Loop: li.Index,
+		Base: ps.loopBase[li.Index], Ext: ext, Full: full,
+	}]++
+	rt.LoopOps += overhead.CounterOp
+}
+
+// extStep advances an interprocedural extension tracker over edge e with
+// probe accounting.
+func (rt *Runtime) extStep(tr *olpath.Tracker, e cfg.Edge, ops *int64) {
+	switch tr.X.Classify(e) {
+	case olpath.DI:
+		*ops += overhead.RegOp
+	case olpath.PI:
+		*ops += overhead.GuardOp
+		if tr.Active && !tr.Frozen {
+			*ops += overhead.RegOp
+		}
+	}
+	if tr.X.D.PredicateLike(e.To) && tr.Active {
+		*ops += overhead.RegOp // ol++
+	}
+	tr.Step(e)
+}
+
+// completed handles a finished BL path instance.
+func (rt *Runtime) completed(ps *frProbe, inst *bl.Instance) {
+	fi := ps.plan.fi
+	rt.C.BL[fi.Index][inst.PathID]++
+	rt.BLOps += overhead.CounterOp
+	ps.lastID = inst.PathID
+
+	if ps.entryTr != nil {
+		ext := ps.entryTr.Finalize()
+		rt.C.TypeI[profile.TypeIKey{
+			Caller: ps.entryKey.caller, Site: ps.entryKey.site,
+			Callee: fi.Index, Prefix: ps.entryKey.prefix, Ext: ext,
+		}]++
+		rt.InterOps += overhead.TupleCounterOp
+		ps.entryTr = nil
+	}
+	for _, s := range ps.suffixes {
+		ext := s.tr.Finalize()
+		rt.C.TypeII[profile.TypeIIKey{
+			Caller: fi.Index, Site: s.site, Callee: s.callee,
+			Path: s.q, Ext: ext,
+		}]++
+		rt.InterOps += overhead.TupleCounterOp
+	}
+	ps.suffixes = ps.suffixes[:0]
+}
+
+// OnCall implements interp.Listener.
+func (rt *Runtime) OnCall(caller *interp.Frame, site int, calleeFr *interp.Frame) {
+	ps := rt.state(caller)
+	cs := ps.plan.fi.CallSiteOfBlock[cfg.NodeID(site)]
+	if cs == nil {
+		rt.setErr(fmt.Errorf("instrument: no call site info at %s block %d", ps.plan.fi.Fn.Name, site))
+		return
+	}
+	calleeIdx := rt.Info.OfFunc(calleeFr.Fn).Index
+	rt.C.Calls[profile.CallKey{Caller: ps.plan.fi.Index, Site: cs.Index, Callee: calleeIdx}]++
+	if rt.Cfg.Interproc && rt.Cfg.K >= 0 && rt.Cfg.Selection.SiteOn(ps.plan.fi.Index, cs.Index) {
+		rt.InterOps += overhead.CallProbeOp
+		rt.pending = &pendingCall{caller: ps.plan.fi.Index, site: cs.Index, prefix: ps.w.PartialID()}
+	}
+}
+
+// OnExit implements interp.Listener.
+func (rt *Runtime) OnExit(fr *interp.Frame) {
+	ps := rt.state(fr)
+	inst, err := ps.w.Finish()
+	if err != nil {
+		rt.setErr(err)
+		return
+	}
+	rt.completed(ps, inst)
+}
+
+// OnReturn implements interp.Listener.
+func (rt *Runtime) OnReturn(calleeFr, callerFr *interp.Frame, site int) {
+	if !rt.Cfg.Interproc || rt.Cfg.K < 0 {
+		return
+	}
+	callerPS := rt.state(callerFr)
+	calleePS := rt.state(calleeFr)
+	cs := callerPS.plan.fi.CallSiteOfBlock[cfg.NodeID(site)]
+	if cs == nil {
+		rt.setErr(fmt.Errorf("instrument: no call site info at %s block %d", callerPS.plan.fi.Fn.Name, site))
+		return
+	}
+	if !rt.Cfg.Selection.SiteOn(callerPS.plan.fi.Index, cs.Index) {
+		return
+	}
+	tr := olpath.NewTracker(callerPS.plan.suffixExts[cs.Index])
+	tr.Activate()
+	callerPS.suffixes = append(callerPS.suffixes, suffixState{
+		tr:     tr,
+		site:   cs.Index,
+		callee: calleePS.plan.fi.Index,
+		q:      calleePS.lastID,
+	})
+	rt.InterOps += 2 * overhead.RegOp // arm ro/ol for the suffix
+}

@@ -1,0 +1,346 @@
+package instrument
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pathprof/internal/interp"
+	"pathprof/internal/lang"
+	"pathprof/internal/profile"
+	"pathprof/internal/trace"
+)
+
+// testPrograms exercise every crossing kind: plain loops, nested loops,
+// loops with breaks (mid-body exits), direct and indirect calls, calls
+// inside loops, and recursion.
+var testPrograms = map[string]string{
+	"paperloop": `
+		func main() {
+			var t = 0;
+			for (var outer = 0; outer < 200; outer = outer + 1) {
+				var i = 0;
+				while (i < 3) {
+					if (rand(2) == 0) { t = t + 1; } else {
+						if (rand(2) == 0) { t = t + 2; } else { t = t - 1; }
+					}
+					i = i + 1;
+				}
+			}
+			print(t);
+		}
+	`,
+	"nested": `
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 30; i = i + 1) {
+				for (var j = 0; j < 4; j = j + 1) {
+					if (rand(3) == 0) { s = s + j; }
+				}
+				if (rand(5) == 0) { s = s - 1; }
+			}
+			print(s);
+		}
+	`,
+	"breaks": `
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 100; i = i + 1) {
+				var j = 0;
+				while (j < 10) {
+					j = j + 1;
+					if (rand(7) == 0) { break; }
+					if (j % 2 == 0) { continue; }
+					s = s + 1;
+				}
+			}
+			print(s);
+		}
+	`,
+	"calls": `
+		var acc = 0;
+		func leaf(x) {
+			if (x % 2 == 0) { return x / 2; }
+			return 3 * x + 1;
+		}
+		func mid(x) {
+			var r = 0;
+			if (x > 10) { r = leaf(x); } else { r = leaf(x + 1); }
+			return r;
+		}
+		func main() {
+			for (var i = 0; i < 150; i = i + 1) {
+				acc = acc + mid(rand(20));
+			}
+			print(acc);
+		}
+	`,
+	"indirect": `
+		func double(x) { return x * 2; }
+		func negate(x) { if (x > 0) { return -x; } return x; }
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 80; i = i + 1) {
+				var f = @double;
+				if (rand(2) == 0) { f = @negate; }
+				s = s + f(i);
+			}
+			print(s);
+		}
+	`,
+	"recursion": `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func main() { print(fib(12)); }
+	`,
+	"mixed": `
+		var g = 0;
+		func work(n) {
+			var s = 0;
+			for (var i = 0; i < n; i = i + 1) {
+				if (rand(4) == 0 && i > 2) { s = s + 2; } else { s = s + 1; }
+			}
+			return s;
+		}
+		func main() {
+			for (var r = 0; r < 40; r = r + 1) {
+				g = g + work(3 + rand(4));
+				if (g % 7 == 0) { g = g + work(2); }
+			}
+			print(g);
+		}
+	`,
+}
+
+// runBoth executes src once with the tracer and once (per k) with the
+// instrumented runtime, under the same seed, and cross-validates every
+// counter key-for-key.
+func crossValidate(t *testing.T, name, src string) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("%s: Compile: %v", name, err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatalf("%s: Analyze: %v", name, err)
+	}
+
+	mt := interp.New(prog, 99)
+	tr := trace.NewTracer(info, mt)
+	if err := mt.Run(); err != nil {
+		t.Fatalf("%s: trace run: %v", name, err)
+	}
+	if tr.Err != nil {
+		t.Fatalf("%s: tracer: %v", name, tr.Err)
+	}
+
+	maxK := info.MaxDegree()
+	ks := []int{0, 1, 2, maxK}
+	for _, k := range ks {
+		k := k
+		t.Run(fmt.Sprintf("%s/k=%d", name, k), func(t *testing.T) {
+			mi := interp.New(prog, 99)
+			rt, err := New(info, Config{K: k, Loops: true, Interproc: true}, mi)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := mi.Run(); err != nil {
+				t.Fatalf("instrumented run: %v", err)
+			}
+			if rt.Err != nil {
+				t.Fatalf("runtime: %v", rt.Err)
+			}
+
+			// BL profiles must match the reference walker exactly.
+			for fidx := range info.Funcs {
+				if len(rt.C.BL[fidx]) != len(tr.BL[fidx]) {
+					t.Fatalf("func %d: BL profile size %d != %d",
+						fidx, len(rt.C.BL[fidx]), len(tr.BL[fidx]))
+				}
+				for id, n := range tr.BL[fidx] {
+					if rt.C.BL[fidx][id] != n {
+						t.Fatalf("func %d path %d: BL count %d != %d",
+							fidx, id, rt.C.BL[fidx][id], n)
+					}
+				}
+			}
+
+			wantLoop, err := tr.ExpectedLoopCounters(k)
+			if err != nil {
+				t.Fatalf("ExpectedLoopCounters: %v", err)
+			}
+			compareCounters(t, "loop", toAny(rt.C.Loop), toAny(wantLoop))
+
+			wantT1, err := tr.ExpectedTypeI(k)
+			if err != nil {
+				t.Fatalf("ExpectedTypeI: %v", err)
+			}
+			compareCounters(t, "typeI", toAny(rt.C.TypeI), toAny(wantT1))
+
+			wantT2, err := tr.ExpectedTypeII(k)
+			if err != nil {
+				t.Fatalf("ExpectedTypeII: %v", err)
+			}
+			compareCounters(t, "typeII", toAny(rt.C.TypeII), toAny(wantT2))
+
+			compareCounters(t, "calls", toAny(rt.C.Calls), toAny(tr.Calls))
+
+			// Overhead accounting sanity: probes run only when their
+			// feature produced work.
+			if len(wantLoop) > 0 && rt.LoopOps == 0 {
+				t.Fatal("loop counters produced without loop probe ops")
+			}
+			if (len(wantT1)+len(wantT2)) > 0 && rt.InterOps == 0 {
+				t.Fatal("interproc counters without interproc probe ops")
+			}
+			if rt.BLOps == 0 {
+				t.Fatal("no BL probe ops recorded")
+			}
+		})
+	}
+}
+
+func toAny[K comparable](m map[K]uint64) map[any]uint64 {
+	out := make(map[any]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func compareCounters(t *testing.T, what string, got, want map[any]uint64) {
+	t.Helper()
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("%s counter %+v: got %d, want %d", what, k, got[k], w)
+		}
+	}
+	for k, g := range got {
+		if want[k] != g {
+			t.Fatalf("%s counter %+v: got %d, want %d (unexpected key)", what, k, g, want[k])
+		}
+	}
+}
+
+func TestInstrumentedCountersMatchGroundTruth(t *testing.T) {
+	for name, src := range testPrograms {
+		crossValidate(t, name, src)
+	}
+}
+
+func TestBLOnlyModeCollectsNoOverlapCounters(t *testing.T) {
+	prog, err := lang.Compile(testPrograms["mixed"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(prog, 5)
+	rt, err := New(info, Config{K: -1}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.C.Loop)+len(rt.C.TypeI)+len(rt.C.TypeII) != 0 {
+		t.Fatal("BL-only mode produced overlap counters")
+	}
+	if rt.LoopOps != 0 || rt.InterOps != 0 {
+		t.Fatalf("BL-only mode charged overlap ops: loop=%d inter=%d", rt.LoopOps, rt.InterOps)
+	}
+	if rt.BLOps == 0 {
+		t.Fatal("BL-only mode charged no BL ops")
+	}
+	// Calls are still counted (needed by BL-mode estimation).
+	if len(rt.C.Calls) == 0 {
+		t.Fatal("no call counts collected")
+	}
+}
+
+func TestOverheadGrowsWithDegree(t *testing.T) {
+	prog, err := lang.Compile(testPrograms["mixed"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for k := 0; k <= info.MaxDegree(); k++ {
+		m := interp.New(prog, 5)
+		rt, err := New(info, Config{K: k, Loops: true, Interproc: true}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		total := rt.LoopOps + rt.InterOps
+		if total < prev {
+			t.Fatalf("overlap ops decreased from %d to %d at k=%d", prev, total, k)
+		}
+		prev = total
+	}
+}
+
+func TestDescribePlan(t *testing.T) {
+	prog, err := lang.Compile(testPrograms["paperloop"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := DescribePlan(info, Config{K: 2, Loops: true, Interproc: true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"r +=", "count[r", "loop0.ro", "ol++", "path completes"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("plan dump missing %q:\n%s", want, text)
+		}
+	}
+	// BL-only plan has no overlap actions.
+	blText, err := DescribePlan(info, Config{K: -1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(blText, ".ro") || strings.Contains(blText, "ol++") {
+		t.Fatalf("BL-only plan mentions overlap registers:\n%s", blText)
+	}
+}
+
+func TestDescribePlanHonorsSelection(t *testing.T) {
+	prog, err := lang.Compile(testPrograms["calls"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainIdx := prog.FuncIndex("main")
+	empty := &profile.Selection{Loops: map[profile.LoopID]bool{}, Sites: map[profile.SiteID]bool{}}
+	text, err := DescribePlan(info, Config{K: 1, Loops: true, Interproc: true, Selection: empty}, mainIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "loop0.ro") || strings.Contains(text, "site0.ro") {
+		t.Fatalf("empty selection still plans overlap probes:\n%s", text)
+	}
+	full, err := DescribePlan(info, Config{K: 1, Loops: true, Interproc: true}, mainIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(full, "loop0.ro") || !strings.Contains(full, "site0.ro") {
+		t.Fatalf("nil selection missing overlap probes:\n%s", full)
+	}
+}

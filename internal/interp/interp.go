@@ -1,0 +1,440 @@
+// Package interp executes IR programs deterministically and exposes the
+// event stream — block transitions, calls, returns — that the profiling
+// runtimes and the whole-program tracer attach to.
+//
+// It stands in for native execution of instrumented binaries: probes are
+// modeled as listener work on exactly the control-flow events the paper's
+// instrumentation sites fire on, and the overhead model counts probe
+// operations against the interpreter's base operation count.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"pathprof/internal/ir"
+)
+
+// Frame is one procedure activation.
+type Frame struct {
+	Fn    *ir.Func
+	Block int
+	Slots []int64
+	// Depth is the call depth (main = 0).
+	Depth int
+	// Data holds per-frame listener state, indexed by the listener's
+	// registration index.
+	Data []any
+
+	// pending call bookkeeping (owned by the machine).
+	pendHasDst bool
+	pendDst    ir.Dest
+	// site is the caller block id of the Call that created the callee
+	// frame below this one; stored on the *callee* frame.
+	site int
+}
+
+// Listener observes execution events. All hooks are optional no-ops in
+// BaseListener.
+type Listener interface {
+	// OnEnter fires when a frame begins executing (standing at the
+	// entry block, before its body runs).
+	OnEnter(fr *Frame)
+	// OnEdge fires on every intra-procedural control transfer from
+	// block `from` to block `to` of fr.Fn — including the resume edge
+	// from a call-site block to its continuation.
+	OnEdge(fr *Frame, from, to int)
+	// OnCall fires when caller (standing at call-site block site)
+	// invokes callee; calleeFr is the new frame, not yet entered.
+	OnCall(caller *Frame, site int, calleeFr *Frame)
+	// OnExit fires when fr's Ret executes (fr stands at its exit
+	// block), before the frame pops.
+	OnExit(fr *Frame)
+	// OnReturn fires after callee popped, before the caller resumes;
+	// site is the caller's call-site block.
+	OnReturn(calleeFr, callerFr *Frame, site int)
+}
+
+// BaseListener implements Listener with no-ops for embedding.
+type BaseListener struct{}
+
+// OnEnter implements Listener.
+func (BaseListener) OnEnter(*Frame) {}
+
+// OnEdge implements Listener.
+func (BaseListener) OnEdge(*Frame, int, int) {}
+
+// OnCall implements Listener.
+func (BaseListener) OnCall(*Frame, int, *Frame) {}
+
+// OnExit implements Listener.
+func (BaseListener) OnExit(*Frame) {}
+
+// OnReturn implements Listener.
+func (BaseListener) OnReturn(*Frame, *Frame, int) {}
+
+// Machine executes one program.
+type Machine struct {
+	Prog    *ir.Program
+	Globals []int64
+	Arrays  [][]int64
+	// Out receives Print output (defaults to io.Discard).
+	Out io.Writer
+	// MaxSteps bounds executed blocks (0 = default limit).
+	MaxSteps int64
+	// MaxDepth bounds call depth.
+	MaxDepth int
+
+	// Steps counts executed blocks; BaseOps accumulates block costs
+	// (the denominator of the overhead model).
+	Steps   int64
+	BaseOps int64
+
+	rng       uint64
+	listeners []Listener
+}
+
+const (
+	defaultMaxSteps = int64(200_000_000)
+	defaultMaxDepth = 4096
+)
+
+// New creates a machine for prog with the given deterministic RNG seed.
+func New(prog *ir.Program, seed uint64) *Machine {
+	m := &Machine{
+		Prog:     prog,
+		Globals:  make([]int64, len(prog.Globals)),
+		Out:      io.Discard,
+		MaxSteps: defaultMaxSteps,
+		MaxDepth: defaultMaxDepth,
+		rng:      seed*2685821657736338717 + 1442695040888963407,
+	}
+	m.Arrays = make([][]int64, len(prog.Arrays))
+	for i, a := range prog.Arrays {
+		m.Arrays[i] = make([]int64, a.Size)
+	}
+	return m
+}
+
+// AddListener registers l and returns its index (the slot of its per-frame
+// Data). Listeners must be registered before Run.
+func (m *Machine) AddListener(l Listener) int {
+	m.listeners = append(m.listeners, l)
+	return len(m.listeners) - 1
+}
+
+// ErrStepLimit reports that execution exceeded MaxSteps.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// Run executes main to completion.
+func (m *Machine) Run() error {
+	main := m.Prog.FuncByName("main")
+	if main == nil {
+		return fmt.Errorf("interp: no main")
+	}
+	frames := []*Frame{m.newFrame(main, nil, 0)}
+	for _, l := range m.listeners {
+		l.OnEnter(frames[0])
+	}
+
+	for len(frames) > 0 {
+		if m.Steps >= m.MaxSteps {
+			return ErrStepLimit
+		}
+		fr := frames[len(frames)-1]
+		blk := fr.Fn.Blocks[fr.Block]
+		m.Steps++
+		m.BaseOps += blk.Cost()
+		for _, in := range blk.Body {
+			if err := m.exec(fr, in); err != nil {
+				return fmt.Errorf("interp: %s.%s: %w", fr.Fn.Name, blk.Label, err)
+			}
+		}
+		switch t := blk.Term.(type) {
+		case ir.Jump:
+			m.edge(fr, fr.Block, t.To)
+			fr.Block = t.To
+		case ir.Branch:
+			c, err := m.eval(fr, t.Cond)
+			if err != nil {
+				return err
+			}
+			to := t.Else
+			if c != 0 {
+				to = t.Then
+			}
+			m.edge(fr, fr.Block, to)
+			fr.Block = to
+		case ir.Call:
+			callee, err := m.resolveCallee(fr, t)
+			if err != nil {
+				return fmt.Errorf("interp: %s.%s: %w", fr.Fn.Name, blk.Label, err)
+			}
+			if fr.Depth+1 >= m.MaxDepth {
+				return fmt.Errorf("interp: call depth limit at %s", callee.Name)
+			}
+			if len(t.Args) != callee.NumParams {
+				return fmt.Errorf("interp: call %s with %d args, want %d", callee.Name, len(t.Args), callee.NumParams)
+			}
+			nf := m.newFrame(callee, fr, fr.Block)
+			for i, a := range t.Args {
+				v, err := m.eval(fr, a)
+				if err != nil {
+					return err
+				}
+				nf.Slots[i] = v
+			}
+			fr.pendHasDst = t.HasDst
+			fr.pendDst = t.Dst
+			frames = append(frames, nf)
+			for _, l := range m.listeners {
+				l.OnCall(fr, fr.Block, nf)
+			}
+			for _, l := range m.listeners {
+				l.OnEnter(nf)
+			}
+		case ir.Ret:
+			var rv int64
+			if t.HasVal {
+				v, err := m.eval(fr, t.Val)
+				if err != nil {
+					return err
+				}
+				rv = v
+			}
+			for _, l := range m.listeners {
+				l.OnExit(fr)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				return nil
+			}
+			caller := frames[len(frames)-1]
+			if caller.pendHasDst {
+				m.store(caller, caller.pendDst, rv)
+				caller.pendHasDst = false
+			}
+			for _, l := range m.listeners {
+				l.OnReturn(fr, caller, fr.site)
+			}
+			next := caller.Fn.Blocks[caller.Block].Term.(ir.Call).Next
+			m.edge(caller, caller.Block, next)
+			caller.Block = next
+		default:
+			return fmt.Errorf("interp: block %s.%s has no terminator", fr.Fn.Name, blk.Label)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) newFrame(fn *ir.Func, caller *Frame, site int) *Frame {
+	depth := 0
+	if caller != nil {
+		depth = caller.Depth + 1
+	}
+	return &Frame{
+		Fn:    fn,
+		Block: fn.Entry,
+		Slots: make([]int64, fn.NumSlots()),
+		Depth: depth,
+		Data:  make([]any, len(m.listeners)),
+		site:  site,
+	}
+}
+
+func (m *Machine) resolveCallee(fr *Frame, t ir.Call) (*ir.Func, error) {
+	if !t.Indirect {
+		f := m.Prog.FuncByName(t.Callee)
+		if f == nil {
+			return nil, fmt.Errorf("call to unknown %q", t.Callee)
+		}
+		return f, nil
+	}
+	v, err := m.eval(fr, t.Target)
+	if err != nil {
+		return nil, err
+	}
+	if v < 0 || v >= int64(len(m.Prog.Funcs)) {
+		return nil, fmt.Errorf("indirect call to invalid callable id %d", v)
+	}
+	return m.Prog.Funcs[v], nil
+}
+
+func (m *Machine) edge(fr *Frame, from, to int) {
+	for _, l := range m.listeners {
+		l.OnEdge(fr, from, to)
+	}
+}
+
+func (m *Machine) eval(fr *Frame, o ir.Operand) (int64, error) {
+	switch o.Kind {
+	case ir.Const:
+		return o.Val, nil
+	case ir.Local:
+		return fr.Slots[o.Index], nil
+	case ir.Global:
+		return m.Globals[o.Index], nil
+	default:
+		return 0, fmt.Errorf("bad operand kind %d", o.Kind)
+	}
+}
+
+func (m *Machine) store(fr *Frame, d ir.Dest, v int64) {
+	if d.Kind == ir.Local {
+		fr.Slots[d.Index] = v
+	} else {
+		m.Globals[d.Index] = v
+	}
+}
+
+// Rand returns the next deterministic pseudo-random value in [0, bound)
+// (xorshift64*; bound <= 0 yields 0).
+func (m *Machine) Rand(bound int64) int64 {
+	if bound <= 0 {
+		return 0
+	}
+	m.rng ^= m.rng >> 12
+	m.rng ^= m.rng << 25
+	m.rng ^= m.rng >> 27
+	v := m.rng * 2685821657736338717
+	return int64(v % uint64(bound))
+}
+
+func (m *Machine) exec(fr *Frame, in ir.Instr) error {
+	switch in := in.(type) {
+	case ir.Assign:
+		v, err := m.eval(fr, in.Src)
+		if err != nil {
+			return err
+		}
+		m.store(fr, in.Dst, v)
+	case ir.BinOp:
+		a, err := m.eval(fr, in.A)
+		if err != nil {
+			return err
+		}
+		b, err := m.eval(fr, in.B)
+		if err != nil {
+			return err
+		}
+		v, err := apply(in.Op, a, b)
+		if err != nil {
+			return err
+		}
+		m.store(fr, in.Dst, v)
+	case ir.Not:
+		v, err := m.eval(fr, in.Src)
+		if err != nil {
+			return err
+		}
+		if v == 0 {
+			m.store(fr, in.Dst, 1)
+		} else {
+			m.store(fr, in.Dst, 0)
+		}
+	case ir.Neg:
+		v, err := m.eval(fr, in.Src)
+		if err != nil {
+			return err
+		}
+		m.store(fr, in.Dst, -v)
+	case ir.LoadIdx:
+		idx, err := m.eval(fr, in.Idx)
+		if err != nil {
+			return err
+		}
+		arr := m.Arrays[in.Array]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+		}
+		m.store(fr, in.Dst, arr[idx])
+	case ir.StoreIdx:
+		idx, err := m.eval(fr, in.Idx)
+		if err != nil {
+			return err
+		}
+		v, err := m.eval(fr, in.Src)
+		if err != nil {
+			return err
+		}
+		arr := m.Arrays[in.Array]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return fmt.Errorf("index %d out of range [0,%d)", idx, len(arr))
+		}
+		arr[idx] = v
+	case ir.Rand:
+		b, err := m.eval(fr, in.Bound)
+		if err != nil {
+			return err
+		}
+		m.store(fr, in.Dst, m.Rand(b))
+	case ir.Print:
+		vals := make([]any, len(in.Args))
+		for i, a := range in.Args {
+			v, err := m.eval(fr, a)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		fmt.Fprintln(m.Out, vals...)
+	case ir.FuncRef:
+		idx := m.Prog.FuncIndex(in.Name)
+		if idx < 0 {
+			return fmt.Errorf("funcref to unknown %q", in.Name)
+		}
+		m.store(fr, in.Dst, int64(idx))
+	default:
+		return fmt.Errorf("unknown instruction %T", in)
+	}
+	return nil
+}
+
+func apply(op ir.OpKind, a, b int64) (int64, error) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, nil
+	case ir.OpSub:
+		return a - b, nil
+	case ir.OpMul:
+		return a * b, nil
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, errors.New("division by zero")
+		}
+		return a / b, nil
+	case ir.OpMod:
+		if b == 0 {
+			return 0, errors.New("modulo by zero")
+		}
+		return a % b, nil
+	case ir.OpEq:
+		return b2i(a == b), nil
+	case ir.OpNe:
+		return b2i(a != b), nil
+	case ir.OpLt:
+		return b2i(a < b), nil
+	case ir.OpLe:
+		return b2i(a <= b), nil
+	case ir.OpGt:
+		return b2i(a > b), nil
+	case ir.OpGe:
+		return b2i(a >= b), nil
+	case ir.OpAnd:
+		return a & b, nil
+	case ir.OpOr:
+		return a | b, nil
+	case ir.OpXor:
+		return a ^ b, nil
+	default:
+		return 0, fmt.Errorf("unknown op %v", op)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,424 @@
+package interp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+	"pathprof/internal/lang"
+)
+
+func run(t *testing.T, src string, seed uint64) (string, *Machine) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := New(prog, seed)
+	var out bytes.Buffer
+	m.Out = &out
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out.String(), m
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	out, _ := run(t, `
+		func main() {
+			var a = 10;
+			var b = 3;
+			print(a + b, a - b, a * b, a / b, a % b);
+			print(a == b, a != b, a < b, a <= b, a > b, a >= b);
+			print(-a, !a, !0);
+		}
+	`, 1)
+	want := "13 7 30 3 1\n0 1 0 0 1 1\n-10 0 1\n"
+	if out != want {
+		t.Fatalf("out = %q; want %q", out, want)
+	}
+}
+
+func TestShortCircuitSemantics(t *testing.T) {
+	// g must only change when the right-hand side actually evaluates.
+	out, _ := run(t, `
+		var g = 0;
+		func bump() { g = g + 1; return 1; }
+		func main() {
+			var x = 0 && bump();
+			var y = 1 || bump();
+			print(x, y, g);   // rhs never ran: g == 0
+			var z = 1 && bump();
+			var w = 0 || bump();
+			print(z, w, g);   // rhs ran twice: g == 2
+		}
+	`, 1)
+	want := "0 1 0\n1 1 2\n"
+	if out != want {
+		t.Fatalf("out = %q; want %q", out, want)
+	}
+}
+
+func TestLoopsComputeCorrectly(t *testing.T) {
+	out, _ := run(t, `
+		func main() {
+			var s = 0;
+			for (var i = 1; i <= 10; i = i + 1) { s = s + i; }
+			var f = 1;
+			var n = 5;
+			while (n > 1) { f = f * n; n = n - 1; }
+			var d = 0;
+			do { d = d + 1; } while (d < 3);
+			print(s, f, d);
+		}
+	`, 1)
+	if out != "55 120 3\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	out, _ := run(t, `
+		func main() {
+			var n = 0;
+			for (var i = 1; i <= 10; i = i + 1) {
+				if (i % 2 == 0) { continue; }
+				if (i > 7) { break; }
+				n = n + i;
+			}
+			print(n); // 1+3+5+7 = 16
+		}
+	`, 1)
+	if out != "16\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRecursionAndCalls(t *testing.T) {
+	out, _ := run(t, `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func main() { print(fib(15)); }
+	`, 1)
+	if out != "610\n" {
+		t.Fatalf("fib(15) = %q; want 610", out)
+	}
+}
+
+func TestIndirectCalls(t *testing.T) {
+	out, _ := run(t, `
+		func double(x) { return x * 2; }
+		func square(x) { return x * x; }
+		func main() {
+			var f = @double;
+			print(f(21));
+			f = @square;
+			print(f(7));
+		}
+	`, 1)
+	if out != "42\n49\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	out, _ := run(t, `
+		array tab[8];
+		func main() {
+			for (var i = 0; i < 8; i = i + 1) { tab[i] = i * i; }
+			var s = 0;
+			for (var j = 0; j < 8; j = j + 1) { s = s + tab[j]; }
+			print(s, tab[7]);
+		}
+	`, 1)
+	if out != "140 49\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	out, _ := run(t, `
+		var a = 5;
+		var b = -3;
+		var c;
+		func main() { print(a, b, c); }
+	`, 1)
+	if out != "5 -3 0\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	src := `
+		func main() {
+			for (var i = 0; i < 5; i = i + 1) { print(rand(100)); }
+		}
+	`
+	out1, _ := run(t, src, 42)
+	out2, _ := run(t, src, 42)
+	out3, _ := run(t, src, 43)
+	if out1 != out2 {
+		t.Fatalf("same seed diverged: %q vs %q", out1, out2)
+	}
+	if out1 == out3 {
+		t.Fatal("different seeds produced identical streams")
+	}
+	for _, line := range strings.Fields(out1) {
+		if line[0] == '-' {
+			t.Fatalf("rand produced negative %s", line)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"div by zero", "func main() { var z = 0; print(1 / z); }"},
+		{"mod by zero", "func main() { var z = 0; print(1 % z); }"},
+		{"array oob", "array a[4]; func main() { a[9] = 1; }"},
+		{"array negative", "array a[4]; func main() { var i = -1; a[i] = 1; }"},
+		{"bad indirect", "func main() { var f = 99; f(); }"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := lang.Compile(tc.src)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if err := New(prog, 1).Run(); err == nil {
+				t.Fatal("Run succeeded; want runtime error")
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog, err := lang.Compile("func main() { while (1) { } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1)
+	m.MaxSteps = 1000
+	if err := m.Run(); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v; want ErrStepLimit", err)
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	prog, err := lang.Compile("func f() { f(); } func main() { f(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1)
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("err = %v; want depth limit", err)
+	}
+}
+
+// eventRecorder checks listener event consistency.
+type eventRecorder struct {
+	BaseListener
+	enters, exits   int
+	calls, returns  int
+	edges           int
+	depthAtMax      int
+	badEdge         bool
+	lastEnteredFunc string
+}
+
+func (r *eventRecorder) OnEnter(fr *Frame) {
+	r.enters++
+	r.lastEnteredFunc = fr.Fn.Name
+	if fr.Depth > r.depthAtMax {
+		r.depthAtMax = fr.Depth
+	}
+}
+func (r *eventRecorder) OnExit(*Frame) { r.exits++ }
+func (r *eventRecorder) OnCall(caller *Frame, site int, calleeFr *Frame) {
+	r.calls++
+	if _, ok := caller.Fn.Blocks[site].Term.(ir.Call); !ok {
+		r.badEdge = true
+	}
+}
+func (r *eventRecorder) OnReturn(_, _ *Frame, _ int) { r.returns++ }
+func (r *eventRecorder) OnEdge(fr *Frame, from, to int) {
+	r.edges++
+	if !fr.Fn.CFG().HasEdge(cfg.NodeID(from), cfg.NodeID(to)) {
+		r.badEdge = true
+	}
+}
+
+func TestListenerEventConsistency(t *testing.T) {
+	prog, err := lang.Compile(`
+		func leaf(x) { return x + 1; }
+		func mid(x) { return leaf(x) + leaf(x); }
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 10; i = i + 1) { s = s + mid(i); }
+			print(s);
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1)
+	rec := &eventRecorder{}
+	m.AddListener(rec)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 main + 10 mid + 20 leaf = 31 enters and exits.
+	if rec.enters != 31 || rec.exits != 31 {
+		t.Fatalf("enters/exits = %d/%d; want 31/31", rec.enters, rec.exits)
+	}
+	if rec.calls != 30 || rec.returns != 30 {
+		t.Fatalf("calls/returns = %d/%d; want 30/30", rec.calls, rec.returns)
+	}
+	if rec.depthAtMax != 2 {
+		t.Fatalf("max depth = %d; want 2", rec.depthAtMax)
+	}
+	if rec.badEdge {
+		t.Fatal("listener saw a call site without a Call terminator")
+	}
+	if m.Steps == 0 || m.BaseOps < m.Steps {
+		t.Fatalf("steps=%d baseops=%d", m.Steps, m.BaseOps)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	out, _ := run(t, `
+		func main() {
+			print(2 + 3 * 4);        // 14
+			print((2 + 3) * 4);      // 20
+			print(10 - 4 - 3);       // 3 (left assoc)
+			print(20 / 4 / 5);       // 1
+			print(1 + 2 < 4);        // 1
+			print(1 < 2 == 1);       // 1
+			print(-3 * -3);          // 9
+			print(!0 + !5);          // 1
+			print(100 % 7 % 3);      // 2
+		}
+	`, 1)
+	want := "14\n20\n3\n1\n1\n1\n9\n1\n2\n"
+	if out != want {
+		t.Fatalf("out = %q; want %q", out, want)
+	}
+}
+
+func TestNegativeDivModSemantics(t *testing.T) {
+	// Go-style truncated division: (-7)/2 == -3, (-7)%2 == -1.
+	out, _ := run(t, `
+		func main() {
+			var a = -7;
+			print(a / 2, a % 2, 7 / -2, 7 % -2);
+		}
+	`, 1)
+	if out != "-3 -1 -3 1\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestElseIfChains(t *testing.T) {
+	out, _ := run(t, `
+		func classify(x) {
+			if (x < 10) { return 1; }
+			else if (x < 20) { return 2; }
+			else if (x < 30) { return 3; }
+			else { return 4; }
+		}
+		func main() {
+			print(classify(5), classify(15), classify(25), classify(99));
+		}
+	`, 1)
+	if out != "1 2 3 4\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	// 60 levels of parentheses stress the recursive-descent parser.
+	expr := "1"
+	for i := 0; i < 60; i++ {
+		expr = "(" + expr + " + 1)"
+	}
+	out, _ := run(t, "func main() { print("+expr+"); }", 1)
+	if out != "61\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestArgumentEvaluationOrder(t *testing.T) {
+	// Arguments evaluate left to right; a call in a later argument must
+	// not clobber an earlier argument's value.
+	out, _ := run(t, `
+		var g = 1;
+		func bump() { g = g + 10; return g; }
+		func pair(a, b) { return a * 1000 + b; }
+		func main() {
+			print(pair(g, bump())); // 1 then 11 -> 1011
+			print(pair(bump(), g)); // 21 then 21 -> 21021
+		}
+	`, 1)
+	if out != "1011\n21021\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestShortCircuitInConditionsSplitsPaths(t *testing.T) {
+	// The lowering of && in a loop condition context must still behave
+	// correctly when the rhs has side effects.
+	out, _ := run(t, `
+		var evals = 0;
+		func side(v) { evals = evals + 1; return v; }
+		func main() {
+			var n = 0;
+			for (var i = 0; i < 10 && side(1) == 1; i = i + 1) { n = n + 1; }
+			print(n, evals); // rhs evaluated once per test while i<10: 10 times
+		}
+	`, 1)
+	if out != "10 10\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCallInLoopHeaderPositions(t *testing.T) {
+	// Calls in for-init, loop conditions, and post clauses exercise the
+	// block-splitting paths of the lowerer.
+	out, _ := run(t, `
+		var fuel = 5;
+		func take() { fuel = fuel - 1; return fuel; }
+		func two() { return 2; }
+		func main() {
+			var n = 0;
+			for (var x = two(); x < two() * 3; x = x + two() - 1) { n = n + 1; }
+			print(n); // x: 2,3,4,5 -> 4 iterations
+			var m = 0;
+			while (take() > 0) { m = m + 1; }
+			print(m, fuel); // take: 4,3,2,1,0 -> 4 iterations, fuel 0
+		}
+	`, 1)
+	if out != "4\n4 0\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestIndirectCallThroughGlobal(t *testing.T) {
+	out, _ := run(t, `
+		var handler;
+		func inc(x) { return x + 1; }
+		func dbl(x) { return x * 2; }
+		func main() {
+			handler = @inc;
+			print(handler(5));
+			handler = @dbl;
+			print(handler(5));
+		}
+	`, 1)
+	if out != "6\n10\n" {
+		t.Fatalf("out = %q", out)
+	}
+}

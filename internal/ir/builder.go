@@ -1,0 +1,98 @@
+package ir
+
+import "fmt"
+
+// FuncBuilder incrementally assembles a Func. It is used by the language
+// lowerer and by tests/workloads that construct IR directly.
+type FuncBuilder struct {
+	f     *Func
+	cur   int // current block id, -1 when none selected
+	slots map[string]int
+}
+
+// NewFuncBuilder starts a function with the given parameters.
+func NewFuncBuilder(name string, params ...string) *FuncBuilder {
+	b := &FuncBuilder{
+		f:     &Func{Name: name, NumParams: len(params), Entry: -1, Exit: -1},
+		cur:   -1,
+		slots: map[string]int{},
+	}
+	for _, p := range params {
+		b.Slot(p)
+	}
+	return b
+}
+
+// Slot returns the slot index of the named local, creating it on first use.
+func (b *FuncBuilder) Slot(name string) int {
+	if i, ok := b.slots[name]; ok {
+		return i
+	}
+	i := len(b.f.SlotNames)
+	b.f.SlotNames = append(b.f.SlotNames, name)
+	b.slots[name] = i
+	return i
+}
+
+// Temp creates a fresh anonymous slot.
+func (b *FuncBuilder) Temp() int {
+	return b.Slot(fmt.Sprintf(".t%d", len(b.f.SlotNames)))
+}
+
+// NewBlock appends an empty block with the given label (auto-labeled when
+// empty) and returns its id. The new block becomes current.
+func (b *FuncBuilder) NewBlock(label string) int {
+	id := len(b.f.Blocks)
+	if label == "" {
+		label = fmt.Sprintf("b%d", id)
+	}
+	b.f.Blocks = append(b.f.Blocks, &Block{ID: id, Label: label})
+	b.cur = id
+	return id
+}
+
+// SetBlock selects the block subsequent Emit/Term calls target.
+func (b *FuncBuilder) SetBlock(id int) { b.cur = id }
+
+// CurBlock returns the current block id (-1 if none).
+func (b *FuncBuilder) CurBlock() int { return b.cur }
+
+// Terminated reports whether the current block already has a terminator
+// (lowering uses this to suppress dead fall-through jumps).
+func (b *FuncBuilder) Terminated() bool {
+	return b.cur < 0 || b.f.Blocks[b.cur].Term != nil
+}
+
+// Emit appends an instruction to the current block.
+func (b *FuncBuilder) Emit(in Instr) {
+	if b.cur < 0 {
+		panic("ir: Emit with no current block")
+	}
+	blk := b.f.Blocks[b.cur]
+	if blk.Term != nil {
+		panic(fmt.Sprintf("ir: Emit into terminated block %s", blk.Label))
+	}
+	blk.Body = append(blk.Body, in)
+}
+
+// Term sets the current block's terminator.
+func (b *FuncBuilder) Term(t Terminator) {
+	if b.cur < 0 {
+		panic("ir: Term with no current block")
+	}
+	blk := b.f.Blocks[b.cur]
+	if blk.Term != nil {
+		panic(fmt.Sprintf("ir: block %s terminated twice", blk.Label))
+	}
+	blk.Term = t
+}
+
+// Finish fixes the entry and exit blocks and returns the function.
+func (b *FuncBuilder) Finish(entry, exit int) *Func {
+	b.f.Entry = entry
+	b.f.Exit = exit
+	return b.f
+}
+
+// Func returns the function under construction (for label back-patching).
+func (b *FuncBuilder) Func() *Func { return b.f }

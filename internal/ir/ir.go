@@ -1,0 +1,442 @@
+// Package ir defines the intermediate representation that profiled programs
+// are lowered to: functions of basic blocks with explicit terminators, over
+// 64-bit integer locals, globals, and fixed-size global arrays.
+//
+// The IR plays the role Trimaran's intermediate code played in the paper: a
+// concrete program representation whose control-flow edges carry the
+// profiling instrumentation. It is deliberately minimal — just enough to
+// express realistic loop- and call-heavy workloads deterministically.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"pathprof/internal/cfg"
+)
+
+// OpKind enumerates binary operators.
+type OpKind int
+
+// Binary operators. Comparisons yield 0 or 1.
+const (
+	OpAdd OpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd // bitwise
+	OpOr  // bitwise
+	OpXor
+)
+
+var opNames = map[OpKind]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&", OpOr: "|", OpXor: "^",
+}
+
+func (o OpKind) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// OperandKind says where an operand's value lives.
+type OperandKind int
+
+const (
+	// Const is an immediate value.
+	Const OperandKind = iota
+	// Local is a function slot.
+	Local
+	// Global is a program-level scalar.
+	Global
+)
+
+// Operand is a value reference.
+type Operand struct {
+	Kind OperandKind
+	// Val is the immediate for Const operands.
+	Val int64
+	// Index is the slot index (Local) or global index (Global).
+	Index int
+}
+
+// ConstOp returns a constant operand.
+func ConstOp(v int64) Operand { return Operand{Kind: Const, Val: v} }
+
+// LocalOp returns a local-slot operand.
+func LocalOp(slot int) Operand { return Operand{Kind: Local, Index: slot} }
+
+// GlobalOp returns a global operand.
+func GlobalOp(idx int) Operand { return Operand{Kind: Global, Index: idx} }
+
+func (o Operand) format(f *Func, p *Program) string {
+	switch o.Kind {
+	case Const:
+		return fmt.Sprintf("%d", o.Val)
+	case Local:
+		if f != nil && o.Index < len(f.SlotNames) {
+			return f.SlotNames[o.Index]
+		}
+		return fmt.Sprintf("l%d", o.Index)
+	case Global:
+		if p != nil && o.Index < len(p.Globals) {
+			return p.Globals[o.Index]
+		}
+		return fmt.Sprintf("g%d", o.Index)
+	default:
+		return "?"
+	}
+}
+
+// Dest is an assignable location: a local slot or a global.
+type Dest struct {
+	Kind  OperandKind // Local or Global
+	Index int
+}
+
+// LocalDest returns a local destination.
+func LocalDest(slot int) Dest { return Dest{Kind: Local, Index: slot} }
+
+// GlobalDest returns a global destination.
+func GlobalDest(idx int) Dest { return Dest{Kind: Global, Index: idx} }
+
+func (d Dest) format(f *Func, p *Program) string {
+	return Operand{Kind: d.Kind, Index: d.Index}.format(f, p)
+}
+
+// Instr is a straight-line instruction.
+type Instr interface{ isInstr() }
+
+// Assign copies Src into Dst.
+type Assign struct {
+	Dst Dest
+	Src Operand
+}
+
+// BinOp computes Dst = A op B.
+type BinOp struct {
+	Op   OpKind
+	Dst  Dest
+	A, B Operand
+}
+
+// Not computes Dst = (Src == 0) ? 1 : 0.
+type Not struct {
+	Dst Dest
+	Src Operand
+}
+
+// Neg computes Dst = -Src.
+type Neg struct {
+	Dst Dest
+	Src Operand
+}
+
+// LoadIdx reads Dst = array[Idx].
+type LoadIdx struct {
+	Dst   Dest
+	Array int
+	Idx   Operand
+}
+
+// StoreIdx writes array[Idx] = Src.
+type StoreIdx struct {
+	Array int
+	Idx   Operand
+	Src   Operand
+}
+
+// Rand draws Dst = uniform pseudo-random in [0, Bound) from the machine's
+// deterministic generator.
+type Rand struct {
+	Dst   Dest
+	Bound Operand
+}
+
+// Print writes the operands (used by examples; the machine's output writer
+// receives one line).
+type Print struct {
+	Args []Operand
+}
+
+// FuncRef loads the callable id of a function into Dst (for indirect
+// calls — the paper's "function pointers" concern).
+type FuncRef struct {
+	Dst  Dest
+	Name string
+}
+
+func (Assign) isInstr()   {}
+func (BinOp) isInstr()    {}
+func (Not) isInstr()      {}
+func (Neg) isInstr()      {}
+func (LoadIdx) isInstr()  {}
+func (StoreIdx) isInstr() {}
+func (Rand) isInstr()     {}
+func (Print) isInstr()    {}
+func (FuncRef) isInstr()  {}
+
+// Terminator ends a basic block.
+type Terminator interface{ isTerm() }
+
+// Jump transfers to block To.
+type Jump struct{ To int }
+
+// Branch transfers to Then if Cond != 0, else to Else. Successor order in
+// the extracted CFG is (Then, Else), which fixes Ball-Larus path ids.
+type Branch struct {
+	Cond       Operand
+	Then, Else int
+}
+
+// Call invokes Callee with Args; the result (if HasDst) lands in Dst and
+// control resumes at block Next. A block with a Call terminator is a call
+// site in the paper's sense: caller prefixes end at it and caller suffixes
+// begin at it.
+type Call struct {
+	// Callee is the function name for direct calls; for indirect calls
+	// (Indirect true) Target holds the callable id.
+	Callee   string
+	Indirect bool
+	Target   Operand
+	Args     []Operand
+	HasDst   bool
+	Dst      Dest
+	Next     int
+}
+
+// Ret returns from the function with the value of Val (if HasVal).
+type Ret struct {
+	HasVal bool
+	Val    Operand
+}
+
+func (Jump) isTerm()   {}
+func (Branch) isTerm() {}
+func (Call) isTerm()   {}
+func (Ret) isTerm()    {}
+
+// Block is a basic block.
+type Block struct {
+	ID    int
+	Label string
+	Body  []Instr
+	Term  Terminator
+}
+
+// Cost is the block's base "dynamic operation" weight used by the overhead
+// model: two units per body instruction (an IR instruction stands for a
+// short machine sequence — operand fetch plus compute/store) plus two for
+// the terminator (compare and branch). The factor calibrates probe-to-base
+// ratios to the scale native instrumentation sees; see internal/overhead.
+func (b *Block) Cost() int64 { return 2*int64(len(b.Body)) + 2 }
+
+// Func is one procedure.
+type Func struct {
+	Name string
+	// NumParams leading slots receive the call arguments.
+	NumParams int
+	// SlotNames names every local slot (params first).
+	SlotNames []string
+	Blocks    []*Block
+	// Entry and Exit index Blocks. The entry block has no predecessors;
+	// the exit block holds the unique Ret.
+	Entry, Exit int
+
+	graph *cfg.Graph // lazily built CFG
+}
+
+// NumSlots returns the local slot count.
+func (f *Func) NumSlots() int { return len(f.SlotNames) }
+
+// Array is a global array declaration.
+type Array struct {
+	Name string
+	Size int64
+}
+
+// Program is a whole profiled program.
+type Program struct {
+	Funcs   []*Func
+	Globals []string
+	Arrays  []Array
+
+	byName map[string]*Func
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	if p.byName == nil {
+		p.byName = map[string]*Func{}
+		for _, f := range p.Funcs {
+			p.byName[f.Name] = f
+		}
+	}
+	return p.byName[name]
+}
+
+// FuncIndex returns the index of the named function, or -1. Indexes are the
+// callable ids used by FuncRef/indirect calls and by the four-tuple
+// interprocedural counters (the paper's `func` id).
+func (p *Program) FuncIndex(name string) int {
+	for i, f := range p.Funcs {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CFG extracts (and caches) the function's control flow graph. Node ids
+// equal block ids.
+func (f *Func) CFG() *cfg.Graph {
+	if f.graph != nil {
+		return f.graph
+	}
+	g := cfg.New(f.Name)
+	for _, b := range f.Blocks {
+		label := b.Label
+		if label == "" {
+			label = fmt.Sprintf("b%d", b.ID)
+		}
+		g.AddNode(label)
+	}
+	for _, b := range f.Blocks {
+		for _, s := range successors(b.Term) {
+			// Duplicate successors (e.g. Branch with Then == Else)
+			// are forbidden by Validate; MustEdge double-checks.
+			g.MustEdge(cfg.NodeID(b.ID), cfg.NodeID(s))
+		}
+	}
+	g.SetEntry(cfg.NodeID(f.Entry))
+	g.SetExit(cfg.NodeID(f.Exit))
+	f.graph = g
+	return g
+}
+
+func successors(t Terminator) []int {
+	switch t := t.(type) {
+	case Jump:
+		return []int{t.To}
+	case Branch:
+		return []int{t.Then, t.Else}
+	case Call:
+		return []int{t.Next}
+	case Ret:
+		return nil
+	default:
+		return nil
+	}
+}
+
+// String renders the program in a readable assembly-like syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, g := range p.Globals {
+		fmt.Fprintf(&b, "global %s ; g%d\n", g, i)
+	}
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "array %s[%d]\n", a.Name, a.Size)
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(f.format(p))
+	}
+	return b.String()
+}
+
+func (f *Func) format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(%s) {\n", f.Name, strings.Join(f.SlotNames[:f.NumParams], ", "))
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s: ; #%d\n", blk.Label, blk.ID)
+		for _, in := range blk.Body {
+			fmt.Fprintf(&b, "  %s\n", formatInstr(in, f, p))
+		}
+		fmt.Fprintf(&b, "  %s\n", formatTerm(blk.Term, f, p))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func formatInstr(in Instr, f *Func, p *Program) string {
+	switch in := in.(type) {
+	case Assign:
+		return fmt.Sprintf("%s = %s", in.Dst.format(f, p), in.Src.format(f, p))
+	case BinOp:
+		return fmt.Sprintf("%s = %s %s %s", in.Dst.format(f, p), in.A.format(f, p), in.Op, in.B.format(f, p))
+	case Not:
+		return fmt.Sprintf("%s = !%s", in.Dst.format(f, p), in.Src.format(f, p))
+	case Neg:
+		return fmt.Sprintf("%s = -%s", in.Dst.format(f, p), in.Src.format(f, p))
+	case LoadIdx:
+		return fmt.Sprintf("%s = %s[%s]", in.Dst.format(f, p), arrayName(p, in.Array), in.Idx.format(f, p))
+	case StoreIdx:
+		return fmt.Sprintf("%s[%s] = %s", arrayName(p, in.Array), in.Idx.format(f, p), in.Src.format(f, p))
+	case Rand:
+		return fmt.Sprintf("%s = rand(%s)", in.Dst.format(f, p), in.Bound.format(f, p))
+	case Print:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = a.format(f, p)
+		}
+		return fmt.Sprintf("print(%s)", strings.Join(parts, ", "))
+	case FuncRef:
+		return fmt.Sprintf("%s = @%s", in.Dst.format(f, p), in.Name)
+	default:
+		return fmt.Sprintf("?%T", in)
+	}
+}
+
+func formatTerm(t Terminator, f *Func, p *Program) string {
+	switch t := t.(type) {
+	case Jump:
+		return fmt.Sprintf("jump %s", blockName(f, t.To))
+	case Branch:
+		return fmt.Sprintf("br %s ? %s : %s", t.Cond.format(f, p), blockName(f, t.Then), blockName(f, t.Else))
+	case Call:
+		callee := t.Callee
+		if t.Indirect {
+			callee = "*" + t.Target.format(f, p)
+		}
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = a.format(f, p)
+		}
+		dst := ""
+		if t.HasDst {
+			dst = t.Dst.format(f, p) + " = "
+		}
+		return fmt.Sprintf("%scall %s(%s) -> %s", dst, callee, strings.Join(parts, ", "), blockName(f, t.Next))
+	case Ret:
+		if t.HasVal {
+			return fmt.Sprintf("ret %s", t.Val.format(f, p))
+		}
+		return "ret"
+	default:
+		return fmt.Sprintf("?%T", t)
+	}
+}
+
+func blockName(f *Func, id int) string {
+	if f != nil && id >= 0 && id < len(f.Blocks) {
+		return f.Blocks[id].Label
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+func arrayName(p *Program, idx int) string {
+	if p != nil && idx >= 0 && idx < len(p.Arrays) {
+		return p.Arrays[idx].Name
+	}
+	return fmt.Sprintf("a%d", idx)
+}

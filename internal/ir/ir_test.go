@@ -1,0 +1,226 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildAddFunc assembles: func add(a, b) { return a + b; } by hand.
+func buildAddFunc() *Func {
+	b := NewFuncBuilder("add", "a", "b")
+	ret := b.Slot("ret")
+	en := b.NewBlock("en")
+	ex := b.NewBlock("ex")
+	b.Term(Ret{HasVal: true, Val: LocalOp(ret)})
+	body := b.NewBlock("body")
+	b.SetBlock(en)
+	b.Term(Jump{To: body})
+	b.SetBlock(body)
+	b.Emit(BinOp{Op: OpAdd, Dst: LocalDest(ret), A: LocalOp(0), B: LocalOp(1)})
+	b.Term(Jump{To: ex})
+	return b.Finish(en, ex)
+}
+
+func buildMain(callee string) *Func {
+	b := NewFuncBuilder("main")
+	en := b.NewBlock("en")
+	ex := b.NewBlock("ex")
+	b.Term(Ret{})
+	call := b.NewBlock("call")
+	after := b.NewBlock("after")
+	b.SetBlock(en)
+	b.Term(Jump{To: call})
+	b.SetBlock(call)
+	t := b.Temp()
+	b.Term(Call{Callee: callee, Args: []Operand{ConstOp(1), ConstOp(2)}, HasDst: true, Dst: LocalDest(t), Next: after})
+	b.SetBlock(after)
+	b.Emit(Print{Args: []Operand{LocalOp(t)}})
+	b.Term(Jump{To: ex})
+	return b.Finish(en, ex)
+}
+
+func validProgram() *Program {
+	return &Program{Funcs: []*Func{buildAddFunc(), buildMain("add")}}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		prog func() *Program
+	}{
+		{"no main", func() *Program {
+			return &Program{Funcs: []*Func{buildAddFunc()}}
+		}},
+		{"main with params", func() *Program {
+			f := buildAddFunc()
+			f.Name = "main"
+			return &Program{Funcs: []*Func{f}}
+		}},
+		{"duplicate func", func() *Program {
+			p := validProgram()
+			p.Funcs = append(p.Funcs, buildAddFunc())
+			return p
+		}},
+		{"unknown callee", func() *Program {
+			return &Program{Funcs: []*Func{buildAddFunc(), buildMain("nosuch")}}
+		}},
+		{"arity mismatch", func() *Program {
+			p := validProgram()
+			call := p.Funcs[1].Blocks[2].Term.(Call)
+			call.Args = call.Args[:1]
+			p.Funcs[1].Blocks[2].Term = call
+			return p
+		}},
+		{"branch same arms", func() *Program {
+			p := validProgram()
+			f := p.Funcs[1]
+			f.Blocks[2].Term = Branch{Cond: ConstOp(1), Then: 3, Else: 3}
+			return p
+		}},
+		{"ret not at exit", func() *Program {
+			p := validProgram()
+			f := p.Funcs[1]
+			f.Blocks[3].Term = Ret{}
+			return p
+		}},
+		{"bad slot", func() *Program {
+			p := validProgram()
+			f := p.Funcs[0]
+			f.Blocks[2].Body = append(f.Blocks[2].Body, Assign{Dst: LocalDest(99), Src: ConstOp(0)})
+			return p
+		}},
+		{"bad target", func() *Program {
+			p := validProgram()
+			p.Funcs[0].Blocks[2].Term = Jump{To: 42}
+			return p
+		}},
+		{"bad global", func() *Program {
+			p := validProgram()
+			f := p.Funcs[0]
+			f.Blocks[2].Body = append(f.Blocks[2].Body, Assign{Dst: GlobalDest(3), Src: ConstOp(0)})
+			return p
+		}},
+		{"bad array", func() *Program {
+			p := validProgram()
+			f := p.Funcs[0]
+			f.Blocks[2].Body = append(f.Blocks[2].Body, StoreIdx{Array: 2, Idx: ConstOp(0), Src: ConstOp(0)})
+			return p
+		}},
+		{"unknown funcref", func() *Program {
+			p := validProgram()
+			f := p.Funcs[0]
+			f.Blocks[2].Body = append(f.Blocks[2].Body, FuncRef{Dst: LocalDest(0), Name: "ghost"})
+			return p
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.prog().Validate(); err == nil {
+				t.Fatal("Validate accepted malformed program")
+			}
+		})
+	}
+}
+
+func TestCFGExtraction(t *testing.T) {
+	f := buildMain("add")
+	g := f.CFG()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("CFG invalid: %v", err)
+	}
+	if g.Len() != len(f.Blocks) {
+		t.Fatalf("CFG nodes %d != blocks %d", g.Len(), len(f.Blocks))
+	}
+	// Call terminator produces a single successor to Next.
+	succ := g.Succs(2)
+	if len(succ) != 1 || int(succ[0]) != 3 {
+		t.Fatalf("call block successors = %v", succ)
+	}
+	// CFG is cached.
+	if f.CFG() != g {
+		t.Fatal("CFG not cached")
+	}
+}
+
+func TestFuncLookupAndIndex(t *testing.T) {
+	p := validProgram()
+	if p.FuncByName("add") == nil || p.FuncByName("main") == nil {
+		t.Fatal("FuncByName failed")
+	}
+	if p.FuncByName("nope") != nil {
+		t.Fatal("FuncByName invented a function")
+	}
+	if p.FuncIndex("add") != 0 || p.FuncIndex("main") != 1 || p.FuncIndex("x") != -1 {
+		t.Fatal("FuncIndex wrong")
+	}
+}
+
+func TestBlockCost(t *testing.T) {
+	b := &Block{Body: []Instr{Assign{}, Assign{}, Assign{}}}
+	if c := b.Cost(); c != 8 {
+		t.Fatalf("Cost = %d; want 8 (2*3+2)", c)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := validProgram()
+	p.Globals = []string{"g"}
+	p.Arrays = []Array{{Name: "tab", Size: 4}}
+	s := p.String()
+	for _, want := range []string{"func add", "func main", "call add(1, 2)", "ret", "global g", "array tab[4]", "a + b"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Emit without block", func() {
+		NewFuncBuilder("f").Emit(Assign{})
+	})
+	assertPanics("double Term", func() {
+		b := NewFuncBuilder("f")
+		b.NewBlock("x")
+		b.Term(Ret{})
+		b.Term(Ret{})
+	})
+	assertPanics("Emit after Term", func() {
+		b := NewFuncBuilder("f")
+		b.NewBlock("x")
+		b.Term(Ret{})
+		b.Emit(Assign{})
+	})
+}
+
+func TestBuilderSlots(t *testing.T) {
+	b := NewFuncBuilder("f", "p1", "p2")
+	if b.Slot("p1") != 0 || b.Slot("p2") != 1 {
+		t.Fatal("param slots wrong")
+	}
+	x := b.Slot("x")
+	if b.Slot("x") != x {
+		t.Fatal("Slot not idempotent")
+	}
+	t1, t2 := b.Temp(), b.Temp()
+	if t1 == t2 {
+		t.Fatal("Temp reused a slot")
+	}
+	if b.Func().NumParams != 2 {
+		t.Fatalf("NumParams = %d", b.Func().NumParams)
+	}
+}

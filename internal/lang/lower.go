@@ -1,0 +1,672 @@
+package lang
+
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+)
+
+// Compile parses and lowers src to a validated IR program.
+func Compile(src string) (*ir.Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(f)
+}
+
+// Lower translates a parsed file to IR. Lowering fixes the language's
+// evaluation-order semantics: operands are read when their consuming
+// instruction executes, calls are evaluated left to right, and && / || are
+// short-circuit (each introduces a conditional branch, and therefore a
+// predicate block, exactly as a C frontend would).
+func Lower(f *File) (*ir.Program, error) {
+	l := &lowerer{
+		file:      f,
+		prog:      &ir.Program{},
+		globalIdx: map[string]int{},
+		arrayIdx:  map[string]int{},
+		funcIdx:   map[string]bool{},
+	}
+	for _, g := range f.Globals {
+		if _, dup := l.globalIdx[g.Name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate global %q", g.Line, g.Name)
+		}
+		l.globalIdx[g.Name] = len(l.prog.Globals)
+		l.prog.Globals = append(l.prog.Globals, g.Name)
+		l.globalInits = append(l.globalInits, g.Init)
+	}
+	for _, a := range f.Arrays {
+		if _, dup := l.arrayIdx[a.Name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate array %q", a.Line, a.Name)
+		}
+		if _, dup := l.globalIdx[a.Name]; dup {
+			return nil, fmt.Errorf("line %d: array %q collides with a global", a.Line, a.Name)
+		}
+		if a.Size <= 0 || a.Size > 1<<24 {
+			return nil, fmt.Errorf("line %d: array %q has unreasonable size %d", a.Line, a.Name, a.Size)
+		}
+		l.arrayIdx[a.Name] = len(l.prog.Arrays)
+		l.prog.Arrays = append(l.prog.Arrays, ir.Array{Name: a.Name, Size: a.Size})
+	}
+	for _, fn := range f.Funcs {
+		if l.funcIdx[fn.Name] {
+			return nil, fmt.Errorf("line %d: duplicate function %q", fn.Line, fn.Name)
+		}
+		l.funcIdx[fn.Name] = true
+	}
+	for _, fn := range f.Funcs {
+		lf, err := l.lowerFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		l.prog.Funcs = append(l.prog.Funcs, lf)
+	}
+	// Global initializers become a prologue of main: find main and
+	// prepend assignments to its entry block.
+	if mainFn := l.prog.FuncByName("main"); mainFn != nil {
+		var inits []ir.Instr
+		for i, v := range l.globalInits {
+			if v != 0 {
+				inits = append(inits, ir.Assign{Dst: ir.GlobalDest(i), Src: ir.ConstOp(v)})
+			}
+		}
+		entry := mainFn.Blocks[mainFn.Entry]
+		entry.Body = append(inits, entry.Body...)
+	}
+	if err := l.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return l.prog, nil
+}
+
+type lowerer struct {
+	file        *File
+	prog        *ir.Program
+	globalIdx   map[string]int
+	globalInits []int64
+	arrayIdx    map[string]int
+	funcIdx     map[string]bool
+}
+
+type loopCtx struct {
+	continueTo int
+	breakTo    int
+}
+
+type fnLower struct {
+	l       *lowerer
+	b       *ir.FuncBuilder
+	fd      *FuncDecl
+	locals  map[string]int
+	retSlot int
+	exitBlk int
+	loops   []loopCtx
+}
+
+func (l *lowerer) lowerFunc(fd *FuncDecl) (*ir.Func, error) {
+	fl := &fnLower{l: l, fd: fd, locals: map[string]int{}}
+	for _, p := range fd.Params {
+		if _, dup := fl.locals[p]; dup {
+			return nil, fmt.Errorf("line %d: duplicate parameter %q in %s", fd.Line, p, fd.Name)
+		}
+		fl.locals[p] = len(fl.locals)
+	}
+	fl.b = ir.NewFuncBuilder(fd.Name, fd.Params...)
+	fl.retSlot = fl.b.Slot(".ret")
+
+	entry := fl.b.NewBlock("en")
+	fl.exitBlk = fl.b.NewBlock("ex")
+	fl.b.Term(ir.Ret{HasVal: true, Val: ir.LocalOp(fl.retSlot)})
+
+	first := fl.b.NewBlock("")
+	fl.b.SetBlock(entry)
+	fl.b.Term(ir.Jump{To: first})
+	fl.b.SetBlock(first)
+
+	if err := fl.stmts(fd.Body); err != nil {
+		return nil, err
+	}
+	if !fl.b.Terminated() {
+		fl.b.Term(ir.Jump{To: fl.exitBlk})
+	}
+
+	fn := fl.b.Finish(entry, fl.exitBlk)
+	pruned, err := pruneUnreachable(fn)
+	if err != nil {
+		return nil, fmt.Errorf("func %s: %w", fd.Name, err)
+	}
+	return pruned, nil
+}
+
+func (f *fnLower) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: in %s: %s", line, f.fd.Name, fmt.Sprintf(format, args...))
+}
+
+// startBlock opens a fresh block that control falls through into: if the
+// current block is unterminated it jumps to the new one. Loop headers are
+// created this way so they can be branch targets before their contents are
+// lowered.
+func (f *fnLower) startBlock(label string) int {
+	cur := f.b.CurBlock()
+	nb := f.b.NewBlock(label)
+	f.b.SetBlock(cur)
+	if !f.b.Terminated() {
+		f.b.Term(ir.Jump{To: nb})
+	}
+	f.b.SetBlock(nb)
+	return nb
+}
+
+func (f *fnLower) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := f.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveVar resolves a scalar name to an operand.
+func (f *fnLower) resolveVar(name string, line int) (ir.Operand, error) {
+	if slot, ok := f.locals[name]; ok {
+		return ir.LocalOp(slot), nil
+	}
+	if idx, ok := f.l.globalIdx[name]; ok {
+		return ir.GlobalOp(idx), nil
+	}
+	return ir.Operand{}, f.errf(line, "undeclared variable %q", name)
+}
+
+func destOf(o ir.Operand) ir.Dest { return ir.Dest{Kind: o.Kind, Index: o.Index} }
+
+func (f *fnLower) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *VarStmt:
+		if _, dup := f.locals[s.Name]; dup {
+			return f.errf(s.Line, "variable %q redeclared", s.Name)
+		}
+		var init ir.Operand = ir.ConstOp(0)
+		if s.Init != nil {
+			v, err := f.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			init = v
+		}
+		slot := f.b.Slot(s.Name)
+		f.locals[s.Name] = slot
+		f.b.Emit(ir.Assign{Dst: ir.LocalDest(slot), Src: init})
+		return nil
+	case *AssignStmt:
+		dst, err := f.resolveVar(s.Name, s.Line)
+		if err != nil {
+			return err
+		}
+		v, err := f.expr(s.Val)
+		if err != nil {
+			return err
+		}
+		f.b.Emit(ir.Assign{Dst: destOf(dst), Src: v})
+		return nil
+	case *StoreStmt:
+		arr, ok := f.l.arrayIdx[s.Array]
+		if !ok {
+			return f.errf(s.Line, "undeclared array %q", s.Array)
+		}
+		idx, err := f.expr(s.Idx)
+		if err != nil {
+			return err
+		}
+		val, err := f.expr(s.Val)
+		if err != nil {
+			return err
+		}
+		f.b.Emit(ir.StoreIdx{Array: arr, Idx: idx, Src: val})
+		return nil
+	case *IfStmt:
+		cond, err := f.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		condBlk := f.b.CurBlock()
+		thenB := f.b.NewBlock("")
+		elseB := f.b.NewBlock("")
+		f.b.SetBlock(condBlk)
+		f.b.Term(ir.Branch{Cond: cond, Then: thenB, Else: elseB})
+
+		f.b.SetBlock(thenB)
+		if err := f.stmts(s.Then); err != nil {
+			return err
+		}
+		thenEnd, thenOpen := f.b.CurBlock(), !f.b.Terminated()
+
+		f.b.SetBlock(elseB)
+		if err := f.stmts(s.Else); err != nil {
+			return err
+		}
+		elseEnd, elseOpen := f.b.CurBlock(), !f.b.Terminated()
+
+		join := f.b.NewBlock("")
+		if thenOpen {
+			f.b.SetBlock(thenEnd)
+			f.b.Term(ir.Jump{To: join})
+		}
+		if elseOpen {
+			f.b.SetBlock(elseEnd)
+			f.b.Term(ir.Jump{To: join})
+		}
+		f.b.SetBlock(join)
+		return nil
+	case *WhileStmt:
+		header := f.startBlock("loop")
+		cond, err := f.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		condEnd := f.b.CurBlock()
+		body := f.b.NewBlock("")
+		join := f.b.NewBlock("")
+		f.b.SetBlock(condEnd)
+		f.b.Term(ir.Branch{Cond: cond, Then: body, Else: join})
+
+		f.loops = append(f.loops, loopCtx{continueTo: header, breakTo: join})
+		f.b.SetBlock(body)
+		if err := f.stmts(s.Body); err != nil {
+			return err
+		}
+		if !f.b.Terminated() {
+			f.b.Term(ir.Jump{To: header})
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+		f.b.SetBlock(join)
+		return nil
+	case *DoWhileStmt:
+		body := f.startBlock("do")
+		condB := f.b.NewBlock("")
+		join := f.b.NewBlock("")
+
+		f.loops = append(f.loops, loopCtx{continueTo: condB, breakTo: join})
+		f.b.SetBlock(body)
+		if err := f.stmts(s.Body); err != nil {
+			return err
+		}
+		if !f.b.Terminated() {
+			f.b.Term(ir.Jump{To: condB})
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+
+		f.b.SetBlock(condB)
+		cond, err := f.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		f.b.Term(ir.Branch{Cond: cond, Then: body, Else: join})
+		f.b.SetBlock(join)
+		return nil
+	case *ForStmt:
+		if s.Init != nil {
+			if err := f.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		header := f.startBlock("for")
+		var cond ir.Operand = ir.ConstOp(1)
+		if s.Cond != nil {
+			c, err := f.expr(s.Cond)
+			if err != nil {
+				return err
+			}
+			cond = c
+		}
+		condEnd := f.b.CurBlock()
+		body := f.b.NewBlock("")
+		post := f.b.NewBlock("")
+		join := f.b.NewBlock("")
+		f.b.SetBlock(condEnd)
+		f.b.Term(ir.Branch{Cond: cond, Then: body, Else: join})
+
+		f.loops = append(f.loops, loopCtx{continueTo: post, breakTo: join})
+		f.b.SetBlock(body)
+		if err := f.stmts(s.Body); err != nil {
+			return err
+		}
+		if !f.b.Terminated() {
+			f.b.Term(ir.Jump{To: post})
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+
+		f.b.SetBlock(post)
+		if s.Post != nil {
+			if err := f.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		if !f.b.Terminated() {
+			f.b.Term(ir.Jump{To: header})
+		}
+		f.b.SetBlock(join)
+		return nil
+	case *BreakStmt:
+		if len(f.loops) == 0 {
+			return f.errf(s.Line, "break outside loop")
+		}
+		f.b.Term(ir.Jump{To: f.loops[len(f.loops)-1].breakTo})
+		f.b.SetBlock(f.b.NewBlock("")) // unreachable continuation, pruned later
+		return nil
+	case *ContinueStmt:
+		if len(f.loops) == 0 {
+			return f.errf(s.Line, "continue outside loop")
+		}
+		f.b.Term(ir.Jump{To: f.loops[len(f.loops)-1].continueTo})
+		f.b.SetBlock(f.b.NewBlock(""))
+		return nil
+	case *ReturnStmt:
+		var v ir.Operand = ir.ConstOp(0)
+		if s.Val != nil {
+			val, err := f.expr(s.Val)
+			if err != nil {
+				return err
+			}
+			v = val
+		}
+		f.b.Emit(ir.Assign{Dst: ir.LocalDest(f.retSlot), Src: v})
+		f.b.Term(ir.Jump{To: f.exitBlk})
+		f.b.SetBlock(f.b.NewBlock(""))
+		return nil
+	case *PrintStmt:
+		var args []ir.Operand
+		for _, a := range s.Args {
+			v, err := f.expr(a)
+			if err != nil {
+				return err
+			}
+			args = append(args, v)
+		}
+		f.b.Emit(ir.Print{Args: args})
+		return nil
+	case *ExprStmt:
+		_, err := f.expr(s.E)
+		return err
+	default:
+		return fmt.Errorf("unknown statement %T", s)
+	}
+}
+
+// expr lowers e and returns the operand holding its value. Lowering may end
+// the current block (calls, short-circuit operators); the builder's current
+// block on return is where evaluation continues.
+func (f *fnLower) expr(e Expr) (ir.Operand, error) {
+	switch e := e.(type) {
+	case *NumExpr:
+		return ir.ConstOp(e.Val), nil
+	case *VarExpr:
+		return f.resolveVar(e.Name, e.Line)
+	case *IndexExpr:
+		arr, ok := f.l.arrayIdx[e.Array]
+		if !ok {
+			return ir.Operand{}, f.errf(e.Line, "undeclared array %q", e.Array)
+		}
+		idx, err := f.expr(e.Idx)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t := f.b.Temp()
+		f.b.Emit(ir.LoadIdx{Dst: ir.LocalDest(t), Array: arr, Idx: idx})
+		return ir.LocalOp(t), nil
+	case *RandExpr:
+		bound, err := f.expr(e.Bound)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t := f.b.Temp()
+		f.b.Emit(ir.Rand{Dst: ir.LocalDest(t), Bound: bound})
+		return ir.LocalOp(t), nil
+	case *FuncRefExpr:
+		if !f.l.funcIdx[e.Name] {
+			return ir.Operand{}, f.errf(e.Line, "@%s: no such function", e.Name)
+		}
+		t := f.b.Temp()
+		f.b.Emit(ir.FuncRef{Dst: ir.LocalDest(t), Name: e.Name})
+		return ir.LocalOp(t), nil
+	case *UnaryExpr:
+		x, err := f.expr(e.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		if x.Kind == ir.Const {
+			if e.Op == "-" {
+				return ir.ConstOp(-x.Val), nil
+			}
+			if x.Val == 0 {
+				return ir.ConstOp(1), nil
+			}
+			return ir.ConstOp(0), nil
+		}
+		t := f.b.Temp()
+		if e.Op == "-" {
+			f.b.Emit(ir.Neg{Dst: ir.LocalDest(t), Src: x})
+		} else {
+			f.b.Emit(ir.Not{Dst: ir.LocalDest(t), Src: x})
+		}
+		return ir.LocalOp(t), nil
+	case *BinExpr:
+		a, err := f.expr(e.A)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		// If A lives in a mutable location and B contains a call,
+		// snapshot A first so left-to-right evaluation holds.
+		if a.Kind != ir.Const && containsCall(e.B) {
+			t := f.b.Temp()
+			f.b.Emit(ir.Assign{Dst: ir.LocalDest(t), Src: a})
+			a = ir.LocalOp(t)
+		}
+		b, err := f.expr(e.B)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		op, ok := binOps[e.Op]
+		if !ok {
+			return ir.Operand{}, f.errf(e.Line, "unknown operator %q", e.Op)
+		}
+		t := f.b.Temp()
+		f.b.Emit(ir.BinOp{Op: op, Dst: ir.LocalDest(t), A: a, B: b})
+		return ir.LocalOp(t), nil
+	case *LogicalExpr:
+		return f.logical(e)
+	case *CallExpr:
+		return f.call(e)
+	default:
+		return ir.Operand{}, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+var binOps = map[string]ir.OpKind{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv, "%": ir.OpMod,
+	"==": ir.OpEq, "!=": ir.OpNe, "<": ir.OpLt, "<=": ir.OpLe, ">": ir.OpGt, ">=": ir.OpGe,
+}
+
+// logical lowers short-circuit && and || with a result temp and a
+// conditional branch — every logical operator contributes a predicate
+// block, as in C.
+func (f *fnLower) logical(e *LogicalExpr) (ir.Operand, error) {
+	a, err := f.expr(e.A)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	t := f.b.Temp()
+	f.b.Emit(ir.BinOp{Op: ir.OpNe, Dst: ir.LocalDest(t), A: a, B: ir.ConstOp(0)})
+	condBlk := f.b.CurBlock()
+	rhs := f.b.NewBlock("")
+	join := f.b.NewBlock("")
+	f.b.SetBlock(condBlk)
+	if e.Op == "&&" {
+		// a true -> evaluate b; a false -> t is already 0.
+		f.b.Term(ir.Branch{Cond: ir.LocalOp(t), Then: rhs, Else: join})
+	} else {
+		// a true -> t is already 1; a false -> evaluate b.
+		f.b.Term(ir.Branch{Cond: ir.LocalOp(t), Then: join, Else: rhs})
+	}
+	f.b.SetBlock(rhs)
+	b, err := f.expr(e.B)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	f.b.Emit(ir.BinOp{Op: ir.OpNe, Dst: ir.LocalDest(t), A: b, B: ir.ConstOp(0)})
+	f.b.Term(ir.Jump{To: join})
+	f.b.SetBlock(join)
+	return ir.LocalOp(t), nil
+}
+
+// call lowers a call expression: the call is a block terminator, so the
+// current block ends at the call site and evaluation resumes in a fresh
+// block.
+func (f *fnLower) call(e *CallExpr) (ir.Operand, error) {
+	var args []ir.Operand
+	for _, a := range e.Args {
+		v, err := f.expr(a)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		// Snapshot mutable operands: a later argument's call could
+		// clobber them before the Call terminator reads the values.
+		if v.Kind != ir.Const {
+			t := f.b.Temp()
+			f.b.Emit(ir.Assign{Dst: ir.LocalDest(t), Src: v})
+			v = ir.LocalOp(t)
+		}
+		args = append(args, v)
+	}
+	dst := f.b.Temp()
+	c := ir.Call{Args: args, HasDst: true, Dst: ir.LocalDest(dst)}
+
+	_, isLocal := f.locals[e.Name]
+	_, isGlobal := f.l.globalIdx[e.Name]
+	switch {
+	case isLocal || isGlobal:
+		target, err := f.resolveVar(e.Name, e.Line)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		c.Indirect = true
+		c.Target = target
+	case f.l.funcIdx[e.Name]:
+		c.Callee = e.Name
+	default:
+		return ir.Operand{}, f.errf(e.Line, "call to undeclared %q", e.Name)
+	}
+
+	callBlk := f.b.CurBlock()
+	next := f.b.NewBlock("")
+	c.Next = next
+	f.b.SetBlock(callBlk)
+	f.b.Term(c)
+	f.b.SetBlock(next)
+	return ir.LocalOp(dst), nil
+}
+
+func containsCall(e Expr) bool {
+	switch e := e.(type) {
+	case *CallExpr:
+		return true
+	case *UnaryExpr:
+		return containsCall(e.X)
+	case *BinExpr:
+		return containsCall(e.A) || containsCall(e.B)
+	case *LogicalExpr:
+		return containsCall(e.A) || containsCall(e.B)
+	case *IndexExpr:
+		return containsCall(e.Idx)
+	case *RandExpr:
+		return containsCall(e.Bound)
+	default:
+		return false
+	}
+}
+
+// pruneUnreachable removes blocks unreachable from the entry and remaps ids.
+// The exit block is kept even if unreachable-in-theory (a function that
+// cannot return fails CFG validation with a clearer error downstream).
+func pruneUnreachable(fn *ir.Func) (*ir.Func, error) {
+	reach := make([]bool, len(fn.Blocks))
+	stack := []int{fn.Entry}
+	reach[fn.Entry] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t := fn.Blocks[v].Term
+		if t == nil {
+			return nil, fmt.Errorf("block %s not terminated", fn.Blocks[v].Label)
+		}
+		for _, s := range blockSuccs(t) {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if !reach[fn.Exit] {
+		return nil, fmt.Errorf("function cannot reach its exit (infinite loop with no return?)")
+	}
+
+	remap := make([]int, len(fn.Blocks))
+	var kept []*ir.Block
+	for i, b := range fn.Blocks {
+		if reach[i] {
+			remap[i] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, b := range kept {
+		b.Term = remapTerm(b.Term, remap)
+	}
+	for i, b := range kept {
+		b.ID = i
+		// Relabel auto-labeled blocks densely for readable dumps.
+		b.Label = fmt.Sprintf("b%d", i)
+	}
+	kept[remap[fn.Entry]].Label = "en"
+	kept[remap[fn.Exit]].Label = "ex"
+	out := &ir.Func{
+		Name:      fn.Name,
+		NumParams: fn.NumParams,
+		SlotNames: fn.SlotNames,
+		Blocks:    kept,
+		Entry:     remap[fn.Entry],
+		Exit:      remap[fn.Exit],
+	}
+	return out, nil
+}
+
+func blockSuccs(t ir.Terminator) []int {
+	switch t := t.(type) {
+	case ir.Jump:
+		return []int{t.To}
+	case ir.Branch:
+		return []int{t.Then, t.Else}
+	case ir.Call:
+		return []int{t.Next}
+	default:
+		return nil
+	}
+}
+
+func remapTerm(t ir.Terminator, remap []int) ir.Terminator {
+	switch t := t.(type) {
+	case ir.Jump:
+		t.To = remap[t.To]
+		return t
+	case ir.Branch:
+		t.Then = remap[t.Then]
+		t.Else = remap[t.Else]
+		return t
+	case ir.Call:
+		t.Next = remap[t.Next]
+		return t
+	default:
+		return t
+	}
+}

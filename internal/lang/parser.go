@@ -1,0 +1,647 @@
+package lang
+
+import "fmt"
+
+// Parse lexes and parses src into a File.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.file()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("line %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == Punct && t.Text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == Keyword && t.Text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errorf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectKeyword(s string) error {
+	if !p.isKeyword(s) {
+		return p.errorf("expected %q, found %s", s, p.cur())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != Ident {
+		return t, p.errorf("expected identifier, found %s", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != EOF {
+		switch {
+		case p.isKeyword("var"):
+			p.pos++
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			g := &GlobalDecl{Name: name.Text, Line: name.Line}
+			if p.acceptPunct("=") {
+				neg := p.acceptPunct("-")
+				t := p.cur()
+				if t.Kind != Number {
+					return nil, p.errorf("global initializer must be an integer literal")
+				}
+				p.pos++
+				g.Init = t.Val
+				if neg {
+					g.Init = -g.Init
+				}
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case p.isKeyword("array"):
+			p.pos++
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("["); err != nil {
+				return nil, err
+			}
+			t := p.cur()
+			if t.Kind != Number {
+				return nil, p.errorf("array size must be an integer literal")
+			}
+			p.pos++
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			f.Arrays = append(f.Arrays, &ArrayDecl{Name: name.Text, Size: t.Val, Line: name.Line})
+		case p.isKeyword("func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errorf("expected declaration, found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	if err := p.expectKeyword("func"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Line: name.Line}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		for {
+			param, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, param.Text)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.isPunct("}") {
+		if p.cur().Kind == EOF {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.pos++
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.isKeyword("var"), t.Kind == Ident:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.isKeyword("if"):
+		return p.ifStmt()
+	case p.isKeyword("while"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case p.isKeyword("do"):
+		p.pos++
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond, Line: t.Line}, nil
+	case p.isKeyword("for"):
+		return p.forStmt()
+	case p.isKeyword("break"):
+		p.pos++
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case p.isKeyword("continue"):
+		p.pos++
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	case p.isKeyword("return"):
+		p.pos++
+		s := &ReturnStmt{Line: t.Line}
+		if !p.isPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Val = e
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.isKeyword("print"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		s := &PrintStmt{Line: t.Line}
+		if !p.isPunct(")") {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				s.Args = append(s.Args, e)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		// Expression statement (e.g. a bare call through a complex
+		// expression).
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{E: e, Line: t.Line}, nil
+	}
+}
+
+// simpleStmt parses var/assign/store/expr statements without the trailing
+// semicolon (shared by stmt and for-clauses).
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if p.isKeyword("var") {
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{Name: name.Text, Line: name.Line}
+		if p.acceptPunct("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = e
+		}
+		return s, nil
+	}
+	if t.Kind == Ident {
+		// Lookahead distinguishes "x = e", "a[e] = e", and an
+		// expression statement starting with an identifier (a call).
+		nxt := p.toks[p.pos+1]
+		if nxt.Kind == Punct && nxt.Text == "=" {
+			p.pos += 2
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: t.Text, Val: e, Line: t.Line}, nil
+		}
+		if nxt.Kind == Punct && nxt.Text == "[" {
+			// Could be a store "a[i] = v" or a read inside a larger
+			// expression statement; scan for "] =" at bracket
+			// depth 0 to decide.
+			if p.looksLikeStore() {
+				p.pos += 2
+				idx, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("="); err != nil {
+					return nil, err
+				}
+				val, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &StoreStmt{Array: t.Text, Idx: idx, Val: val, Line: t.Line}, nil
+			}
+		}
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{E: e, Line: t.Line}, nil
+}
+
+// looksLikeStore reports whether the tokens from the current identifier form
+// "ident [ ... ] =" with balanced brackets.
+func (p *parser) looksLikeStore() bool {
+	i := p.pos + 1 // at "["
+	depth := 0
+	for ; i < len(p.toks); i++ {
+		t := p.toks[i]
+		if t.Kind != Punct {
+			continue
+		}
+		switch t.Text {
+		case "[":
+			depth++
+		case "]":
+			depth--
+			if depth == 0 {
+				j := i + 1
+				return j < len(p.toks) && p.toks[j].Kind == Punct && p.toks[j].Text == "="
+			}
+		case ";":
+			return false
+		}
+	}
+	return false
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	t := p.cur()
+	if err := p.expectKeyword("if"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: t.Line}
+	if p.isKeyword("else") {
+		p.pos++
+		if p.isKeyword("if") {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = []Stmt{nested}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.cur()
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: t.Line}
+	if !p.isPunct(";") {
+		init, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	a, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("||") {
+		line := p.cur().Line
+		p.pos++
+		b, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		a = &LogicalExpr{Op: "||", A: a, B: b, Line: line}
+	}
+	return a, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	a, err := p.eqExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("&&") {
+		line := p.cur().Line
+		p.pos++
+		b, err := p.eqExpr()
+		if err != nil {
+			return nil, err
+		}
+		a = &LogicalExpr{Op: "&&", A: a, B: b, Line: line}
+	}
+	return a, nil
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	return p.binLevel([]string{"==", "!="}, p.relExpr)
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	return p.binLevel([]string{"<", "<=", ">", ">="}, p.addExpr)
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binLevel([]string{"*", "/", "%"}, p.unaryExpr)
+}
+
+func (p *parser) binLevel(ops []string, sub func() (Expr, error)) (Expr, error) {
+	a, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range ops {
+			if p.isPunct(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return a, nil
+		}
+		line := p.cur().Line
+		p.pos++
+		b, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		a = &BinExpr{Op: matched, A: a, B: b, Line: line}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if p.isPunct("-") || p.isPunct("!") {
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x, Line: t.Line}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == Number:
+		p.pos++
+		return &NumExpr{Val: t.Val, Line: t.Line}, nil
+	case p.isPunct("("):
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.isKeyword("rand"):
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		bound, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &RandExpr{Bound: bound, Line: t.Line}, nil
+	case p.isPunct("@"):
+		p.pos++
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &FuncRefExpr{Name: name.Text, Line: t.Line}, nil
+	case t.Kind == Ident:
+		p.pos++
+		if p.isPunct("(") {
+			p.pos++
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			if !p.isPunct(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.isPunct("[") {
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Array: t.Text, Idx: idx, Line: t.Line}, nil
+		}
+		return &VarExpr{Name: t.Text, Line: t.Line}, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", t)
+	}
+}

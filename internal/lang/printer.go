@@ -1,0 +1,148 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed File back to source text. The output re-parses to
+// an equivalent AST (the round trip is property-tested), which makes the
+// printer usable for program transformation tooling and for emitting the
+// generated fuzz programs in a canonical form.
+func Print(f *File) string {
+	var b strings.Builder
+	for _, g := range f.Globals {
+		if g.Init != 0 {
+			fmt.Fprintf(&b, "var %s = %d;\n", g.Name, g.Init)
+		} else {
+			fmt.Fprintf(&b, "var %s;\n", g.Name)
+		}
+	}
+	for _, a := range f.Arrays {
+		fmt.Fprintf(&b, "array %s[%d];\n", a.Name, a.Size)
+	}
+	if len(f.Globals)+len(f.Arrays) > 0 {
+		b.WriteByte('\n')
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "func %s(%s) {\n", fn.Name, strings.Join(fn.Params, ", "))
+		printStmts(&b, fn.Body, "\t")
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		printStmt(b, s, indent)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, indent string) {
+	switch s := s.(type) {
+	case *VarStmt:
+		if s.Init != nil {
+			fmt.Fprintf(b, "%svar %s = %s;\n", indent, s.Name, printExpr(s.Init))
+		} else {
+			fmt.Fprintf(b, "%svar %s;\n", indent, s.Name)
+		}
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, s.Name, printExpr(s.Val))
+	case *StoreStmt:
+		fmt.Fprintf(b, "%s%s[%s] = %s;\n", indent, s.Array, printExpr(s.Idx), printExpr(s.Val))
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif (%s) {\n", indent, printExpr(s.Cond))
+		printStmts(b, s.Then, indent+"\t")
+		if len(s.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			printStmts(b, s.Else, indent+"\t")
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *WhileStmt:
+		fmt.Fprintf(b, "%swhile (%s) {\n", indent, printExpr(s.Cond))
+		printStmts(b, s.Body, indent+"\t")
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *DoWhileStmt:
+		fmt.Fprintf(b, "%sdo {\n", indent)
+		printStmts(b, s.Body, indent+"\t")
+		fmt.Fprintf(b, "%s} while (%s);\n", indent, printExpr(s.Cond))
+	case *ForStmt:
+		init, post := "", ""
+		if s.Init != nil {
+			init = printSimple(s.Init)
+		}
+		if s.Post != nil {
+			post = printSimple(s.Post)
+		}
+		cond := ""
+		if s.Cond != nil {
+			cond = printExpr(s.Cond)
+		}
+		fmt.Fprintf(b, "%sfor (%s; %s; %s) {\n", indent, init, cond, post)
+		printStmts(b, s.Body, indent+"\t")
+		fmt.Fprintf(b, "%s}\n", indent)
+	case *BreakStmt:
+		fmt.Fprintf(b, "%sbreak;\n", indent)
+	case *ContinueStmt:
+		fmt.Fprintf(b, "%scontinue;\n", indent)
+	case *ReturnStmt:
+		if s.Val != nil {
+			fmt.Fprintf(b, "%sreturn %s;\n", indent, printExpr(s.Val))
+		} else {
+			fmt.Fprintf(b, "%sreturn;\n", indent)
+		}
+	case *PrintStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = printExpr(a)
+		}
+		fmt.Fprintf(b, "%sprint(%s);\n", indent, strings.Join(args, ", "))
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s%s;\n", indent, printExpr(s.E))
+	default:
+		fmt.Fprintf(b, "%s/* unknown statement %T */\n", indent, s)
+	}
+}
+
+// printSimple renders a statement without indentation or the trailing
+// semicolon (for-clause position).
+func printSimple(s Stmt) string {
+	var b strings.Builder
+	printStmt(&b, s, "")
+	out := strings.TrimSuffix(strings.TrimSpace(b.String()), ";")
+	return out
+}
+
+// printExpr renders an expression fully parenthesized (except leaves), so
+// re-parsing preserves the tree without needing precedence reasoning.
+func printExpr(e Expr) string {
+	switch e := e.(type) {
+	case *NumExpr:
+		return fmt.Sprintf("%d", e.Val)
+	case *VarExpr:
+		return e.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", e.Array, printExpr(e.Idx))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = printExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	case *RandExpr:
+		return fmt.Sprintf("rand(%s)", printExpr(e.Bound))
+	case *FuncRefExpr:
+		return "@" + e.Name
+	case *UnaryExpr:
+		return fmt.Sprintf("(%s%s)", e.Op, printExpr(e.X))
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", printExpr(e.A), e.Op, printExpr(e.B))
+	case *LogicalExpr:
+		return fmt.Sprintf("(%s %s %s)", printExpr(e.A), e.Op, printExpr(e.B))
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,102 @@
+package lang
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pathprof/internal/randprog"
+)
+
+// stripPositions zeroes line/column info so ASTs can be compared
+// structurally.
+func stripPositions(v any) {
+	stripValue(reflect.ValueOf(v))
+}
+
+func stripValue(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if !v.IsNil() {
+			stripValue(v.Elem())
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if v.Type().Field(i).Name == "Line" && f.Kind() == reflect.Int {
+				f.SetInt(0)
+				continue
+			}
+			stripValue(f)
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			stripValue(v.Index(i))
+		}
+	}
+}
+
+func TestPrintRoundTripsHandWritten(t *testing.T) {
+	src := `
+		var g = 3;
+		var h;
+		array tab[16];
+		func f(a, b) {
+			var x = a + b * 2;
+			if (x > 10 && a != 0) { return x; } else { x = -x; }
+			while (x < 100) {
+				x = x * 2;
+				if (x == 64) { break; }
+				if (x % 3 == 0) { continue; }
+			}
+			do { x = x - 1; } while (x > 50);
+			for (var i = 0; i < 4; i = i + 1) { tab[i] = f(x, i); }
+			var fn = @f;
+			print(x, tab[0], rand(5), !x);
+			return fn(1, 2);
+		}
+		func main() { print(g, h); f(1, 2); }
+	`
+	a1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	printed := Print(a1)
+	a2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse printed source: %v\n%s", err, printed)
+	}
+	stripPositions(a1)
+	stripPositions(a2)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("round trip changed the AST.\n--- printed ---\n%s", printed)
+	}
+	// And printing is a fixpoint after one round.
+	if p2 := Print(a2); p2 != printed {
+		t.Fatalf("printer not idempotent:\n%s\n---\n%s", printed, p2)
+	}
+}
+
+func TestPrintRoundTripsGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		src := randprog.Generate(rand.New(rand.NewSource(seed)), randprog.DefaultConfig())
+		a1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		printed := Print(a1)
+		a2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v", seed, err)
+		}
+		stripPositions(a1)
+		stripPositions(a2)
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("seed %d: round trip changed the AST", seed)
+		}
+		// The printed form must also compile to a valid program.
+		if _, err := Compile(printed); err != nil {
+			t.Fatalf("seed %d: printed source does not compile: %v", seed, err)
+		}
+	}
+}

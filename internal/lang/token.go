@@ -1,0 +1,169 @@
+// Package lang implements the small imperative language that profiled
+// programs are written in: integer scalars and arrays, functions, C-style
+// control flow with short-circuit booleans, deterministic rand(), and
+// function references for indirect calls.
+//
+// It plays the role of the C frontend in the paper's Trimaran pipeline: a
+// way to write realistic loop- and call-structured workloads that lower to
+// the IR the profiler instruments.
+//
+// Grammar (EBNF, ";" terminates simple statements):
+//
+//	program   = { "var" ident [ "=" number ] ";"
+//	            | "array" ident "[" number "]" ";"
+//	            | "func" ident "(" [ ident { "," ident } ] ")" block } .
+//	block     = "{" { stmt } "}" .
+//	stmt      = "var" ident [ "=" expr ] ";"
+//	          | ident "=" expr ";"
+//	          | ident "[" expr "]" "=" expr ";"
+//	          | "if" "(" expr ")" block [ "else" ( block | ifstmt ) ]
+//	          | "while" "(" expr ")" block
+//	          | "do" block "while" "(" expr ")" ";"
+//	          | "for" "(" [ simple ] ";" [ expr ] ";" [ simple ] ")" block
+//	          | "break" ";" | "continue" ";"
+//	          | "return" [ expr ] ";"
+//	          | "print" "(" [ expr { "," expr } ] ")" ";"
+//	          | expr ";" .
+//	expr      = or-chain of && / || over ==, !=, <, <=, >, >=, +, -, *, /, %,
+//	            unary - and !, calls f(args), indirect calls v(args),
+//	            indexing a[e], rand(e), function references @f .
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	Keyword
+	Punct
+)
+
+// Token is one lexeme with its position.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int64 // for Number
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case Number:
+		return fmt.Sprintf("number %d", t.Val)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"var": true, "array": true, "func": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"break": true, "continue": true, "return": true,
+	"print": true, "rand": true,
+}
+
+// Lex tokenizes src. It returns a token slice ending in EOF, or a
+// positioned error.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine := line
+			advance(2)
+			closed := false
+			for i+1 < n {
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, fmt.Errorf("line %d: unterminated block comment", startLine)
+			}
+		case unicode.IsDigit(rune(c)):
+			startCol := col
+			j := i
+			var v int64
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				v = v*10 + int64(src[j]-'0')
+				if v < 0 {
+					return nil, fmt.Errorf("line %d:%d: integer literal overflows int64", line, startCol)
+				}
+				j++
+			}
+			toks = append(toks, Token{Kind: Number, Text: src[i:j], Val: v, Line: line, Col: startCol})
+			advance(j - i)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startCol := col
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			k := Ident
+			if keywords[word] {
+				k = Keyword
+			}
+			toks = append(toks, Token{Kind: k, Text: word, Line: line, Col: startCol})
+			advance(j - i)
+		default:
+			startCol := col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, Token{Kind: Punct, Text: two, Line: line, Col: startCol})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}', '[', ']', ';', ',', '@':
+				toks = append(toks, Token{Kind: Punct, Text: string(c), Line: line, Col: startCol})
+				advance(1)
+			default:
+				return nil, fmt.Errorf("line %d:%d: unexpected character %q", line, startCol, string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Line: line, Col: col})
+	return toks, nil
+}

@@ -1,0 +1,108 @@
+package olpath
+
+import (
+	"fmt"
+
+	"pathprof/internal/cfg"
+)
+
+// MaxDegree returns the maximum useful degree of overlap for this extension
+// region: one less than the largest number of predicate-like blocks on any
+// route from the root (the paper's "maximum possible overlap"). Degrees
+// beyond this add no paths. The value is independent of the K the Ext was
+// built with.
+func (x *Ext) MaxDegree() int {
+	max := 0
+	for _, d := range x.maxDepth {
+		if d > max {
+			max = d
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return max - 1
+}
+
+// CountDegreeExts counts the extension routes of degree exactly K: routes
+// from the root whose terminal block is the (K+1)-th predicate-like block.
+// Multiplied by the number of base paths, this is the per-degree path count
+// the paper reports in Tables 3, 6 and 7. Counting aborts past limit.
+func (x *Ext) CountDegreeExts(limit int) (int, error) {
+	count := 0
+	var walk func(v cfg.NodeID, preds int) error
+	walk = func(v cfg.NodeID, preds int) error {
+		if preds >= x.K+1 {
+			count++
+			if count > limit {
+				return fmt.Errorf("olpath: more than %d degree-%d extensions", limit, x.K)
+			}
+			return nil
+		}
+		for _, e := range x.regionEdges(v) {
+			if x.Classify(e) == DNI || !x.og[e.To] {
+				continue
+			}
+			d := 0
+			if x.D.PredicateLike(e.To) {
+				d = 1
+			}
+			if err := walk(e.To, preds+d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(x.Root, x.RootDepth()); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// EnumerateCutExts returns every possible "completed" extension sequence at
+// degree K: routes frozen at the (K+1)-th predicate-like block, plus routes
+// that end early at a region sink (no kept out-edges — the procedure exit or
+// a pure backedge source). These are exactly the distinct counter keys a
+// degree-K profile can produce for completed overlapped components, and the
+// estimation layer uses them to zero-fill unobserved counters.
+func (x *Ext) EnumerateCutExts(limit int) ([][]cfg.NodeID, error) {
+	var out [][]cfg.NodeID
+	var seq []cfg.NodeID
+	var walk func(v cfg.NodeID, preds int) error
+	walk = func(v cfg.NodeID, preds int) error {
+		seq = append(seq, v)
+		defer func() { seq = seq[:len(seq)-1] }()
+		if preds >= x.K+1 {
+			out = append(out, append([]cfg.NodeID(nil), seq...))
+			if len(out) > limit {
+				return fmt.Errorf("olpath: more than %d cut extensions", limit)
+			}
+			return nil
+		}
+		progressed := false
+		for _, e := range x.regionEdges(v) {
+			if x.Classify(e) == DNI || !x.og[e.To] {
+				continue
+			}
+			d := 0
+			if x.D.PredicateLike(e.To) {
+				d = 1
+			}
+			progressed = true
+			if err := walk(e.To, preds+d); err != nil {
+				return err
+			}
+		}
+		if !progressed {
+			out = append(out, append([]cfg.NodeID(nil), seq...))
+			if len(out) > limit {
+				return fmt.Errorf("olpath: more than %d cut extensions", limit)
+			}
+		}
+		return nil
+	}
+	if err := walk(x.Root, x.RootDepth()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

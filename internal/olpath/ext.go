@@ -1,0 +1,376 @@
+// Package olpath implements the paper's overlapping-path machinery: the
+// overlapping graph (OG) with its DI / PI / DNI edge classification, the
+// degree-k extension semantics, and a compact arithmetic encoding of
+// extension routes.
+//
+// The same machinery serves all three uses in the paper:
+//
+//   - loop OL paths: extensions rooted at a loop header, restricted to the
+//     loop body, activated when a backedge is taken;
+//   - Type I interprocedural OL paths: extensions rooted at the callee's
+//     entry, activated when a call is made;
+//   - Type II interprocedural OL paths: extensions rooted at the call-site
+//     block, activated when the callee returns.
+//
+// An extension walks real (non-backedge) CFG edges from its root and freezes
+// when the cumulative number of predicate-like blocks (conditionals, the
+// procedure exit, backedge sources) reaches k+1, the (k+1)-th predicate
+// block of the paper. Routes are encoded as a single integer: each kept OG
+// edge carries a value such that the running sum uniquely identifies the
+// route walked so far, a strengthening of Ball-Larus numbering obtained by
+// giving every OG node an implicit "stop here" alternative.
+package olpath
+
+import (
+	"fmt"
+	"sort"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+)
+
+// Class is the paper's instrumentation classification for an edge of the
+// overlapping graph.
+type Class int
+
+const (
+	// DNI (definitely not instrumented): every route from the root to
+	// the edge has more than k predicates.
+	DNI Class = iota
+	// DI (definitely instrumented): every route has at most k predicates.
+	DI
+	// PI (possibly instrumented): some routes have at most k predicates,
+	// others more; the probe is guarded at run time.
+	PI
+)
+
+func (c Class) String() string {
+	switch c {
+	case DI:
+		return "DI"
+	case PI:
+		return "PI"
+	case DNI:
+		return "DNI"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// MaxExtRoutes bounds the number of extension routes an Ext may encode.
+const MaxExtRoutes int64 = 1 << 40
+
+// Ext is the degree-k extension region rooted at Root.
+type Ext struct {
+	D *bl.DAG
+	// Root is the block extensions start at (loop header, callee entry,
+	// or call-site block).
+	Root cfg.NodeID
+	// K is the degree of overlap.
+	K int
+
+	allowed func(cfg.NodeID) bool
+
+	// region is the set of nodes reachable from Root via real
+	// non-backedge edges within allowed, irrespective of K.
+	region map[cfg.NodeID]bool
+	// minDepth/maxDepth give the min/max number of predicate-like blocks
+	// on routes from Root to each region node, inclusive of both ends.
+	minDepth, maxDepth map[cfg.NodeID]int
+	// class classifies each region edge.
+	class map[cfg.Edge]Class
+	// og is the set of overlapping-graph nodes: region nodes reachable
+	// from Root via non-DNI edges.
+	og map[cfg.NodeID]bool
+	// val carries the route-encoding increments of kept (non-DNI) OG
+	// edges.
+	val map[cfg.Edge]int64
+	// numExt[v] is the number of routes from v (1 for "stop at v" plus
+	// the routes through each kept out-edge).
+	numExt map[cfg.NodeID]int64
+}
+
+// NewExt builds the degree-k extension region of d rooted at root. The
+// allowed predicate restricts the region (pass nil for the whole
+// procedure); the root itself must be allowed. Backedges never belong to a
+// region.
+func NewExt(d *bl.DAG, root cfg.NodeID, allowed func(cfg.NodeID) bool, k int) (*Ext, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("olpath: negative degree %d", k)
+	}
+	if allowed == nil {
+		allowed = func(cfg.NodeID) bool { return true }
+	}
+	if !allowed(root) {
+		return nil, fmt.Errorf("olpath: root %s not in allowed region", d.G.Label(root))
+	}
+	x := &Ext{
+		D: d, Root: root, K: k, allowed: allowed,
+		region:   map[cfg.NodeID]bool{},
+		minDepth: map[cfg.NodeID]int{},
+		maxDepth: map[cfg.NodeID]int{},
+		class:    map[cfg.Edge]Class{},
+		og:       map[cfg.NodeID]bool{},
+		val:      map[cfg.Edge]int64{},
+		numExt:   map[cfg.NodeID]int64{},
+	}
+	if err := x.build(); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// regionEdges returns v's outgoing region edges (real, non-backedge, both
+// endpoints allowed), in successor order.
+func (x *Ext) regionEdges(v cfg.NodeID) []cfg.Edge {
+	var out []cfg.Edge
+	for _, s := range x.D.G.Succs(v) {
+		e := cfg.Edge{From: v, To: s}
+		if x.D.IsBackedge(e) || !x.allowed(s) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func (x *Ext) build() error {
+	// 1. Region reachability.
+	stack := []cfg.NodeID{x.Root}
+	x.region[x.Root] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range x.regionEdges(v) {
+			if !x.region[e.To] {
+				x.region[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+
+	// 2. Topological order of the region (acyclic: backedges excluded).
+	order, err := x.topoRegion()
+	if err != nil {
+		return err
+	}
+
+	// 3. Depth DP over the topological order.
+	for _, v := range order {
+		x.minDepth[v] = 1 << 30
+		x.maxDepth[v] = -1
+	}
+	rootDepth := 0
+	if x.D.PredicateLike(x.Root) {
+		rootDepth = 1
+	}
+	x.minDepth[x.Root] = rootDepth
+	x.maxDepth[x.Root] = rootDepth
+	for _, v := range order {
+		if x.maxDepth[v] < 0 {
+			continue // not reachable (cannot happen; defensive)
+		}
+		for _, e := range x.regionEdges(v) {
+			w := e.To
+			d := 0
+			if x.D.PredicateLike(w) {
+				d = 1
+			}
+			if nd := x.minDepth[v] + d; nd < x.minDepth[w] {
+				x.minDepth[w] = nd
+			}
+			if nd := x.maxDepth[v] + d; nd > x.maxDepth[w] {
+				x.maxDepth[w] = nd
+			}
+		}
+	}
+
+	// 4. Edge classification by the depth of the edge's source.
+	for v := range x.region {
+		for _, e := range x.regionEdges(v) {
+			switch {
+			case x.maxDepth[v] <= x.K:
+				x.class[e] = DI
+			case x.minDepth[v] <= x.K:
+				x.class[e] = PI
+			default:
+				x.class[e] = DNI
+			}
+		}
+	}
+
+	// 5. OG nodes: reachable from root via kept (non-DNI) edges.
+	x.og[x.Root] = true
+	stack = []cfg.NodeID{x.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range x.regionEdges(v) {
+			if x.class[e] == DNI || x.og[e.To] {
+				continue
+			}
+			x.og[e.To] = true
+			stack = append(stack, e.To)
+		}
+	}
+
+	// 6. Route encoding over the OG: numExt(v) = 1 + Σ numExt over kept
+	// out-edges, values assigned so running sums identify routes.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if !x.og[v] {
+			continue
+		}
+		running := int64(1) // the implicit "stop at v" route
+		for _, e := range x.regionEdges(v) {
+			if x.class[e] == DNI || !x.og[e.To] {
+				continue
+			}
+			x.val[e] = running
+			running += x.numExt[e.To]
+			if running > MaxExtRoutes {
+				return fmt.Errorf("olpath: more than %d extension routes from %s",
+					MaxExtRoutes, x.D.G.Label(x.Root))
+			}
+		}
+		x.numExt[v] = running
+	}
+	return nil
+}
+
+// topoRegion returns the region nodes in topological order.
+func (x *Ext) topoRegion() ([]cfg.NodeID, error) {
+	indeg := map[cfg.NodeID]int{}
+	for v := range x.region {
+		indeg[v] += 0
+		for _, e := range x.regionEdges(v) {
+			indeg[e.To]++
+		}
+	}
+	var queue []cfg.NodeID
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	var order []cfg.NodeID
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range x.regionEdges(v) {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(x.region) {
+		return nil, fmt.Errorf("olpath: cycle in extension region at %s (irreducibility should have been rejected earlier)",
+			x.D.G.Label(x.Root))
+	}
+	return order, nil
+}
+
+// InOG reports whether v belongs to the overlapping graph.
+func (x *Ext) InOG(v cfg.NodeID) bool { return x.og[v] }
+
+// InRegion reports whether v belongs to the (degree-independent) region.
+func (x *Ext) InRegion(v cfg.NodeID) bool { return x.region[v] }
+
+// Classify returns the classification of region edge e (DNI for edges
+// outside the region).
+func (x *Ext) Classify(e cfg.Edge) Class {
+	if c, ok := x.class[e]; ok {
+		return c
+	}
+	return DNI
+}
+
+// Val returns the route-encoding increment of kept OG edge e (0 for others,
+// which a frozen tracker never adds anyway).
+func (x *Ext) Val(e cfg.Edge) int64 { return x.val[e] }
+
+// Routes returns the total number of encodable routes from the root.
+func (x *Ext) Routes() int64 { return x.numExt[x.Root] }
+
+// RootDepth returns the predicate depth of the root itself (0 or 1).
+func (x *Ext) RootDepth() int {
+	if x.D.PredicateLike(x.Root) {
+		return 1
+	}
+	return 0
+}
+
+// Decode translates a route encoding back into the block sequence from the
+// root to the stop node. Accum 0 is the empty route (just the root).
+func (x *Ext) Decode(accum int64) ([]cfg.NodeID, error) {
+	if accum < 0 {
+		return nil, fmt.Errorf("olpath: negative route encoding %d", accum)
+	}
+	blocks := []cfg.NodeID{x.Root}
+	v := x.Root
+	rem := accum
+	for rem > 0 {
+		var chosen cfg.Edge
+		var chosenVal int64 = -1
+		for _, e := range x.regionEdges(v) {
+			ev, ok := x.val[e]
+			if !ok {
+				continue
+			}
+			if ev <= rem && ev > chosenVal {
+				chosen = e
+				chosenVal = ev
+			}
+		}
+		if chosenVal < 0 {
+			return nil, fmt.Errorf("olpath: undecodable route %d (stuck at %s with %d left)",
+				accum, x.D.G.Label(v), rem)
+		}
+		rem -= chosenVal
+		v = chosen.To
+		blocks = append(blocks, v)
+	}
+	return blocks, nil
+}
+
+// Encode is the inverse of Decode: it maps a root-anchored block sequence to
+// its route encoding. It errors if the sequence does not follow kept OG
+// edges.
+func (x *Ext) Encode(blocks []cfg.NodeID) (int64, error) {
+	if len(blocks) == 0 || blocks[0] != x.Root {
+		return 0, fmt.Errorf("olpath: sequence does not start at root %s", x.D.G.Label(x.Root))
+	}
+	var accum int64
+	for i := 0; i+1 < len(blocks); i++ {
+		e := cfg.Edge{From: blocks[i], To: blocks[i+1]}
+		v, ok := x.val[e]
+		if !ok {
+			return 0, fmt.Errorf("olpath: edge %s->%s not a kept OG edge",
+				x.D.G.Label(e.From), x.D.G.Label(e.To))
+		}
+		accum += v
+	}
+	return accum, nil
+}
+
+// CutSeq returns the degree-k cut of a root-anchored block sequence: the
+// prefix up to and including the block where the cumulative predicate-like
+// count reaches K+1, or the whole sequence if it never does.
+func (x *Ext) CutSeq(blocks []cfg.NodeID) []cfg.NodeID {
+	if len(blocks) == 0 || blocks[0] != x.Root {
+		return nil
+	}
+	preds := 0
+	for i, b := range blocks {
+		if x.D.PredicateLike(b) {
+			preds++
+		}
+		if preds >= x.K+1 {
+			return blocks[:i+1]
+		}
+	}
+	return blocks
+}

@@ -1,0 +1,67 @@
+// Package overhead models instrumentation cost the way the paper reports
+// it: as the ratio of probe work to base program work. The interpreter
+// counts base operations (one per IR instruction plus terminator); the
+// instrumented runtime counts probe operations using the constants below.
+//
+// The constants are calibrated to the usual cost accounting for path
+// profiling probes: register updates are single ALU ops, counter updates
+// touch memory (the paper uses counter arrays; hashed counters as in
+// Ball-Larus's practical implementation cost a few ops more), and the
+// interprocedural four-tuple counter is the most expensive probe.
+package overhead
+
+// Probe operation costs, in base-operation units.
+const (
+	// RegOp is a register update probe (r += x, ro = r + y, ol++).
+	RegOp = 1
+	// GuardOp is a conditional test guarding a probe (PI edges, exit
+	// checks).
+	GuardOp = 1
+	// CounterOp is a path-counter update (count[r]++).
+	CounterOp = 4
+	// TupleCounterOp is a four-tuple interprocedural counter update
+	// (count[func][site][r][ro]++).
+	TupleCounterOp = 6
+	// CallProbeOp is the per-call bookkeeping (passing r, the site id,
+	// and the callee id for function-pointer calls).
+	CallProbeOp = 2
+)
+
+// Report aggregates one instrumented run's costs.
+type Report struct {
+	// BaseOps is the uninstrumented program's operation count.
+	BaseOps int64
+	// BLOps, LoopOps, InterOps are probe operations by category:
+	// Ball-Larus profiling, overlapping loop paths, and overlapping
+	// interprocedural paths.
+	BLOps, LoopOps, InterOps int64
+}
+
+func pct(n, base int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(base)
+}
+
+// BLPct is the Ball-Larus profiling overhead percentage.
+func (r Report) BLPct() float64 { return pct(r.BLOps, r.BaseOps) }
+
+// LoopPct is the overlapping-loop-path overhead percentage (probes beyond
+// BL).
+func (r Report) LoopPct() float64 { return pct(r.LoopOps, r.BaseOps) }
+
+// InterPct is the overlapping-interprocedural-path overhead percentage.
+func (r Report) InterPct() float64 { return pct(r.InterOps, r.BaseOps) }
+
+// AllPct is the total overlapping-path overhead percentage (loop +
+// interprocedural, as in the paper's "All" column).
+func (r Report) AllPct() float64 { return pct(r.LoopOps+r.InterOps, r.BaseOps) }
+
+// RatioToBL is the paper's "All / BL" overhead ratio.
+func (r Report) RatioToBL() float64 {
+	if r.BLOps == 0 {
+		return 0
+	}
+	return float64(r.LoopOps+r.InterOps) / float64(r.BLOps)
+}

@@ -1,0 +1,41 @@
+package overhead
+
+import "testing"
+
+func TestPercentages(t *testing.T) {
+	r := Report{BaseOps: 1000, BLOps: 200, LoopOps: 300, InterOps: 500}
+	if got := r.BLPct(); got != 20 {
+		t.Fatalf("BLPct = %v", got)
+	}
+	if got := r.LoopPct(); got != 30 {
+		t.Fatalf("LoopPct = %v", got)
+	}
+	if got := r.InterPct(); got != 50 {
+		t.Fatalf("InterPct = %v", got)
+	}
+	if got := r.AllPct(); got != 80 {
+		t.Fatalf("AllPct = %v", got)
+	}
+	if got := r.RatioToBL(); got != 4 {
+		t.Fatalf("RatioToBL = %v", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var r Report
+	if r.BLPct() != 0 || r.AllPct() != 0 || r.RatioToBL() != 0 {
+		t.Fatal("zero report must yield zero percentages")
+	}
+}
+
+func TestCostConstantsOrdering(t *testing.T) {
+	// The cost model's qualitative ordering: counters cost more than
+	// register ops, tuple counters most of all.
+	if !(RegOp <= GuardOp && GuardOp < CounterOp && CounterOp < TupleCounterOp) {
+		t.Fatalf("cost ordering violated: reg=%d guard=%d counter=%d tuple=%d",
+			RegOp, GuardOp, CounterOp, TupleCounterOp)
+	}
+	if CallProbeOp <= 0 {
+		t.Fatal("call probe must cost something")
+	}
+}

@@ -1,0 +1,230 @@
+package profile
+
+import (
+	"testing"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/lang"
+)
+
+const analyzedSrc = `
+func helper(x) {
+	if (x > 0) { return x; }
+	return -x;
+}
+func main() {
+	var s = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { s = s + helper(i); } else { s = s - 1; }
+		var j = 0;
+		while (j < 3) { j = j + 1; }
+	}
+	print(s);
+}
+`
+
+func analyzed(t *testing.T) *Info {
+	t.Helper()
+	prog, err := lang.Compile(analyzedSrc)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, err := Analyze(prog, Limits{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return info
+}
+
+func TestAnalyzeInventory(t *testing.T) {
+	info := analyzed(t)
+	if len(info.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(info.Funcs))
+	}
+	mainFi := info.Funcs[1]
+	if mainFi.Fn.Name != "main" {
+		t.Fatalf("func order: %s", mainFi.Fn.Name)
+	}
+	if len(mainFi.Loops) != 2 {
+		t.Fatalf("main loops = %d; want 2 (for + while)", len(mainFi.Loops))
+	}
+	if len(mainFi.CallSites) != 1 {
+		t.Fatalf("main call sites = %d; want 1", len(mainFi.CallSites))
+	}
+	cs := mainFi.CallSites[0]
+	if cs.Indirect || cs.Callee != 0 {
+		t.Fatalf("call site: indirect=%v callee=%d", cs.Indirect, cs.Callee)
+	}
+	if mainFi.CallSiteOfBlock[cs.Block] != cs {
+		t.Fatal("CallSiteOfBlock lookup broken")
+	}
+	// Loop lookups.
+	for _, li := range mainFi.Loops {
+		if mainFi.LoopOfHead[li.Loop.Head] != li {
+			t.Fatal("LoopOfHead lookup broken")
+		}
+		for _, be := range li.Loop.Backedges {
+			if mainFi.LoopOfBackedge[be] != li {
+				t.Fatal("LoopOfBackedge lookup broken")
+			}
+		}
+	}
+	// OfFunc mapping.
+	if info.OfFunc(mainFi.Fn) != mainFi {
+		t.Fatal("OfFunc lookup broken")
+	}
+	if info.MaxDegree() < 1 {
+		t.Fatalf("MaxDegree = %d", info.MaxDegree())
+	}
+}
+
+func TestExtCachingAndClamping(t *testing.T) {
+	info := analyzed(t)
+	mainFi := info.Funcs[1]
+	li := mainFi.Loops[0]
+	x1, err := li.Ext(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1again, err := li.Ext(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1 != x1again {
+		t.Fatal("Ext not cached")
+	}
+	if got := li.EffectiveK(li.MaxDeg + 10); got != li.MaxDeg {
+		t.Fatalf("EffectiveK = %d; want clamp to %d", got, li.MaxDeg)
+	}
+	cs := mainFi.CallSites[0]
+	if got := cs.EffectiveKSuffix(cs.MaxDegSuffix + 5); got != cs.MaxDegSuffix {
+		t.Fatalf("EffectiveKSuffix = %d", got)
+	}
+	helper := info.Funcs[0]
+	if got := helper.EffectiveKEntry(helper.MaxDegEntry + 5); got != helper.MaxDegEntry {
+		t.Fatalf("EffectiveKEntry = %d", got)
+	}
+}
+
+func TestPrefixesMatchWays(t *testing.T) {
+	info := analyzed(t)
+	mainFi := info.Funcs[1]
+	cs := mainFi.CallSites[0]
+	ps, err := mainFi.Prefixes(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Items) == 0 {
+		t.Fatal("no prefixes")
+	}
+	// The number of prefixes equals the DAG route count to the site.
+	ways := mainFi.DAG.Ways()
+	if int64(len(ps.Items)) != ways[cs.Block] {
+		t.Fatalf("prefixes %d != ways %d", len(ps.Items), ways[cs.Block])
+	}
+	// Accums are unique and resolvable.
+	seen := map[int64]bool{}
+	for i, it := range ps.Items {
+		if seen[it.Accum] {
+			t.Fatalf("duplicate accum %d", it.Accum)
+		}
+		seen[it.Accum] = true
+		if ps.IndexOfAccum(it.Accum) != i {
+			t.Fatal("IndexOfAccum mismatch")
+		}
+		if it.Blocks[len(it.Blocks)-1] != cs.Block {
+			t.Fatal("prefix does not end at call site")
+		}
+	}
+	if ps.IndexOfAccum(-12345) != -1 {
+		t.Fatal("IndexOfAccum invented a route")
+	}
+	// Caching.
+	ps2, _ := mainFi.Prefixes(cs)
+	if ps2 != ps {
+		t.Fatal("Prefixes not cached")
+	}
+}
+
+func TestPrefixAccumsAgreeWithPathAccumAt(t *testing.T) {
+	info := analyzed(t)
+	mainFi := info.Funcs[1]
+	cs := mainFi.CallSites[0]
+	ps, err := mainFi.Prefixes(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := mainFi.DAG.EnumeratePaths(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		a, visits := p.AccumAt(cs.Block)
+		if !visits {
+			continue
+		}
+		if ps.IndexOfAccum(a) < 0 {
+			t.Fatalf("path %d's accum %d at the site is not an enumerated prefix", p.ID, a)
+		}
+	}
+}
+
+func TestSuffixesEnumerate(t *testing.T) {
+	info := analyzed(t)
+	mainFi := info.Funcs[1]
+	cs := mainFi.CallSites[0]
+	ss, err := mainFi.Suffixes(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Seqs) == 0 {
+		t.Fatal("no suffixes")
+	}
+	for _, s := range ss.Seqs {
+		if s[0] != cs.Block {
+			t.Fatal("suffix does not start at call site")
+		}
+		if ss.IndexOf(s) < 0 {
+			t.Fatal("IndexOf lost a suffix")
+		}
+	}
+	if ss.IndexOf([]cfg.NodeID{99}) != -1 {
+		t.Fatal("IndexOf invented a suffix")
+	}
+	// Every path visiting the site has its suffix enumerated.
+	paths, err := mainFi.DAG.EnumeratePaths(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if _, visits := p.AccumAt(cs.Block); !visits {
+			continue
+		}
+		var sfx []cfg.NodeID
+		for i, b := range p.Blocks {
+			if b == cs.Block {
+				sfx = p.Blocks[i:]
+				break
+			}
+		}
+		if ss.IndexOf(sfx) < 0 {
+			t.Fatalf("path %d suffix %s not enumerated", p.ID, bl.FormatSeq(mainFi.G, sfx))
+		}
+	}
+}
+
+func TestCountersAllocation(t *testing.T) {
+	c := NewCounters(3)
+	if len(c.BL) != 3 {
+		t.Fatalf("BL maps = %d", len(c.BL))
+	}
+	c.BL[2][5]++
+	c.Loop[LoopKey{Func: 1}]++
+	c.TypeI[TypeIKey{Caller: 1}]++
+	c.TypeII[TypeIIKey{Caller: 1}]++
+	c.Calls[CallKey{Caller: 1}]++
+	if c.BL[2][5] != 1 || len(c.Loop) != 1 {
+		t.Fatal("counter maps broken")
+	}
+}

@@ -1,0 +1,81 @@
+package profile
+
+import (
+	"sort"
+
+	"pathprof/internal/bl"
+)
+
+// SelectHot builds a Selection from a Ball-Larus profiling run: the hottest
+// loops (by backedge crossings) and call sites (by call count) that together
+// cover at least the given fraction of each category's crossing events.
+// This is the two-phase "profile cheaply, then overlap-profile only where
+// the flow is" scheme the paper's conclusion points at.
+func SelectHot(info *Info, c *Counters, coverage float64) (*Selection, error) {
+	if coverage < 0 {
+		coverage = 0
+	}
+	if coverage > 1 {
+		coverage = 1
+	}
+	sel := &Selection{Loops: map[LoopID]bool{}, Sites: map[SiteID]bool{}}
+
+	type weighted struct {
+		loop LoopID
+		site SiteID
+		w    uint64
+	}
+
+	// Loop weights: backedge crossing counts from the BL profile.
+	var loops []weighted
+	var loopTotal uint64
+	for fidx, fi := range info.Funcs {
+		for _, li := range fi.Loops {
+			lf, err := bl.ComputeLoopFlow(fi.DAG, li.LP, c.BL[fidx])
+			if err != nil {
+				return nil, err
+			}
+			loops = append(loops, weighted{loop: LoopID{fidx, li.Index}, w: lf.B})
+			loopTotal += lf.B
+		}
+	}
+	sort.SliceStable(loops, func(i, j int) bool { return loops[i].w > loops[j].w })
+	var cum uint64
+	for _, lw := range loops {
+		if lw.w == 0 || float64(cum) >= coverage*float64(loopTotal) {
+			break
+		}
+		sel.Loops[lw.loop] = true
+		cum += lw.w
+	}
+
+	// Site weights: call counts summed over callees.
+	siteW := map[SiteID]uint64{}
+	var siteTotal uint64
+	for ck, n := range c.Calls {
+		siteW[SiteID{ck.Caller, ck.Site}] += n
+		siteTotal += n
+	}
+	var sites []weighted
+	for id, w := range siteW {
+		sites = append(sites, weighted{site: id, w: w})
+	}
+	sort.SliceStable(sites, func(i, j int) bool {
+		if sites[i].w != sites[j].w {
+			return sites[i].w > sites[j].w
+		}
+		if sites[i].site.Func != sites[j].site.Func {
+			return sites[i].site.Func < sites[j].site.Func
+		}
+		return sites[i].site.Site < sites[j].site.Site
+	})
+	cum = 0
+	for _, sw := range sites {
+		if sw.w == 0 || float64(cum) >= coverage*float64(siteTotal) {
+			break
+		}
+		sel.Sites[sw.site] = true
+		cum += sw.w
+	}
+	return sel, nil
+}

@@ -1,0 +1,47 @@
+package profile
+
+// Selection restricts overlapping-path instrumentation to chosen loops and
+// call sites — the overhead-reduction direction the paper's conclusion
+// points at (selective path profiling, Apiwattanapong & Harrold; targeted
+// path profiling, Joshi, Bond & Zilles). Structures outside the selection
+// keep plain Ball-Larus probes only; the estimation layer falls back to
+// BL-only constraints for them.
+type Selection struct {
+	// Loops maps selected loops.
+	Loops map[LoopID]bool
+	// Sites maps selected call sites (covering both Type I and Type II
+	// profiling at the site).
+	Sites map[SiteID]bool
+}
+
+// LoopID identifies a loop program-wide.
+type LoopID struct{ Func, Loop int }
+
+// SiteID identifies a call site program-wide.
+type SiteID struct{ Func, Site int }
+
+// LoopOn reports whether the loop is selected (a nil Selection selects
+// everything).
+func (s *Selection) LoopOn(fn, loop int) bool {
+	if s == nil {
+		return true
+	}
+	return s.Loops[LoopID{fn, loop}]
+}
+
+// SiteOn reports whether the call site is selected.
+func (s *Selection) SiteOn(fn, site int) bool {
+	if s == nil {
+		return true
+	}
+	return s.Sites[SiteID{fn, site}]
+}
+
+// Counts returns the number of selected loops and sites (-1, -1 for the
+// select-everything nil selection).
+func (s *Selection) Counts() (loops, sites int) {
+	if s == nil {
+		return -1, -1
+	}
+	return len(s.Loops), len(s.Sites)
+}

@@ -1,0 +1,154 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file gives Counters a stable on-disk form, so two-phase workflows
+// (profile once, pick placements or selections, profile again — or estimate
+// offline) can run across processes. The format is line-oriented JSON: a
+// header record followed by one record per counter, sorted for
+// reproducibility.
+
+// serializedHeader identifies the format.
+type serializedHeader struct {
+	Format   string `json:"format"`
+	Version  int    `json:"version"`
+	NumFuncs int    `json:"numFuncs"`
+}
+
+const (
+	formatName    = "pathprof-counters"
+	formatVersion = 1
+)
+
+// record is one counter line.
+type record struct {
+	Kind string `json:"kind"` // "bl", "loop", "t1", "t2", "call"
+	// Fields used per kind; zero values omitted.
+	Func   int    `json:"func,omitempty"`
+	Loop   int    `json:"loop,omitempty"`
+	Caller int    `json:"caller,omitempty"`
+	Site   int    `json:"site,omitempty"`
+	Callee int    `json:"callee,omitempty"`
+	Path   int64  `json:"path,omitempty"`
+	Base   int64  `json:"base,omitempty"`
+	Ext    int64  `json:"ext,omitempty"`
+	Prefix int64  `json:"prefix,omitempty"`
+	Full   bool   `json:"full,omitempty"`
+	N      uint64 `json:"n"`
+}
+
+// Serialize writes the counters in the stable line-JSON form.
+func (c *Counters) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(serializedHeader{Format: formatName, Version: formatVersion, NumFuncs: len(c.BL)}); err != nil {
+		return err
+	}
+
+	var recs []record
+	for f, m := range c.BL {
+		for id, n := range m {
+			recs = append(recs, record{Kind: "bl", Func: f, Path: id, N: n})
+		}
+	}
+	for k, n := range c.Loop {
+		recs = append(recs, record{Kind: "loop", Func: k.Func, Loop: k.Loop, Base: k.Base, Ext: k.Ext, Full: k.Full, N: n})
+	}
+	for k, n := range c.TypeI {
+		recs = append(recs, record{Kind: "t1", Caller: k.Caller, Site: k.Site, Callee: k.Callee, Prefix: k.Prefix, Ext: k.Ext, N: n})
+	}
+	for k, n := range c.TypeII {
+		recs = append(recs, record{Kind: "t2", Caller: k.Caller, Site: k.Site, Callee: k.Callee, Path: k.Path, Ext: k.Ext, N: n})
+	}
+	for k, n := range c.Calls {
+		recs = append(recs, record{Kind: "call", Caller: k.Caller, Site: k.Site, Callee: k.Callee, N: n})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Caller != b.Caller {
+			return a.Caller < b.Caller
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Callee != b.Callee {
+			return a.Callee < b.Callee
+		}
+		if a.Loop != b.Loop {
+			return a.Loop < b.Loop
+		}
+		if a.Base != b.Base {
+			return a.Base < b.Base
+		}
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Prefix != b.Prefix {
+			return a.Prefix < b.Prefix
+		}
+		return a.Ext < b.Ext
+	})
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCounters deserializes counters written by Serialize.
+func ReadCounters(r io.Reader) (*Counters, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr serializedHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("profile: reading header: %w", err)
+	}
+	if hdr.Format != formatName {
+		return nil, fmt.Errorf("profile: unknown format %q", hdr.Format)
+	}
+	if hdr.Version != formatVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d", hdr.Version)
+	}
+	if hdr.NumFuncs < 0 || hdr.NumFuncs > 1<<20 {
+		return nil, fmt.Errorf("profile: implausible function count %d", hdr.NumFuncs)
+	}
+	c := NewCounters(hdr.NumFuncs)
+	for {
+		var rec record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("profile: reading record: %w", err)
+		}
+		switch rec.Kind {
+		case "bl":
+			if rec.Func < 0 || rec.Func >= hdr.NumFuncs {
+				return nil, fmt.Errorf("profile: bl record for function %d of %d", rec.Func, hdr.NumFuncs)
+			}
+			c.BL[rec.Func][rec.Path] += rec.N
+		case "loop":
+			c.Loop[LoopKey{Func: rec.Func, Loop: rec.Loop, Base: rec.Base, Ext: rec.Ext, Full: rec.Full}] += rec.N
+		case "t1":
+			c.TypeI[TypeIKey{Caller: rec.Caller, Site: rec.Site, Callee: rec.Callee, Prefix: rec.Prefix, Ext: rec.Ext}] += rec.N
+		case "t2":
+			c.TypeII[TypeIIKey{Caller: rec.Caller, Site: rec.Site, Callee: rec.Callee, Path: rec.Path, Ext: rec.Ext}] += rec.N
+		case "call":
+			c.Calls[CallKey{Caller: rec.Caller, Site: rec.Site, Callee: rec.Callee}] += rec.N
+		default:
+			return nil, fmt.Errorf("profile: unknown record kind %q", rec.Kind)
+		}
+	}
+	return c, nil
+}

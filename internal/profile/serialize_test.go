@@ -1,0 +1,132 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleCounters() *Counters {
+	c := NewCounters(3)
+	c.BL[0][0] = 10
+	c.BL[0][7] = 3
+	c.BL[2][42] = 99
+	c.Loop[LoopKey{Func: 0, Loop: 1, Base: 7, Ext: 3, Full: true}] = 5
+	c.Loop[LoopKey{Func: 0, Loop: 1, Base: 7, Ext: 4, Full: false}] = 2
+	c.TypeI[TypeIKey{Caller: 0, Site: 1, Callee: 2, Prefix: 11, Ext: 6}] = 8
+	c.TypeII[TypeIIKey{Caller: 0, Site: 1, Callee: 2, Path: 13, Ext: 0}] = 8
+	c.Calls[CallKey{Caller: 0, Site: 1, Callee: 2}] = 8
+	return c
+}
+
+func equalCounters(a, b *Counters) bool {
+	if len(a.BL) != len(b.BL) {
+		return false
+	}
+	for f := range a.BL {
+		if len(a.BL[f]) != len(b.BL[f]) {
+			return false
+		}
+		for id, n := range a.BL[f] {
+			if b.BL[f][id] != n {
+				return false
+			}
+		}
+	}
+	if len(a.Loop) != len(b.Loop) || len(a.TypeI) != len(b.TypeI) ||
+		len(a.TypeII) != len(b.TypeII) || len(a.Calls) != len(b.Calls) {
+		return false
+	}
+	for k, n := range a.Loop {
+		if b.Loop[k] != n {
+			return false
+		}
+	}
+	for k, n := range a.TypeI {
+		if b.TypeI[k] != n {
+			return false
+		}
+	}
+	for k, n := range a.TypeII {
+		if b.TypeII[k] != n {
+			return false
+		}
+	}
+	for k, n := range a.Calls {
+		if b.Calls[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCountersRoundTrip(t *testing.T) {
+	c := sampleCounters()
+	var buf bytes.Buffer
+	if err := c.Serialize(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadCounters(&buf)
+	if err != nil {
+		t.Fatalf("ReadCounters: %v", err)
+	}
+	if !equalCounters(c, got) {
+		t.Fatal("round trip lost counters")
+	}
+}
+
+func TestCountersSerializationDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleCounters().Serialize(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleCounters().Serialize(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("serialization not deterministic")
+	}
+}
+
+func TestReadCountersRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "banana\n",
+		"wrong format":  `{"format":"other","version":1,"numFuncs":1}` + "\n",
+		"wrong version": `{"format":"pathprof-counters","version":99,"numFuncs":1}` + "\n",
+		"bad func":      `{"format":"pathprof-counters","version":1,"numFuncs":1}` + "\n" + `{"kind":"bl","func":7,"path":0,"n":1}` + "\n",
+		"bad kind":      `{"format":"pathprof-counters","version":1,"numFuncs":1}` + "\n" + `{"kind":"zzz","n":1}` + "\n",
+		"huge numFuncs": `{"format":"pathprof-counters","version":1,"numFuncs":99999999}` + "\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCounters(strings.NewReader(in)); err == nil {
+				t.Fatal("ReadCounters accepted garbage")
+			}
+		})
+	}
+}
+
+func TestSelectionHelpers(t *testing.T) {
+	var nilSel *Selection
+	if !nilSel.LoopOn(3, 4) || !nilSel.SiteOn(1, 2) {
+		t.Fatal("nil selection must select everything")
+	}
+	l, s := nilSel.Counts()
+	if l != -1 || s != -1 {
+		t.Fatal("nil selection counts")
+	}
+	sel := &Selection{
+		Loops: map[LoopID]bool{{0, 1}: true},
+		Sites: map[SiteID]bool{{2, 0}: true},
+	}
+	if !sel.LoopOn(0, 1) || sel.LoopOn(0, 2) {
+		t.Fatal("LoopOn wrong")
+	}
+	if !sel.SiteOn(2, 0) || sel.SiteOn(2, 1) {
+		t.Fatal("SiteOn wrong")
+	}
+	l, s = sel.Counts()
+	if l != 1 || s != 1 {
+		t.Fatal("Counts wrong")
+	}
+}

@@ -1,0 +1,294 @@
+// Package randprog generates random, always-terminating programs in the
+// bundled language. The end-to-end test suite uses it to fuzz the whole
+// pipeline: every generated program must compile, run, and produce
+// instrumented counters that match the ground-truth tracer key for key, at
+// every overlap degree.
+//
+// Termination is guaranteed by construction: every loop iterates over a
+// fresh counter with a constant bound, recursion happens only through a
+// dedicated self-decrementing function with a base case, and all other
+// calls go strictly to earlier-defined functions.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program's size.
+type Config struct {
+	// Funcs is the number of helper functions (≥ 1).
+	Funcs int
+	// MaxStmtsPerBlock bounds statement-list length.
+	MaxStmtsPerBlock int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// MainIters is the trip count of main's driver loop.
+	MainIters int
+}
+
+// DefaultConfig is sized so a generated program runs in well under a
+// millisecond while still exercising loops, calls, branches, indirect calls
+// and recursion.
+func DefaultConfig() Config {
+	return Config{Funcs: 4, MaxStmtsPerBlock: 4, MaxDepth: 3, MainIters: 40}
+}
+
+// Generate produces one random program.
+func Generate(r *rand.Rand, cfg Config) string {
+	if cfg.Funcs < 1 {
+		cfg = DefaultConfig()
+	}
+	g := &gen{r: r, cfg: cfg}
+	return g.program()
+}
+
+type gen struct {
+	r   *rand.Rand
+	cfg Config
+	// scope state for the function being generated. locals are readable;
+	// assignable excludes loop counters, whose mutation could break the
+	// termination guarantee.
+	locals     []string
+	assignable []string
+	allowRet   bool
+	// breakOK is false at the top level of main's driver loop, where a
+	// break would end the whole workload.
+	breakOK bool
+	loops   int
+	counter int
+	// funcs generated so far (callable from later functions)
+	funcs []string
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.counter++
+	return fmt.Sprintf("%s%d", prefix, g.counter)
+}
+
+func (g *gen) pickLocal() string {
+	return g.locals[g.r.Intn(len(g.locals))]
+}
+
+func (g *gen) pickVar() string {
+	// A non-counter local or a global.
+	if len(g.assignable) == 0 || g.r.Intn(4) == 0 {
+		return fmt.Sprintf("gv%d", g.r.Intn(3))
+	}
+	return g.assignable[g.r.Intn(len(g.assignable))]
+}
+
+// expr generates an expression of bounded depth. Division and modulo only
+// appear with non-zero constant divisors, so no runtime error is possible.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(100))
+		case 1:
+			return g.pickLocal()
+		case 2:
+			return fmt.Sprintf("gv%d", g.r.Intn(3))
+		case 3:
+			return fmt.Sprintf("rand(%d)", 2+g.r.Intn(50))
+		default:
+			return fmt.Sprintf("tab[(%s %% 64 + 64) %% 64]", g.pickLocal())
+		}
+	}
+	a := g.expr(depth - 1)
+	b := g.expr(depth - 1)
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %d)", a, 1+g.r.Intn(4))
+	case 3:
+		return fmt.Sprintf("(%s / %d)", a, 2+g.r.Intn(6))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", a, 2+g.r.Intn(8))
+	case 5:
+		return fmt.Sprintf("(%s < %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s == %s)", a, b)
+	default:
+		return fmt.Sprintf("(%s && %s)", a, b)
+	}
+}
+
+// cond generates a branch condition.
+func (g *gen) cond() string {
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s %% %d == %d", g.pickLocal(), 2+g.r.Intn(4), g.r.Intn(2))
+	case 1:
+		return fmt.Sprintf("rand(%d) == 0", 2+g.r.Intn(4))
+	case 2:
+		return fmt.Sprintf("%s < %s", g.expr(1), g.expr(1))
+	default:
+		return fmt.Sprintf("%s > %d || %s == 0", g.pickLocal(), g.r.Intn(50), g.pickLocal())
+	}
+}
+
+// call generates a call expression to an earlier function (or the recursive
+// helper).
+func (g *gen) call() string {
+	if len(g.funcs) == 0 {
+		return g.expr(1)
+	}
+	name := g.funcs[g.r.Intn(len(g.funcs))]
+	return fmt.Sprintf("%s(%s)", name, g.expr(1))
+}
+
+func (g *gen) stmts(depth int, inLoop bool, b *strings.Builder, indent string) {
+	n := 1 + g.r.Intn(g.cfg.MaxStmtsPerBlock)
+	for i := 0; i < n; i++ {
+		g.stmt(depth, inLoop, b, indent)
+	}
+}
+
+func (g *gen) stmt(depth int, inLoop bool, b *strings.Builder, indent string) {
+	choice := g.r.Intn(10)
+	if depth <= 0 && choice >= 4 && choice <= 6 {
+		choice = 0 // no further nesting
+	}
+	switch choice {
+	case 0, 1: // assignment
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, g.pickVar(), g.expr(2))
+	case 2: // array store
+		fmt.Fprintf(b, "%stab[(%s %% 64 + 64) %% 64] = %s;\n", indent, g.pickLocal(), g.expr(1))
+	case 3: // call for effect / into a variable
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(b, "%s%s = %s;\n", indent, g.pickVar(), g.call())
+		} else {
+			fmt.Fprintf(b, "%s%s;\n", indent, g.call())
+		}
+	case 4: // if / if-else
+		fmt.Fprintf(b, "%sif (%s) {\n", indent, g.cond())
+		g.stmts(depth-1, inLoop, b, indent+"\t")
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			g.stmts(depth-1, inLoop, b, indent+"\t")
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+	case 5: // bounded for loop
+		v := g.fresh("i")
+		g.locals = append(g.locals, v) // readable only
+		bound := 2 + g.r.Intn(5)
+		fmt.Fprintf(b, "%sfor (var %s = 0; %s < %d; %s = %s + 1) {\n",
+			indent, v, v, bound, v, v)
+		g.loops++
+		savedBreak := g.breakOK
+		g.breakOK = true
+		g.stmts(depth-1, true, b, indent+"\t")
+		g.breakOK = savedBreak
+		g.loops--
+		fmt.Fprintf(b, "%s}\n", indent)
+	case 6: // bounded while or do-while loop
+		v := g.fresh("w")
+		g.locals = append(g.locals, v) // readable only
+		bound := 2 + g.r.Intn(4)
+		isDo := g.r.Intn(2) == 0
+		if isDo {
+			fmt.Fprintf(b, "%svar %s = 0;\n%sdo {\n%s\t%s = %s + 1;\n",
+				indent, v, indent, indent, v, v)
+		} else {
+			fmt.Fprintf(b, "%svar %s = 0;\n%swhile (%s < %d) {\n%s\t%s = %s + 1;\n",
+				indent, v, indent, v, bound, indent, v, v)
+		}
+		g.loops++
+		savedBreak := g.breakOK
+		g.breakOK = true
+		g.stmts(depth-1, true, b, indent+"\t")
+		g.breakOK = savedBreak
+		g.loops--
+		if isDo {
+			fmt.Fprintf(b, "%s} while (%s < %d);\n", indent, v, bound)
+		} else {
+			fmt.Fprintf(b, "%s}\n", indent)
+		}
+	case 7: // break / continue (inside loops only)
+		if inLoop {
+			kw := "continue"
+			if g.breakOK && g.r.Intn(2) == 0 {
+				kw = "break"
+			}
+			fmt.Fprintf(b, "%sif (rand(6) == 0) { %s; }\n", indent, kw)
+		} else {
+			fmt.Fprintf(b, "%s%s = %s;\n", indent, g.pickVar(), g.expr(1))
+		}
+	case 8: // early return (never in main: it must run its driver loop)
+		if g.allowRet && g.r.Intn(3) == 0 {
+			fmt.Fprintf(b, "%sif (rand(8) == 0) { return %s; }\n", indent, g.expr(1))
+		} else {
+			fmt.Fprintf(b, "%s%s = %s;\n", indent, g.pickVar(), g.expr(1))
+		}
+	default: // indirect call through a function value
+		if len(g.funcs) >= 2 {
+			fv := g.fresh("f")
+			g.locals = append(g.locals, fv) // function values stay un-assignable via pickVar
+			fmt.Fprintf(b, "%svar %s = @%s;\n", indent, fv, g.funcs[g.r.Intn(len(g.funcs))])
+			fmt.Fprintf(b, "%sif (%s) { %s = @%s; }\n", indent, g.cond(), fv, g.funcs[g.r.Intn(len(g.funcs))])
+			fmt.Fprintf(b, "%s%s = %s(%s);\n", indent, g.pickVar(), fv, g.expr(1))
+		} else {
+			fmt.Fprintf(b, "%s%s = %s;\n", indent, g.pickVar(), g.expr(1))
+		}
+	}
+}
+
+func (g *gen) function(name string, recursive bool) string {
+	var b strings.Builder
+	g.locals = []string{"x"}
+	g.assignable = nil // x stays intact: the recursion guarantee reads it
+	g.allowRet = true
+	g.breakOK = true
+	fmt.Fprintf(&b, "func %s(x) {\n", name)
+	// Fuel guard: bounds total helper activations program-wide, so no
+	// random composition of loops and calls can blow up the run time.
+	fmt.Fprintf(&b, "\tgfuel = gfuel + 1;\n\tif (gfuel > 2500) { return 0; }\n")
+	fmt.Fprintf(&b, "\tvar t0 = x;\n")
+	g.locals = append(g.locals, "t0")
+	g.assignable = append(g.assignable, "t0")
+	if recursive {
+		// Guaranteed-terminating recursion: strictly decreasing
+		// argument with a base case.
+		fmt.Fprintf(&b, "\tif (x <= 0) { return 1; }\n")
+		fmt.Fprintf(&b, "\tvar sub = %s(x - 1 - rand(2));\n", name)
+		g.locals = append(g.locals, "sub")
+		g.assignable = append(g.assignable, "sub")
+	}
+	g.stmts(g.cfg.MaxDepth, false, &b, "\t")
+	fmt.Fprintf(&b, "\treturn %s;\n}\n", g.expr(1))
+	return b.String()
+}
+
+func (g *gen) program() string {
+	var b strings.Builder
+	b.WriteString("var gv0;\nvar gv1;\nvar gv2;\nvar gfuel;\narray tab[64];\n\n")
+
+	for i := 0; i < g.cfg.Funcs; i++ {
+		name := fmt.Sprintf("fn%d", i)
+		recursive := i == 0 && g.r.Intn(2) == 0
+		b.WriteString(g.function(name, recursive))
+		b.WriteString("\n")
+		g.funcs = append(g.funcs, name)
+	}
+
+	// main drives everything with a bounded loop.
+	g.locals = []string{}
+	g.assignable = nil
+	g.allowRet = false
+	g.breakOK = false
+	var mb strings.Builder
+	fmt.Fprintf(&mb, "func main() {\n\tvar acc = 0;\n")
+	g.locals = append(g.locals, "acc")
+	g.assignable = append(g.assignable, "acc")
+	fmt.Fprintf(&mb, "\tfor (var it = 0; it < %d; it = it + 1) {\n", g.cfg.MainIters)
+	g.locals = append(g.locals, "it") // readable only
+	g.stmts(g.cfg.MaxDepth, true, &mb, "\t\t")
+	fmt.Fprintf(&mb, "\t\tacc = acc + %s;\n\t}\n\tprint(acc);\n}\n", g.call())
+	b.WriteString(mb.String())
+	return b.String()
+}

@@ -1,0 +1,160 @@
+// Package stats holds the small numeric and formatting helpers the
+// experiment harness uses to render the paper's tables and figure series as
+// text.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PctErr returns the signed percentage error of est against real, the
+// paper's convention for definite/potential flow imprecision (e.g. -33.6%).
+func PctErr(est, real int64) float64 {
+	if real == 0 {
+		if est == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * float64(est-real) / float64(real)
+}
+
+// Pct returns 100*a/b (0 when b is 0).
+func Pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// Table renders rows of cells with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; cells beyond the header width are dropped.
+func (t *Table) Row(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Rowf appends a row of formatted cells.
+func (t *Table) Rowf(format []string, args ...any) {
+	cells := make([]string, len(format))
+	ai := 0
+	for i, f := range format {
+		n := strings.Count(f, "%") - 2*strings.Count(f, "%%")
+		cells[i] = fmt.Sprintf(f, args[ai:ai+n]...)
+		ai += n
+	}
+	t.Row(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series renders one named (x, y) sequence, the textual stand-in for a
+// figure's data series.
+type Series struct {
+	Name string
+	X    []int
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x int, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// String renders "name: (x=v) ...".
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", s.Name)
+	for i := range s.X {
+		fmt.Fprintf(&b, " (%d, %.1f)", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// Plot renders several series as a rough ASCII chart: one row per series
+// with a bar per point, scaled to the maximum absolute value across all
+// series. It is the terminal stand-in for the paper's figures.
+func Plot(series []*Series, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	for _, s := range series {
+		for _, y := range s.Y {
+			if a := abs(y); a > max {
+				max = a
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s\n", s.Name)
+		for i := range s.X {
+			n := int(abs(s.Y[i]) / max * float64(width))
+			bar := strings.Repeat("#", n)
+			fmt.Fprintf(&b, "  k=%-3d %8.1f |%s\n", s.X[i], s.Y[i], bar)
+		}
+	}
+	fmt.Fprintf(&b, "  scale: full bar = %.1f\n", max)
+	return b.String()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPctErr(t *testing.T) {
+	cases := []struct {
+		est, real int64
+		want      float64
+	}{
+		{150, 100, 50},
+		{50, 100, -50},
+		{100, 100, 0},
+		{0, 0, 0},
+		{5, 0, 100},
+	}
+	for _, tc := range cases {
+		if got := PctErr(tc.est, tc.real); got != tc.want {
+			t.Errorf("PctErr(%d,%d) = %v; want %v", tc.est, tc.real, got, tc.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1, 4); got != 25 {
+		t.Fatalf("Pct = %v", got)
+	}
+	if got := Pct(1, 0); got != 0 {
+		t.Fatalf("Pct div0 = %v", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Name", "Value")
+	tab.Row("short", "1")
+	tab.Row("a-much-longer-name", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The value column starts at the same offset on every data row.
+	idx1 := strings.Index(lines[2], "1")
+	idx2 := strings.Index(lines[3], "22")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+	// Extra cells are dropped, missing cells tolerated.
+	tab.Row("x", "y", "z-dropped")
+	tab.Row("only")
+	if s := tab.String(); strings.Contains(s, "z-dropped") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "bench"}
+	s.Add(-1, 12.34)
+	s.Add(0, 56.7)
+	out := s.String()
+	if !strings.Contains(out, "bench") || !strings.Contains(out, "(-1, 12.3)") || !strings.Contains(out, "(0, 56.7)") {
+		t.Fatalf("series rendering: %q", out)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	s1 := &Series{Name: "a"}
+	s1.Add(0, 10)
+	s1.Add(1, -20)
+	s2 := &Series{Name: "b"}
+	s2.Add(0, 40)
+	out := Plot([]*Series{s1, s2}, 20)
+	for _, want := range []string{"a\n", "b\n", "k=0", "k=1", "-20.0", "scale"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The largest magnitude gets the full-width bar.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Fatalf("no full-width bar:\n%s", out)
+	}
+	// Degenerate inputs do not panic.
+	if Plot(nil, 0) == "" {
+		t.Fatal("empty plot output")
+	}
+}

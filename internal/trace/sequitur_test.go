@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, seq []int32) *Grammar {
+	t.Helper()
+	g := NewGrammar()
+	for _, s := range seq {
+		g.Append(s)
+	}
+	got := g.Expand()
+	if len(got) != len(seq) {
+		t.Fatalf("round trip length %d != %d", len(got), len(seq))
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			t.Fatalf("round trip mismatch at %d: %d != %d", i, got[i], seq[i])
+		}
+	}
+	if err := g.checkInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return g
+}
+
+func TestSequiturSimpleRepetition(t *testing.T) {
+	// "abcabcabc" — classic SEQUITUR example; must compress.
+	var seq []int32
+	for i := 0; i < 50; i++ {
+		seq = append(seq, 1, 2, 3)
+	}
+	g := roundTrip(t, seq)
+	if g.Ratio() < 3 {
+		t.Fatalf("ratio = %.2f; want meaningful compression on abc^50", g.Ratio())
+	}
+}
+
+func TestSequiturNoRepetition(t *testing.T) {
+	seq := make([]int32, 64)
+	for i := range seq {
+		seq[i] = int32(i)
+	}
+	roundTrip(t, seq)
+}
+
+func TestSequiturOverlappingSymbols(t *testing.T) {
+	// aaaa... exercises the overlapping-digram rule.
+	seq := make([]int32, 37)
+	for i := range seq {
+		seq[i] = 7
+	}
+	roundTrip(t, seq)
+}
+
+func TestSequiturNestedStructure(t *testing.T) {
+	// (ab)^4 c (ab)^4 c — hierarchical rules.
+	var seq []int32
+	for rep := 0; rep < 6; rep++ {
+		for i := 0; i < 4; i++ {
+			seq = append(seq, 10, 11)
+		}
+		seq = append(seq, 12)
+	}
+	roundTrip(t, seq)
+}
+
+func TestSequiturRandomRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(400)
+		alpha := 1 + r.Intn(6) // small alphabets force heavy rule churn
+		seq := make([]int32, n)
+		for i := range seq {
+			seq[i] = int32(r.Intn(alpha))
+		}
+		g := NewGrammar()
+		for _, s := range seq {
+			g.Append(s)
+		}
+		got := g.Expand()
+		if len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if got[i] != seq[i] {
+				return false
+			}
+		}
+		return g.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequiturLoopTraceCompressesWell(t *testing.T) {
+	// A synthetic "program trace": prologue, many loop iterations with two
+	// alternating bodies, epilogue — the structure WPPs exploit.
+	var seq []int32
+	seq = append(seq, 100, 101, 102)
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			seq = append(seq, 1, 2, 3, 4)
+		} else {
+			seq = append(seq, 1, 2, 5, 4)
+		}
+	}
+	seq = append(seq, 103, 104)
+	g := roundTrip(t, seq)
+	if g.Ratio() < 10 {
+		t.Fatalf("ratio = %.2f; want >= 10 on a loopy trace", g.Ratio())
+	}
+}
+
+func TestSequiturRejectsNegativeTerminals(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append(-1) did not panic")
+		}
+	}()
+	NewGrammar().Append(-1)
+}

@@ -1,0 +1,362 @@
+// Package trace implements the ground-truth side of the evaluation: a
+// whole-program tracer that segments execution into dynamic BL path
+// instances (via the reference walker), records the adjacency events that
+// define interesting paths — consecutive loop iterations and call/return
+// crossings — and attributes flow to interesting paths for the paper's
+// Table 1. It plays the role the WPP traces played in the paper: the exact
+// frequency of any path.
+package trace
+
+import (
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/interp"
+	"pathprof/internal/profile"
+)
+
+// LoopAdjKey records "BL path A ended at a backedge of (Func, Loop) and was
+// immediately followed by BL path B". Interesting-path pair frequencies and
+// expected overlapping-path counters at any degree derive from these.
+type LoopAdjKey struct {
+	Func, Loop int
+	A, B       int64
+}
+
+// T1AdjKey records a Type I crossing: at call Site of Caller (prefix
+// register Prefix), Callee's first completed BL path was Q.
+type T1AdjKey struct {
+	Caller, Site, Callee int
+	Prefix               int64
+	Q                    int64
+}
+
+// T2AdjKey records a Type II crossing: Callee returned from Site of Caller
+// with final BL path Q, and the caller's enclosing BL path completed as
+// CallerPath (whose suffix after the site is the second component).
+type T2AdjKey struct {
+	Caller, Site, Callee int
+	Q                    int64
+	CallerPath           int64
+}
+
+// Attribution tallies dynamic BL path instances by participation in
+// interesting paths, for Table 1. Proc takes precedence over Loop so the
+// two categories are disjoint, as in the paper's table.
+type Attribution struct {
+	Total    uint64
+	LoopOnly uint64
+	Proc     uint64
+}
+
+// LoopPct returns the percentage of flow attributable to loop-backedge
+// crossing paths.
+func (a Attribution) LoopPct() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return 100 * float64(a.LoopOnly) / float64(a.Total)
+}
+
+// ProcPct returns the percentage attributable to procedure-boundary
+// crossing paths.
+func (a Attribution) ProcPct() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return 100 * float64(a.Proc) / float64(a.Total)
+}
+
+// TotalPct returns the combined percentage.
+func (a Attribution) TotalPct() float64 { return a.LoopPct() + a.ProcPct() }
+
+// Tracer is an interp.Listener producing ground truth.
+type Tracer struct {
+	interp.BaseListener
+	Info *profile.Info
+
+	// BL holds the reference Ball-Larus profiles per function.
+	BL []map[int64]uint64
+	// LoopAdj, T1, T2 are the adjacency event counts.
+	LoopAdj map[LoopAdjKey]uint64
+	T1      map[T1AdjKey]uint64
+	T2      map[T2AdjKey]uint64
+	// Calls counts calls per (caller, site, callee).
+	Calls map[profile.CallKey]uint64
+	// Attr is the Table 1 attribution tally.
+	Attr Attribution
+	// Err records the first internal inconsistency (nil on sound runs).
+	Err error
+
+	// WPP, when non-nil (see EnableWPP), accumulates the whole-program
+	// block trace as a SEQUITUR grammar.
+	WPP *Grammar
+
+	idx          int
+	pendingEnter *pendT1
+	pathCache    []map[int64]*bl.Path
+}
+
+type instRec struct {
+	loop, proc bool
+}
+
+type pendT1 struct {
+	caller, site int
+	prefix       int64
+}
+
+type pendT2 struct {
+	site, callee int
+	q            int64
+}
+
+type pendLoop struct {
+	li  *profile.LoopInfo
+	id  int64
+	rec *instRec
+}
+
+type frState struct {
+	fi  *profile.FuncInfo
+	w   *bl.Walker
+	cur *instRec
+	// pendBase is the instance that ended at a backedge, awaiting its
+	// successor for loop pairing.
+	pendBase *pendLoop
+	// first is the Type I pending record, consumed when the frame's
+	// first BL path completes.
+	first *pendT1
+	// pendII are Type II crossings awaiting the enclosing path's
+	// completion.
+	pendII []pendT2
+	// lastID is the id of the frame's final (exit) instance.
+	lastID int64
+}
+
+// NewTracer creates a tracer and registers it on m.
+func NewTracer(info *profile.Info, m *interp.Machine) *Tracer {
+	t := &Tracer{
+		Info:      info,
+		BL:        make([]map[int64]uint64, len(info.Funcs)),
+		LoopAdj:   map[LoopAdjKey]uint64{},
+		T1:        map[T1AdjKey]uint64{},
+		T2:        map[T2AdjKey]uint64{},
+		Calls:     map[profile.CallKey]uint64{},
+		pathCache: make([]map[int64]*bl.Path, len(info.Funcs)),
+	}
+	for i := range t.BL {
+		t.BL[i] = map[int64]uint64{}
+		t.pathCache[i] = map[int64]*bl.Path{}
+	}
+	t.idx = m.AddListener(t)
+	return t
+}
+
+// EnableWPP turns on whole-program-path recording (block-level trace,
+// SEQUITUR-compressed). Expensive; intended for validation runs.
+func (t *Tracer) EnableWPP() { t.WPP = NewGrammar() }
+
+func (t *Tracer) setErr(err error) {
+	if t.Err == nil && err != nil {
+		t.Err = err
+	}
+}
+
+// path resolves a function path id with caching.
+func (t *Tracer) path(fi *profile.FuncInfo, id int64) *bl.Path {
+	if p, ok := t.pathCache[fi.Index][id]; ok {
+		return p
+	}
+	p, err := fi.DAG.PathForID(id)
+	if err != nil {
+		t.setErr(err)
+		return nil
+	}
+	t.pathCache[fi.Index][id] = p
+	return p
+}
+
+func (t *Tracer) state(fr *interp.Frame) *frState {
+	fs, _ := fr.Data[t.idx].(*frState)
+	return fs
+}
+
+// OnEnter implements interp.Listener.
+func (t *Tracer) OnEnter(fr *interp.Frame) {
+	fi := t.Info.OfFunc(fr.Fn)
+	fs := &frState{
+		fi:    fi,
+		w:     bl.NewWalker(fi.DAG),
+		cur:   &instRec{},
+		first: t.pendingEnter,
+	}
+	t.pendingEnter = nil
+	fr.Data[t.idx] = fs
+	if t.WPP != nil {
+		t.WPP.Append(t.wppSymbol(fi, int(fi.G.Entry())))
+	}
+}
+
+// OnEdge implements interp.Listener.
+func (t *Tracer) OnEdge(fr *interp.Frame, from, to int) {
+	fs := t.state(fr)
+	inst, err := fs.w.Step(cfg.NodeID(to))
+	if err != nil {
+		t.setErr(err)
+		return
+	}
+	if t.WPP != nil {
+		t.WPP.Append(t.wppSymbol(fs.fi, to))
+	}
+	if inst != nil {
+		t.completed(fs, inst)
+		fs.cur = &instRec{}
+	}
+}
+
+// OnCall implements interp.Listener.
+func (t *Tracer) OnCall(caller *interp.Frame, site int, calleeFr *interp.Frame) {
+	fs := t.state(caller)
+	cs := fs.fi.CallSiteOfBlock[cfg.NodeID(site)]
+	if cs == nil {
+		t.setErr(errNoSite(fs.fi, site))
+		return
+	}
+	calleeIdx := t.Info.OfFunc(calleeFr.Fn).Index
+	t.Calls[profile.CallKey{Caller: fs.fi.Index, Site: cs.Index, Callee: calleeIdx}]++
+	// The caller's in-flight path participates in a Type I pair (it will
+	// form when the callee's first path completes).
+	fs.cur.proc = true
+	t.pendingEnter = &pendT1{caller: fs.fi.Index, site: cs.Index, prefix: fs.w.PartialID()}
+}
+
+// OnExit implements interp.Listener.
+func (t *Tracer) OnExit(fr *interp.Frame) {
+	fs := t.state(fr)
+	inst, err := fs.w.Finish()
+	if err != nil {
+		t.setErr(err)
+		return
+	}
+	fs.lastID = inst.PathID
+	t.completed(fs, inst)
+	if fr.Depth == 0 {
+		// main's final path: no Type II crossing can mark it anymore.
+		t.tally(fs.cur)
+	}
+}
+
+// OnReturn implements interp.Listener.
+func (t *Tracer) OnReturn(calleeFr, callerFr *interp.Frame, site int) {
+	calleeFS := t.state(calleeFr)
+	callerFS := t.state(callerFr)
+	cs := callerFS.fi.CallSiteOfBlock[cfg.NodeID(site)]
+	if cs == nil {
+		t.setErr(errNoSite(callerFS.fi, site))
+		return
+	}
+	// The callee's exit path is the first component of a Type II pair.
+	calleeFS.cur.proc = true
+	t.tally(calleeFS.cur)
+	// The caller's resumed path is the second component.
+	callerFS.cur.proc = true
+	callerFS.pendII = append(callerFS.pendII, pendT2{
+		site:   cs.Index,
+		callee: calleeFS.fi.Index,
+		q:      calleeFS.lastID,
+	})
+}
+
+// completed processes one finished BL path instance of frame state fs.
+func (t *Tracer) completed(fs *frState, inst *bl.Instance) {
+	fi := fs.fi
+	t.BL[fi.Index][inst.PathID]++
+
+	// Type I: the frame's first completed path closes the pending
+	// crossing.
+	if fs.first != nil {
+		t.T1[T1AdjKey{
+			Caller: fs.first.caller, Site: fs.first.site,
+			Callee: fi.Index, Prefix: fs.first.prefix, Q: inst.PathID,
+		}]++
+		fs.cur.proc = true
+		fs.first = nil
+	}
+
+	// Type II: the enclosing path of earlier returns has completed.
+	for _, p := range fs.pendII {
+		t.T2[T2AdjKey{
+			Caller: fi.Index, Site: p.site, Callee: p.callee,
+			Q: p.q, CallerPath: inst.PathID,
+		}]++
+	}
+	fs.pendII = fs.pendII[:0]
+
+	// Loop pairing with the previous backedge-terminated instance.
+	if pb := fs.pendBase; pb != nil {
+		t.LoopAdj[LoopAdjKey{Func: fi.Index, Loop: pb.li.Index, A: pb.id, B: inst.PathID}]++
+		if t.pairForms(fi, pb, inst.PathID) {
+			pb.rec.loop = true
+			fs.cur.loop = true
+		}
+		t.tally(pb.rec)
+		fs.pendBase = nil
+	}
+	if !inst.AtExit {
+		li := fi.LoopOfBackedge[inst.EndBackedge]
+		if li == nil {
+			t.setErr(errNoLoop(fi, inst.EndBackedge))
+			return
+		}
+		fs.pendBase = &pendLoop{li: li, id: inst.PathID, rec: fs.cur}
+	}
+	// Exit instances are tallied by OnExit (main) or OnReturn (callees).
+}
+
+// pairForms reports whether the adjacency (pb.id ! next) constitutes an
+// interesting loop pair: both components must contain full iteration
+// sequences of the loop.
+func (t *Tracer) pairForms(fi *profile.FuncInfo, pb *pendLoop, next int64) bool {
+	pa := t.path(fi, pb.id)
+	pc := t.path(fi, next)
+	if pa == nil || pc == nil {
+		return false
+	}
+	occA, okA := bl.AnalyzeLoop(pa, pb.li.LP, fi.DAG)
+	occB, okB := bl.AnalyzeLoop(pc, pb.li.LP, fi.DAG)
+	return okA && okB && occA.Full && occA.SeqIndex >= 0 &&
+		occB.Full && occB.SeqIndex >= 0
+}
+
+func (t *Tracer) tally(r *instRec) {
+	t.Attr.Total++
+	switch {
+	case r.proc:
+		t.Attr.Proc++
+	case r.loop:
+		t.Attr.LoopOnly++
+	}
+}
+
+func (t *Tracer) wppSymbol(fi *profile.FuncInfo, block int) int32 {
+	return int32(fi.Index<<16 | block)
+}
+
+type errNoSiteT struct {
+	fn    string
+	block int
+}
+
+func (e errNoSiteT) Error() string {
+	return "trace: block " + e.fn + " has no call-site info"
+}
+
+func errNoSite(fi *profile.FuncInfo, block int) error {
+	return errNoSiteT{fn: fi.Fn.Name, block: block}
+}
+
+type errNoLoopT struct{ fn string }
+
+func (e errNoLoopT) Error() string { return "trace: backedge without loop in " + e.fn }
+
+func errNoLoop(fi *profile.FuncInfo, be cfg.Edge) error { return errNoLoopT{fn: fi.Fn.Name} }

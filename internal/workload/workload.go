@@ -1,0 +1,508 @@
+// Package workload bundles the nine benchmark programs the evaluation runs.
+// The paper evaluated on SPEC binaries under Trimaran; we cannot ship SPEC,
+// so each benchmark here is a synthetic program (in the bundled language)
+// whose control-flow character is modeled on the corresponding row of the
+// paper's Table 1: the loop-backedge / procedure-boundary flow mix, branch
+// skew (real programs have hot paths), loop-body predicate depth (which sets
+// the maximum overlap degree), and call structure (including recursion and
+// function-pointer dispatch where the original program is famous for it).
+//
+// All programs are deterministic for a fixed seed: branching is driven by
+// the interpreter's seeded xorshift generator.
+package workload
+
+import (
+	"fmt"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/lang"
+)
+
+// Benchmark is one evaluation program.
+type Benchmark struct {
+	// Name matches the paper's benchmark naming.
+	Name string
+	// Model describes what the synthetic program imitates.
+	Model string
+	// Source is the program text.
+	Source string
+	// Seed drives the deterministic RNG.
+	Seed uint64
+
+	prog *ir.Program
+}
+
+// Compile lowers (and caches) the benchmark program.
+func (b *Benchmark) Compile() (*ir.Program, error) {
+	if b.prog != nil {
+		return b.prog, nil
+	}
+	p, err := lang.Compile(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", b.Name, err)
+	}
+	b.prog = p
+	return p, nil
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// All returns the nine benchmarks in the paper's table order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		{Name: "130.li", Seed: 13, Model: "lisp interpreter: recursive eval with dispatch calls", Source: srcLi},
+		{Name: "099.go", Seed: 9, Model: "game engine: board-scan loops feeding move-evaluation calls", Source: srcGo},
+		{Name: "134.perl", Seed: 134, Model: "script interpreter: opcode dispatch through function pointers", Source: srcPerl},
+		{Name: "008.espresso", Seed: 8, Model: "logic minimizer: tight cube-set loops, few calls", Source: srcEspresso},
+		{Name: "147.vortex", Seed: 147, Model: "OO database: deep call chains, almost no looping flow", Source: srcVortex},
+		{Name: "197.parser", Seed: 197, Model: "recursive-descent parser over a token stream", Source: srcParser},
+		{Name: "181.mcf", Seed: 181, Model: "network simplex: pricing loops with helper calls", Source: srcMcf},
+		{Name: "300.twolf", Seed: 300, Model: "placement annealer: heavy nested loops, little call flow", Source: srcTwolf},
+		{Name: "126.gcc", Seed: 126, Model: "compiler passes: balanced loop/call mix", Source: srcGcc},
+	}
+}
+
+// 130.li — most flow crosses procedure boundaries (recursive evaluator),
+// with a moderate loop component (the reader loop).
+const srcLi = `
+// lisp-like evaluator: cells in parallel arrays, recursive eval.
+array car[512];
+array cdr[512];
+array tag[512];
+var depthBudget = 0;
+
+func evalAtom(c) {
+	if (tag[c] == 0) { return car[c]; }
+	if (tag[c] == 1) { return car[c] + 1; }
+	return 0 - car[c];
+}
+
+func apply(op, a, b) {
+	if (op == 0) { return a + b; }
+	if (op == 1) { return a - b; }
+	if (op == 2) { if (a < b) { return 1; } return 0; }
+	return a * b;
+}
+
+func eval(c) {
+	if (depthBudget <= 0) { return evalAtom(c); }
+	if (tag[c] < 3) { return evalAtom(c); }
+	depthBudget = depthBudget - 1;
+	var a = eval(car[c]);
+	var b = eval(cdr[c]);
+	depthBudget = depthBudget + 1;
+	return apply(tag[c] - 3, a, b);
+}
+
+func readForm(i) {
+	// build a random small form rooted at cell i
+	tag[i] = rand(7);
+	car[i] = rand(256);
+	cdr[i] = rand(256);
+	return i;
+}
+
+func main() {
+	var total = 0;
+	var marked = 0;
+	for (var it = 0; it < 350; it = it + 1) {
+		var root = readForm(rand(512));
+		depthBudget = 3;
+		total = total + eval(root);
+		if (total > 100000) { total = total - 100000; }
+		if (it % 8 == 0) {
+			// mark-sweep pass: pure loop flow, no calls
+			var cell = 0;
+			while (cell < 40) {
+				if (tag[cell] > 3) { marked = marked + 1; } else {
+					if (car[cell] % 2 == 0) { marked = marked - 1; }
+				}
+				cell = cell + 1;
+			}
+		}
+	}
+	print(total, marked);
+}
+`
+
+// 099.go — board scanning loops (loop flow) interleaved with per-point
+// evaluation calls (proc flow).
+const srcGo = `
+array board[361];
+var captures = 0;
+
+func liberty(p) {
+	var l = 0;
+	if (p > 18) { if (board[p - 19] == 0) { l = l + 1; } }
+	if (p < 342) { if (board[p + 19] == 0) { l = l + 1; } }
+	if (p % 19 != 0) { if (board[p - 1] == 0) { l = l + 1; } }
+	if (p % 19 != 18) { if (board[p + 1] == 0) { l = l + 1; } }
+	return l;
+}
+
+func score(p) {
+	var s = liberty(p);
+	if (board[p] == 1) { s = s + 2; } else {
+		if (board[p] == 2) { s = s - 1; }
+	}
+	return s;
+}
+
+func main() {
+	for (var i = 0; i < 361; i = i + 1) { board[i] = rand(3); }
+	var best = 0;
+	for (var mv = 0; mv < 60; mv = mv + 1) {
+		var p = 0;
+		while (p < 120) {
+			var cell = board[p];
+			if (cell == 0) {
+				best = best + score(p);
+			} else {
+				if (cell == 1) {
+					if (rand(2) == 0) { best = best + liberty(p); } else { best = best + 1; }
+				} else { best = best - 1; }
+			}
+			p = p + 3;
+		}
+		board[rand(361)] = rand(3);
+		if (best % 13 == 0) { captures = captures + 1; }
+	}
+	print(best, captures);
+}
+`
+
+// 134.perl — opcode interpreter: almost all flow crosses the dispatch
+// boundary (function pointers), barely any loop pairing.
+const srcPerl = `
+array code[256];
+array stack[64];
+var sp = 0;
+var acc = 0;
+
+func opPush(arg) { stack[sp] = arg; sp = sp + 1; return 0; }
+func opAdd(arg) {
+	if (sp >= 2) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] + stack[sp]; }
+	return arg;
+}
+func opCmp(arg) {
+	if (sp >= 1) {
+		if (stack[sp - 1] < arg) { acc = acc + 1; } else { acc = acc - 1; }
+	}
+	return 0;
+}
+func opNoop(arg) { return arg; }
+
+func step(pc) {
+	var op = code[pc] % 4;
+	var handler = @opNoop;
+	if (op == 0) { handler = @opPush; }
+	if (op == 1) { handler = @opAdd; }
+	if (op == 2) { handler = @opCmp; }
+	var r = handler(code[pc] / 4);
+	if (sp > 60) { sp = 0; }
+	return r;
+}
+
+func main() {
+	for (var i = 0; i < 256; i = i + 1) { code[i] = rand(1024); }
+	var pc = 0;
+	for (var n = 0; n < 900; n = n + 1) {
+		step(pc);
+		pc = pc + 1;
+		if (pc >= 256) { pc = 0; }
+	}
+	print(acc, sp);
+}
+`
+
+// 008.espresso — cube-set crunching: most flow stays inside skewed loops;
+// modest call component.
+const srcEspresso = `
+array cubes[1024];
+var reduced = 0;
+
+func weight(w) {
+	var c = 0;
+	if (w % 2 == 1) { c = c + 1; }
+	if ((w / 2) % 2 == 1) { c = c + 1; }
+	if ((w / 4) % 2 == 1) { c = c + 1; }
+	return c;
+}
+
+func main() {
+	for (var i = 0; i < 1024; i = i + 1) { cubes[i] = rand(4096); }
+	var kept = 0;
+	for (var pass = 0; pass < 14; pass = pass + 1) {
+		var idx = 0;
+		while (idx < 1024) {
+			var c = cubes[idx];
+			if (c % 8 < 5) {
+				// hot path: cheap containment test
+				if (c % 2 == 0) { kept = kept + 1; } else { kept = kept - 1; }
+			} else {
+				if (c % 16 < 12) {
+					cubes[idx] = c / 2;
+					reduced = reduced + 1;
+				} else {
+					reduced = reduced + weight(c);
+				}
+			}
+			idx = idx + 1;
+		}
+	}
+	print(kept, reduced);
+}
+`
+
+// 147.vortex — almost everything crosses procedure boundaries: layered
+// object operations with trivial loops.
+const srcVortex = `
+array objects[512];
+array fields[512];
+var txns = 0;
+
+func validate(h) {
+	if (h < 0) { return 0; }
+	if (objects[h] == 0) { return 0; }
+	return 1;
+}
+
+func fetch(h) {
+	if (validate(h) == 0) { return -1; }
+	return fields[h];
+}
+
+func update(h, v) {
+	if (validate(h) == 0) { return 0; }
+	fields[h] = v;
+	return 1;
+}
+
+func transaction(h) {
+	var v = fetch(h);
+	if (v < 0) { return 0; }
+	if (v % 3 == 0) { return update(h, v + 1); }
+	if (v % 3 == 1) { return update(h, v * 2); }
+	return update(h, v - 1);
+}
+
+func chain(h) {
+	var ok = transaction(h);
+	if (ok == 1) { ok = ok + transaction((h + 7) % 512); }
+	return ok;
+}
+
+func main() {
+	for (var i = 0; i < 512; i = i + 1) {
+		objects[i] = rand(4);
+		fields[i] = rand(100);
+	}
+	for (var n = 0; n < 500; n = n + 1) {
+		txns = txns + chain(rand(512));
+	}
+	print(txns);
+}
+`
+
+// 197.parser — recursive descent over a token array: call-dominated with a
+// scanner loop component.
+const srcParser = `
+array toks[512];
+var pos = 0;
+var errs = 0;
+
+func peek() {
+	if (pos >= 512) { return 99; }
+	return toks[pos];
+}
+
+func advance() {
+	pos = pos + 1;
+	return pos;
+}
+
+func parsePrimary() {
+	var t = peek();
+	advance();
+	if (t == 0) { return 1; }
+	if (t == 1) { return parseExpr(); }
+	if (t == 2) { errs = errs + 1; return 0; }
+	return t;
+}
+
+func parseTerm() {
+	var v = parsePrimary();
+	if (peek() == 3) { advance(); v = v * parsePrimary(); }
+	return v;
+}
+
+func parseExpr() {
+	var v = parseTerm();
+	while (peek() == 4) {
+		advance();
+		v = v + parseTerm();
+		if (v > 10000) { v = v % 10000; }
+	}
+	return v;
+}
+
+func main() {
+	var total = 0;
+	for (var run = 0; run < 20; run = run + 1) {
+		for (var i = 0; i < 512; i = i + 1) { toks[i] = rand(8); }
+		pos = 0;
+		while (pos < 480) {
+			total = total + parseExpr();
+		}
+	}
+	print(total, errs);
+}
+`
+
+// 181.mcf — pricing loops over arcs with helper calls: balanced mix leaning
+// on procedure flow.
+const srcMcf = `
+array cost[2048];
+array flow[2048];
+var pushes = 0;
+
+func residual(a) {
+	if (flow[a] >= 8) { return 0; }
+	return 8 - flow[a];
+}
+
+func price(a) {
+	var r = residual(a);
+	if (r == 0) { return 1000000; }
+	return cost[a] / r;
+}
+
+func main() {
+	for (var i = 0; i < 2048; i = i + 1) {
+		cost[i] = rand(512);
+		flow[i] = rand(8);
+	}
+	var total = 0;
+	for (var iter = 0; iter < 25; iter = iter + 1) {
+		var a = 0;
+		while (a < 600) {
+			var c = cost[a];
+			if (c % 4 == 0) {
+				total = total + price(a);
+				pushes = pushes + 1;
+			} else {
+				if (c % 4 == 1) {
+					total = total + residual(a);
+				} else {
+					if (flow[a] > 4) { total = total - 1; } else { total = total + 2; }
+				}
+			}
+			a = a + 2;
+		}
+	}
+	print(total, pushes);
+}
+`
+
+// 300.twolf — dominated by nested loop flow (annealing sweeps), few calls.
+const srcTwolf = `
+array cells[400];
+array net[400];
+var swaps = 0;
+
+func delta(i, j) {
+	return cells[i] - cells[j] + net[i] % 5 - net[j] % 5;
+}
+
+func main() {
+	for (var i = 0; i < 400; i = i + 1) {
+		cells[i] = rand(1000);
+		net[i] = rand(64);
+	}
+	var energy = 50000;
+	for (var sweep = 0; sweep < 35; sweep = sweep + 1) {
+		var p = 0;
+		while (p < 395) {
+			var d = cells[p] - cells[p + 1];
+			if (d > 0) {
+				// hot: local improvement without call
+				if (d > 100) { energy = energy - d / 2; } else { energy = energy - 1; }
+			} else {
+				if (net[p] % 4 == 0) {
+					energy = energy + delta(p, (p + 13) % 400);
+					swaps = swaps + 1;
+				} else {
+					if (d < -200) { energy = energy + 3; } else { energy = energy + 1; }
+				}
+			}
+			p = p + 1;
+		}
+		if (energy < 0) { energy = energy + 50000; }
+	}
+	print(energy, swaps);
+}
+`
+
+// 126.gcc — a compiler-ish mix: per-function loops over "instructions" with
+// regular calls into small analysis helpers.
+const srcGcc = `
+array insns[1024];
+var folded = 0;
+var dce = 0;
+
+func isConst(op) {
+	if (op % 8 < 3) { return 1; }
+	return 0;
+}
+
+func foldInsn(op) {
+	if (isConst(op) == 1) {
+		folded = folded + 1;
+		return op / 2;
+	}
+	if (op % 5 == 0) { return op + 1; }
+	return op;
+}
+
+func liveness(op) {
+	var live = 0;
+	if (op % 2 == 0) { live = live + 1; }
+	if (op % 3 == 0) { live = live + 1; }
+	if (live == 0) { dce = dce + 1; }
+	return live;
+}
+
+func main() {
+	for (var i = 0; i < 1024; i = i + 1) { insns[i] = rand(4096); }
+	var work = 0;
+	for (var pass = 0; pass < 10; pass = pass + 1) {
+		var at = 0;
+		while (at < 700) {
+			var op = insns[at];
+			if (op % 4 == 0) {
+				insns[at] = foldInsn(op);
+			} else {
+				if (op % 4 == 1) {
+					work = work + liveness(op);
+				} else {
+					if (op % 8 == 2) {
+						work = work + isConst(op);
+					} else {
+						if (op % 16 < 10) { work = work + 1; } else { work = work - 1; }
+					}
+				}
+			}
+			at = at + 7;
+		}
+	}
+	print(work, folded, dce);
+}
+`

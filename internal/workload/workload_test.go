@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+
+	"pathprof/internal/interp"
+	"pathprof/internal/profile"
+	"pathprof/internal/trace"
+)
+
+func runTraced(t *testing.T, b *Benchmark) (*profile.Info, *trace.Tracer, *interp.Machine) {
+	t.Helper()
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	m := interp.New(prog, b.Seed)
+	tr := trace.NewTracer(info, m)
+	if err := m.Run(); err != nil {
+		t.Fatalf("%s: run: %v", b.Name, err)
+	}
+	if tr.Err != nil {
+		t.Fatalf("%s: tracer: %v", b.Name, tr.Err)
+	}
+	return info, tr, m
+}
+
+func TestAllBenchmarksCompileValidateAndRun(t *testing.T) {
+	if len(All()) != 9 {
+		t.Fatalf("benchmark count = %d; want 9 (paper Table 1)", len(All()))
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := b.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			info, tr, m := runTraced(t, b)
+			if m.Steps < 5000 {
+				t.Fatalf("only %d steps; benchmark too small to evaluate", m.Steps)
+			}
+			if m.Steps > 5_000_000 {
+				t.Fatalf("%d steps; benchmark too heavy for the sweep harness", m.Steps)
+			}
+			fl, err := tr.Flows()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every benchmark must exercise both crossing kinds.
+			if fl.Loop == 0 {
+				t.Fatal("no loop interesting paths")
+			}
+			if fl.TypeI == 0 || fl.TypeII == 0 {
+				t.Fatal("no interprocedural interesting paths")
+			}
+			// Type I and Type II flows both equal the total number of
+			// calls (each call contributes one of each).
+			var calls uint64
+			for _, n := range tr.Calls {
+				calls += n
+			}
+			if fl.TypeI != calls || fl.TypeII != calls {
+				t.Fatalf("T1/T2 flow %d/%d != calls %d", fl.TypeI, fl.TypeII, calls)
+			}
+			// Overlap must be available to sweep.
+			if info.MaxDegree() < 3 {
+				t.Fatalf("max degree %d; want >= 3 for meaningful sweeps", info.MaxDegree())
+			}
+		})
+	}
+}
+
+func TestAttributionShapesMatchPaperCharacter(t *testing.T) {
+	attr := map[string]trace.Attribution{}
+	for _, b := range All() {
+		_, tr, _ := runTraced(t, b)
+		attr[b.Name] = tr.Attr
+	}
+	// Loop-dominant benchmarks (paper: twolf 69/14, espresso 56/26).
+	for _, name := range []string{"300.twolf", "008.espresso"} {
+		a := attr[name]
+		if a.LoopPct() <= a.ProcPct() {
+			t.Errorf("%s: loop%%=%.1f <= proc%%=%.1f; paper has it loop-dominant",
+				name, a.LoopPct(), a.ProcPct())
+		}
+	}
+	// Call-dominant benchmarks (paper: vortex 94%, perl 76%, parser 73%,
+	// li 70%).
+	for _, name := range []string{"147.vortex", "134.perl", "197.parser", "130.li"} {
+		a := attr[name]
+		if a.ProcPct() <= a.LoopPct() {
+			t.Errorf("%s: proc%%=%.1f <= loop%%=%.1f; paper has it call-dominant",
+				name, a.ProcPct(), a.LoopPct())
+		}
+	}
+	// vortex is the extreme call-heavy case.
+	if a := attr["147.vortex"]; a.ProcPct() < 80 {
+		t.Errorf("147.vortex proc%% = %.1f; want >= 80", a.ProcPct())
+	}
+	// Interesting paths carry most of the flow everywhere (paper: 77-96%).
+	for name, a := range attr {
+		if a.TotalPct() < 75 {
+			t.Errorf("%s: total%% = %.1f; want >= 75", name, a.TotalPct())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	b := ByName("126.gcc")
+	if b == nil {
+		t.Fatal("missing benchmark")
+	}
+	_, tr1, _ := runTraced(t, b)
+	_, tr2, _ := runTraced(t, b)
+	if len(tr1.BL) != len(tr2.BL) {
+		t.Fatal("profile shape changed between runs")
+	}
+	for f := range tr1.BL {
+		if len(tr1.BL[f]) != len(tr2.BL[f]) {
+			t.Fatalf("func %d: profile sizes differ", f)
+		}
+		for id, n := range tr1.BL[f] {
+			if tr2.BL[f][id] != n {
+				t.Fatalf("func %d path %d: %d != %d", f, id, n, tr2.BL[f][id])
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("300.twolf") == nil {
+		t.Fatal("ByName(300.twolf) = nil")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName(nope) != nil")
+	}
+}
