@@ -22,6 +22,7 @@ import (
 	"pathprof/internal/experiments"
 	"pathprof/internal/instrument"
 	"pathprof/internal/interp"
+	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/trace"
 	"pathprof/internal/workload"
@@ -335,6 +336,62 @@ func BenchmarkOLProfiling(b *testing.B) {
 		if rt.Err != nil {
 			b.Fatal(rt.Err)
 		}
+	}
+}
+
+// benchmarkCounterStore measures a full OL instrumented run (300.twolf at
+// k = max/3) writing through one CounterStore layout, plan construction
+// amortized via a cached plan as the pipeline would share it.
+func benchmarkCounterStore(b *testing.B, kind profile.StoreKind) {
+	wb, info := mustBench(b, "300.twolf")
+	prog, _ := wb.Compile()
+	k := (info.MaxDegree() + 2) / 3
+	plan, err := instrument.BuildPlan(info, instrument.Config{K: k, Loops: true, Interproc: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := interp.New(prog, wb.Seed)
+		rt := plan.Attach(m, profile.NewStore(kind, info))
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if rt.Err != nil {
+			b.Fatal(rt.Err)
+		}
+		if c := rt.Counters(); len(c.BL) == 0 {
+			b.Fatal("no counters")
+		}
+	}
+}
+
+// BenchmarkCounterStoreNested measures the nested-map store (the paper's
+// hash-backed four-tuple layout).
+func BenchmarkCounterStoreNested(b *testing.B) { benchmarkCounterStore(b, profile.StoreNested) }
+
+// BenchmarkCounterStoreFlat measures the dense/flat store (BL counters in
+// path-id-indexed slices, preallocated tuple maps).
+func BenchmarkCounterStoreFlat(b *testing.B) { benchmarkCounterStore(b, profile.StoreFlat) }
+
+// BenchmarkCollectSequentialVsPooled measures one benchmark's full degree
+// sweep on a one-slot pool (the old sequential behavior) against the
+// default bounded pool.
+func BenchmarkCollectSequentialVsPooled(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		pool *pipeline.Pool
+	}{
+		{"sequential", pipeline.NewPool(1)},
+		{"pooled", pipeline.NewPool(0)},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.CollectWith(workload.ByName("300.twolf"), arm.pool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,19 +5,27 @@
 //
 //	experiments [-exp all|table1|table8|table9|fig5|fig6|fig7|fig8|fig9]
 //	            [-mode paper|extended] [-bench NAME]
+//	            [-parallel N] [-store flat|nested]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each figure prints as one data series per benchmark (degree, value)
 // pairs; tables print in the paper's row layout with an Average row.
+// Collection fans out over a bounded worker pool (-parallel, default
+// GOMAXPROCS); -cpuprofile/-memprofile write pprof profiles of the sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pathprof/internal/estimate"
 	"pathprof/internal/experiments"
+	"pathprof/internal/pipeline"
+	"pathprof/internal/profile"
 	"pathprof/internal/stats"
 	"pathprof/internal/workload"
 )
@@ -35,8 +43,45 @@ func run() error {
 		modeName  = flag.String("mode", "paper", "estimation constraint mode: paper or extended")
 		benchName = flag.String("bench", "", "restrict to one benchmark (default: all nine)")
 		plot      = flag.Bool("plot", false, "render figures as ASCII bar charts instead of series lists")
+		parallel  = flag.Int("parallel", 0, "worker-pool size for the collection sweep (0 = GOMAXPROCS)")
+		storeName = flag.String("store", "flat", "counter store layout: flat or nested")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
+		memProf   = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	)
 	flag.Parse()
+
+	store, ok := profile.ParseStoreKind(*storeName)
+	if !ok {
+		return fmt.Errorf("unknown -store %q", *storeName)
+	}
+	experiments.DefaultStore = store
+	pipeline.SetParallelism(*parallel)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	mode := estimate.Paper
 	switch *modeName {

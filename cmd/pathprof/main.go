@@ -31,6 +31,8 @@ import (
 	"pathprof/internal/core"
 	"pathprof/internal/estimate"
 	"pathprof/internal/instrument"
+	"pathprof/internal/pipeline"
+	"pathprof/internal/profile"
 	"pathprof/internal/stats"
 )
 
@@ -59,6 +61,7 @@ func run() error {
 		loadProf = flag.String("load-profile", "", "estimate from counters in FILE instead of running")
 		dotFunc  = flag.String("dot", "", "print the named function's CFG as DOT")
 		echo     = flag.Bool("run", false, "echo the program's print output")
+		storeNm  = flag.String("store", "nested", "counter store layout: nested or flat")
 	)
 	flag.Parse()
 
@@ -66,11 +69,15 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("-src is required")
 	}
+	store, ok := profile.ParseStoreKind(*storeNm)
+	if !ok {
+		return fmt.Errorf("unknown -store %q", *storeNm)
+	}
 	src, err := os.ReadFile(*srcPath)
 	if err != nil {
 		return err
 	}
-	s, err := core.Open(string(src))
+	s, err := core.OpenOptions(string(src), pipeline.Options{Store: store})
 	if err != nil {
 		return err
 	}

@@ -232,11 +232,11 @@ func TestBranchCorrelationEndToEnd(t *testing.T) {
 	}
 
 	found := 0
-	for ck, calls := range rt.C.Calls {
+	for ck, calls := range rt.Counters().Calls {
 		caller := info.Funcs[ck.Caller]
 		cs := caller.CallSites[ck.Site]
 		r, err := estimate.TypeI(info, caller, cs, ck.Callee,
-			rt.C.BL[ck.Caller], rt.C.BL[ck.Callee], rt.C.TypeI, calls, maxK, estimate.Paper)
+			rt.Counters().BL[ck.Caller], rt.Counters().BL[ck.Callee], rt.Counters().TypeI, calls, maxK, estimate.Paper)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -10,8 +10,10 @@
 //	est, err := s.Estimate(run)             // interesting-path bounds
 //	fmt.Println(est.Summary())
 //
-// A Session is reusable across runs and degrees; all static analysis is
-// cached on it.
+// A Session is reusable across runs and degrees; all static analysis —
+// CFGs, BL numberings, OL extension regions, instrumentation plans — is
+// cached on its pipeline.ArtifactCache, so repeated runs at the same
+// degree pay for plan construction once.
 package core
 
 import (
@@ -22,10 +24,9 @@ import (
 
 	"pathprof/internal/estimate"
 	"pathprof/internal/instrument"
-	"pathprof/internal/interp"
 	"pathprof/internal/ir"
-	"pathprof/internal/lang"
 	"pathprof/internal/overhead"
+	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/trace"
 )
@@ -36,41 +37,46 @@ type Session struct {
 	Info *profile.Info
 	// Out receives the profiled program's print output (default: discard).
 	Out io.Writer
+
+	pipe *pipeline.Pipeline
 }
 
 // Open compiles source and runs the static profile analysis.
 func Open(source string) (*Session, error) {
-	prog, err := lang.Compile(source)
+	return OpenOptions(source, pipeline.Options{})
+}
+
+// OpenOptions is Open with explicit pipeline options (limits, counter
+// store layout, worker pool).
+func OpenOptions(source string, opts pipeline.Options) (*Session, error) {
+	p, err := pipeline.Compile(source, opts)
 	if err != nil {
 		return nil, err
 	}
-	info, err := profile.Analyze(prog, profile.Limits{})
-	if err != nil {
-		return nil, err
-	}
-	return &Session{Prog: prog, Info: info}, nil
+	return FromPipeline(p), nil
 }
 
 // OpenProgram wraps an already-lowered IR program (e.g. a bundled
 // benchmark).
 func OpenProgram(prog *ir.Program) (*Session, error) {
-	info, err := profile.Analyze(prog, profile.Limits{})
+	p, err := pipeline.New(prog, pipeline.Options{})
 	if err != nil {
 		return nil, err
 	}
-	return &Session{Prog: prog, Info: info}, nil
+	return FromPipeline(p), nil
 }
+
+// FromPipeline wraps an existing artifact cache in a Session, sharing its
+// cached plans with every other user of the pipeline.
+func FromPipeline(p *pipeline.Pipeline) *Session {
+	return &Session{Prog: p.Prog, Info: p.Info, pipe: p}
+}
+
+// Pipeline exposes the session's artifact cache.
+func (s *Session) Pipeline() *pipeline.Pipeline { return s.pipe }
 
 // MaxDegree returns the largest useful overlap degree in the program.
 func (s *Session) MaxDegree() int { return s.Info.MaxDegree() }
-
-func (s *Session) newMachine(seed uint64) *interp.Machine {
-	m := interp.New(s.Prog, seed)
-	if s.Out != nil {
-		m.Out = s.Out
-	}
-	return m
-}
 
 // Run is the outcome of one instrumented execution.
 type Run struct {
@@ -93,18 +99,7 @@ func (s *Session) ProfileBL(seed uint64) (*Run, error) { return s.profile(seed, 
 // weights, when non-nil, come from a prior run's counters so hot edges
 // escape instrumentation.
 func (s *Session) ProfileBLChords(seed uint64, weights *profile.Counters) (*Run, error) {
-	m := s.newMachine(seed)
-	rt, err := instrument.New(s.Info, instrument.Config{K: -1, ChordBL: true, ChordProfile: weights}, m)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.Run(); err != nil {
-		return nil, err
-	}
-	if rt.Err != nil {
-		return nil, rt.Err
-	}
-	return &Run{K: -1, Counters: rt.C, Overhead: rt.Report(m.BaseOps), Steps: m.Steps}, nil
+	return s.execute(instrument.Config{K: -1, ChordBL: true, ChordProfile: weights}, seed)
 }
 
 // ProfileOL runs the program with degree-k overlapping-path instrumentation
@@ -137,18 +132,16 @@ func (s *Session) profile(seed uint64, k int) (*Run, error) {
 }
 
 func (s *Session) profileSel(seed uint64, k int, sel *profile.Selection) (*Run, error) {
-	m := s.newMachine(seed)
-	rt, err := instrument.New(s.Info, instrument.Config{K: k, Loops: k >= 0, Interproc: k >= 0, Selection: sel}, m)
+	return s.execute(instrument.Config{K: k, Loops: k >= 0, Interproc: k >= 0, Selection: sel}, seed)
+}
+
+// execute routes one instrumented run through the pipeline's cached plans.
+func (s *Session) execute(cfg instrument.Config, seed uint64) (*Run, error) {
+	r, err := s.pipe.Execute(cfg, seed, s.Out)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Run(); err != nil {
-		return nil, err
-	}
-	if rt.Err != nil {
-		return nil, rt.Err
-	}
-	return &Run{K: k, Selection: sel, Counters: rt.C, Overhead: rt.Report(m.BaseOps), Steps: m.Steps}, nil
+	return &Run{K: r.K, Selection: r.Selection, Counters: r.Counters, Overhead: r.Overhead, Steps: r.Steps}, nil
 }
 
 // RunFromCounters wraps previously collected (e.g. deserialized) counters
@@ -171,18 +164,8 @@ func (s *Session) TraceWPP(seed uint64) (*trace.Tracer, error) {
 }
 
 func (s *Session) trace(seed uint64, wpp bool) (*trace.Tracer, error) {
-	m := s.newMachine(seed)
-	tr := trace.NewTracer(s.Info, m)
-	if wpp {
-		tr.EnableWPP()
-	}
-	if err := m.Run(); err != nil {
-		return nil, err
-	}
-	if tr.Err != nil {
-		return nil, tr.Err
-	}
-	return tr, nil
+	tr, _, err := s.pipe.Trace(seed, wpp, s.Out)
+	return tr, err
 }
 
 // LoopEstimate pairs a loop with its solved bounds.

@@ -95,7 +95,7 @@ func fuzzOne(t *testing.T, seed int64, src string) bool {
 			t.Errorf("seed %d k=%d: expected loop counters: %v", seed, k, err)
 			return false
 		}
-		if msg := diffMaps(toAny(rt.C.Loop), toAny(wantLoop)); msg != "" {
+		if msg := diffMaps(toAny(rt.Counters().Loop), toAny(wantLoop)); msg != "" {
 			t.Errorf("seed %d k=%d: loop counters: %s", seed, k, msg)
 			return false
 		}
@@ -104,7 +104,7 @@ func fuzzOne(t *testing.T, seed int64, src string) bool {
 			t.Errorf("seed %d k=%d: expected T1: %v", seed, k, err)
 			return false
 		}
-		if msg := diffMaps(toAny(rt.C.TypeI), toAny(wantT1)); msg != "" {
+		if msg := diffMaps(toAny(rt.Counters().TypeI), toAny(wantT1)); msg != "" {
 			t.Errorf("seed %d k=%d: typeI counters: %s", seed, k, msg)
 			return false
 		}
@@ -113,15 +113,15 @@ func fuzzOne(t *testing.T, seed int64, src string) bool {
 			t.Errorf("seed %d k=%d: expected T2: %v", seed, k, err)
 			return false
 		}
-		if msg := diffMaps(toAny(rt.C.TypeII), toAny(wantT2)); msg != "" {
+		if msg := diffMaps(toAny(rt.Counters().TypeII), toAny(wantT2)); msg != "" {
 			t.Errorf("seed %d k=%d: typeII counters: %s", seed, k, msg)
 			return false
 		}
 		for f := range tr.BL {
 			for id, n := range tr.BL[f] {
-				if rt.C.BL[f][id] != n {
+				if rt.Counters().BL[f][id] != n {
 					t.Errorf("seed %d k=%d: BL func %d path %d: %d != %d",
-						seed, k, f, id, rt.C.BL[f][id], n)
+						seed, k, f, id, rt.Counters().BL[f][id], n)
 					return false
 				}
 			}
@@ -144,7 +144,7 @@ func checkEstimates(t *testing.T, seed int64, k int, info *profile.Info, tr *tra
 	}
 	for fidx, fi := range info.Funcs {
 		for _, li := range fi.Loops {
-			res, err := estimate.Loop(fi, li, rt.C.BL[fidx], rt.C.Loop, k, estimate.Paper)
+			res, err := estimate.Loop(fi, li, rt.Counters().BL[fidx], rt.Counters().Loop, k, estimate.Paper)
 			if err != nil {
 				t.Errorf("seed %d k=%d: loop estimate: %v", seed, k, err)
 				return false
@@ -169,7 +169,7 @@ func checkEstimates(t *testing.T, seed int64, k int, info *profile.Info, tr *tra
 		caller := info.Funcs[ck.Caller]
 		cs := caller.CallSites[ck.Site]
 		r1, err := estimate.TypeI(info, caller, cs, ck.Callee,
-			rt.C.BL[ck.Caller], rt.C.BL[ck.Callee], rt.C.TypeI, calls, k, estimate.Paper)
+			rt.Counters().BL[ck.Caller], rt.Counters().BL[ck.Callee], rt.Counters().TypeI, calls, k, estimate.Paper)
 		if err == estimate.ErrTooLarge {
 			continue
 		}

@@ -27,7 +27,7 @@ func blProfileOf(t *testing.T, src string, seed uint64) (*profile.Info, []map[in
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	return info, rt.C.BL
+	return info, rt.Counters().BL
 }
 
 func TestEdgeToPathsExactOnSingleDiamondFunction(t *testing.T) {

@@ -136,7 +136,7 @@ func buildEnv(t *testing.T, src string, seed uint64) *estEnv {
 		if rt.Err != nil {
 			t.Fatalf("runtime: %v", rt.Err)
 		}
-		env.counters = append(env.counters, rt.C)
+		env.counters = append(env.counters, rt.Counters())
 	}
 	return env
 }

@@ -6,17 +6,23 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"pathprof/internal/estimate"
 	"pathprof/internal/instrument"
-	"pathprof/internal/interp"
 	"pathprof/internal/overhead"
+	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/trace"
 	"pathprof/internal/workload"
 )
+
+// DefaultStore is the counter-store layout benchmark collection uses (the
+// dense/flat store; the cross-validation tests prove it identical to the
+// nested-map store). CLIs may override it before collection starts.
+var DefaultStore = profile.StoreFlat
 
 // KRun is the outcome of one instrumented run at a fixed degree.
 type KRun struct {
@@ -57,63 +63,95 @@ func (br *BenchRun) Real() (trace.RealFlows, error) {
 	return rf, nil
 }
 
-// Collect runs one benchmark through the whole pipeline.
+// Collect runs one benchmark through the whole pipeline, sweeping the
+// degrees on the shared worker pool.
 func Collect(b *workload.Benchmark) (*BenchRun, error) {
-	prog, err := b.Compile()
-	if err != nil {
-		return nil, err
-	}
-	info, err := profile.Analyze(prog, profile.Limits{})
+	return CollectWith(b, pipeline.Shared())
+}
+
+// CollectWith is Collect on an explicit worker pool (a one-slot pool
+// reproduces the old strictly sequential sweep). The static artifacts —
+// analysis, plans, OL graphs — are built once on the benchmark's pipeline
+// and shared by every degree's run; only the executions themselves fan
+// out.
+func CollectWith(b *workload.Benchmark, pool *pipeline.Pool) (*BenchRun, error) {
+	var (
+		br  *BenchRun
+		p   *pipeline.Pipeline
+		err error
+	)
+	// The prelude (compile, analyze, ground-truth trace) is one unit of
+	// pool work; the per-degree runs then fan out as their own units.
+	pool.Do(func() { br, p, err = collectBase(b, pool) })
 	if err != nil {
 		return nil, err
 	}
 
-	mt := interp.New(prog, b.Seed)
-	tr := trace.NewTracer(info, mt)
-	if err := mt.Run(); err != nil {
-		return nil, fmt.Errorf("%s: trace run: %w", b.Name, err)
-	}
-	if tr.Err != nil {
-		return nil, fmt.Errorf("%s: tracer: %w", b.Name, tr.Err)
-	}
-
-	br := &BenchRun{B: b, Info: info, Tracer: tr, BaseOps: mt.BaseOps, MaxK: info.MaxDegree()}
+	br.Runs = make([]*KRun, br.MaxK+2)
+	errs := make([]error, br.MaxK+2)
+	var wg sync.WaitGroup
 	for k := -1; k <= br.MaxK; k++ {
-		m := interp.New(prog, b.Seed)
-		rt, err := instrument.New(info, instrument.Config{K: k, Loops: k >= 0, Interproc: k >= 0}, m)
-		if err != nil {
-			return nil, fmt.Errorf("%s k=%d: %w", b.Name, k, err)
-		}
-		if err := m.Run(); err != nil {
-			return nil, fmt.Errorf("%s k=%d: instrumented run: %w", b.Name, k, err)
-		}
-		if rt.Err != nil {
-			return nil, fmt.Errorf("%s k=%d: runtime: %w", b.Name, k, rt.Err)
-		}
-		br.Runs = append(br.Runs, &KRun{K: k, Counters: rt.C, Report: rt.Report(mt.BaseOps)})
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			pool.Do(func() {
+				run, rerr := p.Execute(instrument.Config{K: k, Loops: k >= 0, Interproc: k >= 0}, b.Seed, nil)
+				if rerr != nil {
+					errs[k+1] = fmt.Errorf("%s k=%d: %w", b.Name, k, rerr)
+					return
+				}
+				br.Runs[k+1] = &KRun{K: k, Counters: run.Counters, Report: run.Overhead}
+			})
+		}(k)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return br, nil
 }
 
-// CollectAll runs the full benchmark suite, one benchmark per goroutine
-// (each benchmark's runs stay sequential; they share nothing).
+// collectBase builds the benchmark's pipeline and ground truth.
+func collectBase(b *workload.Benchmark, pool *pipeline.Pool) (*BenchRun, *pipeline.Pipeline, error) {
+	prog, err := b.Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := pipeline.New(prog, pipeline.Options{Store: DefaultStore, Pool: pool})
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, mt, err := p.Trace(b.Seed, false, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: trace run: %w", b.Name, err)
+	}
+	br := &BenchRun{B: b, Info: p.Info, Tracer: tr, BaseOps: mt.BaseOps, MaxK: p.Info.MaxDegree()}
+	return br, p, nil
+}
+
+// CollectAll runs the full benchmark suite. Benchmarks fan out
+// concurrently, but every heavy stage — each prelude, each per-degree
+// instrumented run — draws a slot from the one shared pool, so total
+// parallelism stays bounded (default GOMAXPROCS; see
+// pipeline.SetParallelism) instead of the previous unbounded
+// one-goroutine-per-benchmark free-for-all. All failures are reported,
+// joined, not just an arbitrary one of N.
 func CollectAll() ([]*BenchRun, error) {
 	benches := workload.All()
 	out := make([]*BenchRun, len(benches))
 	errs := make([]error, len(benches))
+	pool := pipeline.Shared()
 	var wg sync.WaitGroup
 	for i, b := range benches {
 		wg.Add(1)
 		go func(i int, b *workload.Benchmark) {
 			defer wg.Done()
-			out[i], errs[i] = Collect(b)
+			out[i], errs[i] = CollectWith(b, pool)
 		}(i, b)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

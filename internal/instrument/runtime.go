@@ -41,23 +41,27 @@ type Config struct {
 	ChordProfile *profile.Counters
 }
 
-// Runtime is the instrumented-run listener. Register it on a machine, run,
-// then read Counters and Ops.
+// Runtime is the instrumented-run listener. Register it on a machine (via
+// New or Plan.Attach), run, then read Counters and Ops.
 type Runtime struct {
 	interp.BaseListener
 	Info *profile.Info
 	Cfg  Config
-	// C holds the collected counters.
-	C *profile.Counters
 	// BLOps, LoopOps, InterOps tally probe operations by category.
 	BLOps, LoopOps, InterOps int64
 	// Err records the first internal error.
 	Err error
 
+	store   profile.CounterStore
 	idx     int
 	pending *pendingCall
 	plans   []*funcPlan
 }
+
+// Counters returns the run's collected counters in the canonical
+// nested-map form (materialized on demand for flat stores; read it after
+// the run completes).
+func (rt *Runtime) Counters() *profile.Counters { return rt.store.Counters() }
 
 type pendingCall struct {
 	caller, site int
@@ -99,13 +103,33 @@ type frProbe struct {
 	lastID   int64
 }
 
-// New creates a runtime for info under cfg and registers it on m.
+// Plan is a reusable instrumentation plan: the per-function probe
+// placements (chords, extension regions) a Config implies, fully resolved.
+// A Plan is immutable after BuildPlan and may be attached to any number of
+// machines, concurrently — this is what a pipeline ArtifactCache shares
+// across the runs of a degree sweep.
+type Plan struct {
+	Info  *profile.Info
+	Cfg   Config
+	funcs []*funcPlan
+}
+
+// New creates a runtime for info under cfg and registers it on m, building
+// a throwaway plan and a nested-map store (the uncached path; reuse plans
+// through BuildPlan/Attach or internal/pipeline when running more than
+// once).
 func New(info *profile.Info, cfg Config, m *interp.Machine) (*Runtime, error) {
-	rt := &Runtime{
-		Info: info,
-		Cfg:  cfg,
-		C:    profile.NewCounters(len(info.Funcs)),
+	plan, err := BuildPlan(info, cfg)
+	if err != nil {
+		return nil, err
 	}
+	return plan.Attach(m, nil), nil
+}
+
+// BuildPlan resolves the probe placement for every function of info under
+// cfg.
+func BuildPlan(info *profile.Info, cfg Config) (*Plan, error) {
+	p := &Plan{Info: info, Cfg: cfg}
 	for _, fi := range info.Funcs {
 		fp := &funcPlan{fi: fi}
 		if cfg.ChordBL {
@@ -148,10 +172,26 @@ func New(info *profile.Info, cfg Config, m *interp.Machine) (*Runtime, error) {
 				fp.suffixExts[i] = sx
 			}
 		}
-		rt.plans = append(rt.plans, fp)
+		p.funcs = append(p.funcs, fp)
+	}
+	return p, nil
+}
+
+// Attach registers a fresh runtime for the plan on m, writing counters
+// through store (nil = a fresh nested-map store). Each run needs its own
+// Runtime; the plan itself is shared.
+func (p *Plan) Attach(m *interp.Machine, store profile.CounterStore) *Runtime {
+	if store == nil {
+		store = profile.NewNestedStore(len(p.Info.Funcs))
+	}
+	rt := &Runtime{
+		Info:  p.Info,
+		Cfg:   p.Cfg,
+		store: store,
+		plans: p.funcs,
 	}
 	rt.idx = m.AddListener(rt)
-	return rt, nil
+	return rt
 }
 
 // Report packages the run's overhead against a base-op count.
@@ -346,10 +386,10 @@ func (rt *Runtime) flushLoop(ps *frProbe, li *profile.LoopInfo, tr *olpath.Track
 		full = false
 	}
 	ext := tr.Finalize()
-	rt.C.Loop[profile.LoopKey{
+	rt.store.IncLoop(profile.LoopKey{
 		Func: ps.plan.fi.Index, Loop: li.Index,
 		Base: ps.loopBase[li.Index], Ext: ext, Full: full,
-	}]++
+	})
 	rt.LoopOps += overhead.CounterOp
 }
 
@@ -374,25 +414,25 @@ func (rt *Runtime) extStep(tr *olpath.Tracker, e cfg.Edge, ops *int64) {
 // completed handles a finished BL path instance.
 func (rt *Runtime) completed(ps *frProbe, inst *bl.Instance) {
 	fi := ps.plan.fi
-	rt.C.BL[fi.Index][inst.PathID]++
+	rt.store.IncBL(fi.Index, inst.PathID)
 	rt.BLOps += overhead.CounterOp
 	ps.lastID = inst.PathID
 
 	if ps.entryTr != nil {
 		ext := ps.entryTr.Finalize()
-		rt.C.TypeI[profile.TypeIKey{
+		rt.store.IncTypeI(profile.TypeIKey{
 			Caller: ps.entryKey.caller, Site: ps.entryKey.site,
 			Callee: fi.Index, Prefix: ps.entryKey.prefix, Ext: ext,
-		}]++
+		})
 		rt.InterOps += overhead.TupleCounterOp
 		ps.entryTr = nil
 	}
 	for _, s := range ps.suffixes {
 		ext := s.tr.Finalize()
-		rt.C.TypeII[profile.TypeIIKey{
+		rt.store.IncTypeII(profile.TypeIIKey{
 			Caller: fi.Index, Site: s.site, Callee: s.callee,
 			Path: s.q, Ext: ext,
-		}]++
+		})
 		rt.InterOps += overhead.TupleCounterOp
 	}
 	ps.suffixes = ps.suffixes[:0]
@@ -407,7 +447,7 @@ func (rt *Runtime) OnCall(caller *interp.Frame, site int, calleeFr *interp.Frame
 		return
 	}
 	calleeIdx := rt.Info.OfFunc(calleeFr.Fn).Index
-	rt.C.Calls[profile.CallKey{Caller: ps.plan.fi.Index, Site: cs.Index, Callee: calleeIdx}]++
+	rt.store.IncCall(profile.CallKey{Caller: ps.plan.fi.Index, Site: cs.Index, Callee: calleeIdx})
 	if rt.Cfg.Interproc && rt.Cfg.K >= 0 && rt.Cfg.Selection.SiteOn(ps.plan.fi.Index, cs.Index) {
 		rt.InterOps += overhead.CallProbeOp
 		rt.pending = &pendingCall{caller: ps.plan.fi.Index, site: cs.Index, prefix: ps.w.PartialID()}

@@ -156,14 +156,14 @@ func crossValidate(t *testing.T, name, src string) {
 
 			// BL profiles must match the reference walker exactly.
 			for fidx := range info.Funcs {
-				if len(rt.C.BL[fidx]) != len(tr.BL[fidx]) {
+				if len(rt.Counters().BL[fidx]) != len(tr.BL[fidx]) {
 					t.Fatalf("func %d: BL profile size %d != %d",
-						fidx, len(rt.C.BL[fidx]), len(tr.BL[fidx]))
+						fidx, len(rt.Counters().BL[fidx]), len(tr.BL[fidx]))
 				}
 				for id, n := range tr.BL[fidx] {
-					if rt.C.BL[fidx][id] != n {
+					if rt.Counters().BL[fidx][id] != n {
 						t.Fatalf("func %d path %d: BL count %d != %d",
-							fidx, id, rt.C.BL[fidx][id], n)
+							fidx, id, rt.Counters().BL[fidx][id], n)
 					}
 				}
 			}
@@ -172,21 +172,21 @@ func crossValidate(t *testing.T, name, src string) {
 			if err != nil {
 				t.Fatalf("ExpectedLoopCounters: %v", err)
 			}
-			compareCounters(t, "loop", toAny(rt.C.Loop), toAny(wantLoop))
+			compareCounters(t, "loop", toAny(rt.Counters().Loop), toAny(wantLoop))
 
 			wantT1, err := tr.ExpectedTypeI(k)
 			if err != nil {
 				t.Fatalf("ExpectedTypeI: %v", err)
 			}
-			compareCounters(t, "typeI", toAny(rt.C.TypeI), toAny(wantT1))
+			compareCounters(t, "typeI", toAny(rt.Counters().TypeI), toAny(wantT1))
 
 			wantT2, err := tr.ExpectedTypeII(k)
 			if err != nil {
 				t.Fatalf("ExpectedTypeII: %v", err)
 			}
-			compareCounters(t, "typeII", toAny(rt.C.TypeII), toAny(wantT2))
+			compareCounters(t, "typeII", toAny(rt.Counters().TypeII), toAny(wantT2))
 
-			compareCounters(t, "calls", toAny(rt.C.Calls), toAny(tr.Calls))
+			compareCounters(t, "calls", toAny(rt.Counters().Calls), toAny(tr.Calls))
 
 			// Overhead accounting sanity: probes run only when their
 			// feature produced work.
@@ -248,7 +248,7 @@ func TestBLOnlyModeCollectsNoOverlapCounters(t *testing.T) {
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if len(rt.C.Loop)+len(rt.C.TypeI)+len(rt.C.TypeII) != 0 {
+	if len(rt.Counters().Loop)+len(rt.Counters().TypeI)+len(rt.Counters().TypeII) != 0 {
 		t.Fatal("BL-only mode produced overlap counters")
 	}
 	if rt.LoopOps != 0 || rt.InterOps != 0 {
@@ -258,7 +258,7 @@ func TestBLOnlyModeCollectsNoOverlapCounters(t *testing.T) {
 		t.Fatal("BL-only mode charged no BL ops")
 	}
 	// Calls are still counted (needed by BL-mode estimation).
-	if len(rt.C.Calls) == 0 {
+	if len(rt.Counters().Calls) == 0 {
 		t.Fatal("no call counts collected")
 	}
 }

@@ -1,0 +1,198 @@
+// Package pipeline owns the static artifacts of a profiled program — the
+// analyzed profile.Info (CFGs, BL DAGs and numberings, loop info, and the
+// lazily grown per-degree OL extension regions hanging off it) and the
+// instrumentation plans keyed by configuration — built once and shared,
+// concurrency-safe, across every run of the program. A degree sweep that
+// used to rebuild plans, overlapping graphs, and chord placements per run
+// now pays for each exactly once; the shared worker Pool bounds how many
+// runs execute at a time.
+//
+// The layering: core.Session, experiments.Collect/CollectAll, and both
+// CLIs all drive their runs through a Pipeline instead of calling
+// profile.Analyze / instrument.New themselves.
+package pipeline
+
+import (
+	"io"
+	"sync"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/interp"
+	"pathprof/internal/ir"
+	"pathprof/internal/lang"
+	"pathprof/internal/overhead"
+	"pathprof/internal/profile"
+	"pathprof/internal/trace"
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	// Limits bound the static enumerations (zero value = defaults).
+	Limits profile.Limits
+	// Store selects the counter-store layout runs write through (zero
+	// value = nested maps; StoreFlat is the dense layout).
+	Store profile.StoreKind
+	// Pool is the worker pool sweeps draw slots from (nil = the shared
+	// process-wide pool).
+	Pool *Pool
+}
+
+// Pipeline is the per-program artifact cache.
+type Pipeline struct {
+	Prog *ir.Program
+	Info *profile.Info
+
+	opts Options
+
+	mu    sync.Mutex
+	plans map[planKey]*planEntry
+}
+
+// planKey identifies one instrumentation plan. Selection and ChordProfile
+// cache by pointer identity: distinct selections (or chord weightings) are
+// distinct plans, and the common nil means "everything"/"uniform".
+type planKey struct {
+	k                         int
+	loops, interproc, chordBL bool
+	selection                 *profile.Selection
+	chordProfile              *profile.Counters
+}
+
+// planEntry is a singleflight-style slot: the first caller builds, every
+// concurrent and later caller waits and shares the result.
+type planEntry struct {
+	once sync.Once
+	plan *instrument.Plan
+	err  error
+}
+
+// New analyzes an already-lowered program and wraps it in a Pipeline.
+func New(prog *ir.Program, opts Options) (*Pipeline, error) {
+	info, err := profile.Analyze(prog, opts.Limits)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the program's lazy name index single-threaded so concurrent
+	// machines only ever read it.
+	prog.FuncByName("main")
+	return &Pipeline{Prog: prog, Info: info, opts: opts, plans: map[planKey]*planEntry{}}, nil
+}
+
+// Compile compiles source and wraps it in a Pipeline.
+func Compile(source string, opts Options) (*Pipeline, error) {
+	prog, err := lang.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	return New(prog, opts)
+}
+
+// Pool returns the pool this pipeline's sweeps use.
+func (p *Pipeline) Pool() *Pool {
+	if p.opts.Pool != nil {
+		return p.opts.Pool
+	}
+	return Shared()
+}
+
+// NewStore allocates a counter store of the pipeline's configured kind.
+func (p *Pipeline) NewStore() profile.CounterStore {
+	return profile.NewStore(p.opts.Store, p.Info)
+}
+
+// Plan returns the instrumentation plan for cfg, building it at most once
+// per configuration even under concurrent callers.
+func (p *Pipeline) Plan(cfg instrument.Config) (*instrument.Plan, error) {
+	key := planKey{
+		k:            cfg.K,
+		loops:        cfg.Loops,
+		interproc:    cfg.Interproc,
+		chordBL:      cfg.ChordBL,
+		selection:    cfg.Selection,
+		chordProfile: cfg.ChordProfile,
+	}
+	p.mu.Lock()
+	e := p.plans[key]
+	if e == nil {
+		e = &planEntry{}
+		p.plans[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.plan, e.err = instrument.BuildPlan(p.Info, cfg) })
+	return e.plan, e.err
+}
+
+// CachedPlans reports how many plans the cache holds (for tests and
+// diagnostics).
+func (p *Pipeline) CachedPlans() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.plans)
+}
+
+// Run is the outcome of one instrumented execution.
+type Run struct {
+	// K is the profiled degree (-1 = Ball-Larus only).
+	K int
+	// Selection is the structure selection the run used (nil = all).
+	Selection *profile.Selection
+	// Counters holds every collected counter.
+	Counters *profile.Counters
+	// Overhead reports probe cost against base cost.
+	Overhead overhead.Report
+	// Steps is the number of executed basic blocks.
+	Steps int64
+	// BaseOps is the uninstrumented operation count of the run.
+	BaseOps int64
+}
+
+// Execute performs one instrumented run of the program at cfg with the
+// given seed, through the cached plan. out, when non-nil, receives the
+// program's print output. Safe for concurrent callers: the plan and static
+// artifacts are shared, machine and counter store are per-run.
+func (p *Pipeline) Execute(cfg instrument.Config, seed uint64, out io.Writer) (*Run, error) {
+	plan, err := p.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := interp.New(p.Prog, seed)
+	if out != nil {
+		m.Out = out
+	}
+	rt := plan.Attach(m, p.NewStore())
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	if rt.Err != nil {
+		return nil, rt.Err
+	}
+	return &Run{
+		K:         cfg.K,
+		Selection: cfg.Selection,
+		Counters:  rt.Counters(),
+		Overhead:  rt.Report(m.BaseOps),
+		Steps:     m.Steps,
+		BaseOps:   m.BaseOps,
+	}, nil
+}
+
+// Trace performs one ground-truth tracer run, reusing the cached Info.
+// When wpp is true the full block trace is accumulated as a SEQUITUR
+// grammar on the tracer's WPP field.
+func (p *Pipeline) Trace(seed uint64, wpp bool, out io.Writer) (*trace.Tracer, *interp.Machine, error) {
+	m := interp.New(p.Prog, seed)
+	if out != nil {
+		m.Out = out
+	}
+	tr := trace.NewTracer(p.Info, m)
+	if wpp {
+		tr.EnableWPP()
+	}
+	if err := m.Run(); err != nil {
+		return nil, nil, err
+	}
+	if tr.Err != nil {
+		return nil, nil, tr.Err
+	}
+	return tr, m, nil
+}

@@ -1,0 +1,198 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/interp"
+	"pathprof/internal/pipeline"
+	"pathprof/internal/profile"
+	"pathprof/internal/workload"
+)
+
+// serialize renders counters in the stable on-disk form.
+func serialize(t *testing.T, c *profile.Counters) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := c.Serialize(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestCachedPlanMatchesFreshPlan is the cross-validation the refactor
+// hinges on: a run through the pipeline's cached plan (and flat store)
+// must produce byte-identical serialized counters to a run that builds
+// everything fresh (instrument.New on a fresh Analyze, nested store).
+func TestCachedPlanMatchesFreshPlan(t *testing.T) {
+	for _, name := range []string{"181.mcf", "300.twolf", "130.li"} {
+		b := workload.ByName(name)
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := pipeline.New(prog, pipeline.Options{Store: profile.StoreFlat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := p.Info.MaxDegree() / 2
+		cfg := instrument.Config{K: k, Loops: true, Interproc: true}
+
+		// Two pipeline runs: the second hits the plan cache.
+		run1, err := p.Execute(cfg, b.Seed, nil)
+		if err != nil {
+			t.Fatalf("%s: first pipeline run: %v", name, err)
+		}
+		run2, err := p.Execute(cfg, b.Seed, nil)
+		if err != nil {
+			t.Fatalf("%s: cached pipeline run: %v", name, err)
+		}
+		if p.CachedPlans() != 1 {
+			t.Fatalf("%s: want 1 cached plan, have %d", name, p.CachedPlans())
+		}
+
+		// A fresh-plan run sharing nothing with the pipeline.
+		freshInfo, err := profile.Analyze(prog, profile.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := interp.New(prog, b.Seed)
+		rt, err := instrument.New(freshInfo, cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Err != nil {
+			t.Fatal(rt.Err)
+		}
+
+		want := serialize(t, rt.Counters())
+		if got := serialize(t, run1.Counters); !bytes.Equal(got, want) {
+			t.Fatalf("%s k=%d: pipeline run diverges from fresh-plan run", name, k)
+		}
+		if got := serialize(t, run2.Counters); !bytes.Equal(got, want) {
+			t.Fatalf("%s k=%d: cached-plan run diverges from fresh-plan run", name, k)
+		}
+	}
+}
+
+// TestPlanCacheSingleflight: concurrent Plan calls for one configuration
+// must all receive the same plan instance, built once.
+func TestPlanCacheSingleflight(t *testing.T) {
+	b := workload.ByName("181.mcf")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(prog, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := instrument.Config{K: 1, Loops: true, Interproc: true}
+	const callers = 16
+	plans := make([]*instrument.Plan, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pl, err := p.Plan(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = pl
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if plans[i] != plans[0] {
+			t.Fatalf("caller %d received a different plan instance", i)
+		}
+	}
+	if p.CachedPlans() != 1 {
+		t.Fatalf("want 1 cached plan, have %d", p.CachedPlans())
+	}
+}
+
+// TestParallelSweepDeterminism: every degree profiled concurrently through
+// one pipeline must match its sequentially profiled twin.
+func TestParallelSweepDeterminism(t *testing.T) {
+	b := workload.ByName("181.mcf")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(prog, pipeline.Options{Store: profile.StoreFlat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxK := p.Info.MaxDegree()
+	seq := make([][]byte, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		run, err := p.Execute(instrument.Config{K: k, Loops: true, Interproc: true}, b.Seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[k] = serialize(t, run.Counters)
+	}
+	pool := pipeline.NewPool(4)
+	var wg sync.WaitGroup
+	for k := 0; k <= maxK; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			pool.Do(func() {
+				run, err := p.Execute(instrument.Config{K: k, Loops: true, Interproc: true}, b.Seed, nil)
+				if err != nil {
+					t.Errorf("k=%d: %v", k, err)
+					return
+				}
+				if !bytes.Equal(serialize(t, run.Counters), seq[k]) {
+					t.Errorf("k=%d: parallel run diverges from sequential run", k)
+				}
+			})
+		}(k)
+	}
+	wg.Wait()
+}
+
+// TestPoolBoundsConcurrency: a pool of n slots must never run more than n
+// tasks at once.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const bound = 3
+	pool := pipeline.NewPool(bound)
+	if pool.Size() != bound {
+		t.Fatalf("pool size %d, want %d", pool.Size(), bound)
+	}
+	var active, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Do(func() {
+				n := active.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				for j := 0; j < 1000; j++ { // linger so overlap is observable
+					_ = j
+				}
+				active.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > bound {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", got, bound)
+	}
+}

@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of heavy pipeline stages (instrumented runs,
+// trace runs, compile+analyze preludes) executing at once. One pool is
+// shared across every concurrent sweep — the per-benchmark fan-out of
+// CollectAll and the per-degree fan-out inside each Collect draw from the
+// same slot budget, so total parallelism never exceeds the bound no matter
+// how the fan-outs nest.
+//
+// The discipline that keeps nesting deadlock-free: only leaf work holds a
+// slot. Coordinator goroutines (the ones that spawn sub-tasks and wait)
+// must wait outside any Do call.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool creates a pool bounding concurrency to n (n <= 0 means
+// GOMAXPROCS, the default).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size returns the pool's concurrency bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Do runs fn while holding one of the pool's slots, blocking until one
+// frees up.
+func (p *Pool) Do(fn func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   *Pool
+)
+
+// Shared returns the process-wide pool (GOMAXPROCS slots unless
+// SetParallelism changed it).
+func Shared() *Pool {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if shared == nil {
+		shared = NewPool(0)
+	}
+	return shared
+}
+
+// SetParallelism replaces the shared pool with one bounded to n (n <= 0
+// restores GOMAXPROCS). Call it before starting work — sweeps already
+// holding the old pool keep its bound.
+func SetParallelism(n int) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	shared = NewPool(n)
+}

@@ -7,6 +7,7 @@ package profile
 
 import (
 	"fmt"
+	"sync"
 
 	"pathprof/internal/bl"
 	"pathprof/internal/cfg"
@@ -40,12 +41,16 @@ type LoopInfo struct {
 	MaxDeg int
 
 	fi   *FuncInfo
+	mu   sync.Mutex
 	exts map[int]*olpath.Ext
 }
 
 // Ext returns (and caches) the degree-k extension region of the loop,
-// rooted at the header and restricted to the body.
+// rooted at the header and restricted to the body. Safe for concurrent
+// callers: parallel degree sweeps and estimators share one Info.
 func (li *LoopInfo) Ext(k int) (*olpath.Ext, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
 	if x, ok := li.exts[k]; ok {
 		return x, nil
 	}
@@ -84,6 +89,7 @@ type CallSiteInfo struct {
 	MaxDegSuffix int
 
 	fi   *FuncInfo
+	mu   sync.Mutex
 	exts map[int]*olpath.Ext
 
 	prefixes *PrefixSet
@@ -91,8 +97,10 @@ type CallSiteInfo struct {
 }
 
 // SuffixExt returns (and caches) the degree-k Type II suffix region rooted
-// at the call-site block.
+// at the call-site block. Safe for concurrent callers.
 func (cs *CallSiteInfo) SuffixExt(k int) (*olpath.Ext, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if x, ok := cs.exts[k]; ok {
 		return x, nil
 	}
@@ -133,12 +141,16 @@ type FuncInfo struct {
 	// callee-entry region (this function as a callee).
 	MaxDegEntry int
 
+	mu        sync.Mutex
 	entryExts map[int]*olpath.Ext
 }
 
 // EntryExt returns (and caches) the degree-k Type I extension region rooted
-// at this function's entry (used when this function is the callee).
+// at this function's entry (used when this function is the callee). Safe
+// for concurrent callers.
 func (fi *FuncInfo) EntryExt(k int) (*olpath.Ext, error) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
 	if x, ok := fi.entryExts[k]; ok {
 		return x, nil
 	}

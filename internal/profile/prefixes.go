@@ -40,8 +40,11 @@ func (ps *PrefixSet) IndexOfAccum(a int64) int {
 	return -1
 }
 
-// Prefixes enumerates (and caches) the prefix routes of call site cs.
+// Prefixes enumerates (and caches) the prefix routes of call site cs. Safe
+// for concurrent callers.
 func (fi *FuncInfo) Prefixes(cs *CallSiteInfo) (*PrefixSet, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if cs.prefixes != nil {
 		return cs.prefixes, nil
 	}
@@ -130,7 +133,10 @@ func (ss *SuffixSet) IndexOf(blocks []cfg.NodeID) int {
 }
 
 // Suffixes enumerates (and caches) the suffix sequences of call site cs.
+// Safe for concurrent callers.
 func (fi *FuncInfo) Suffixes(cs *CallSiteInfo) (*SuffixSet, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if cs.suffixes != nil {
 		return cs.suffixes, nil
 	}

@@ -98,7 +98,13 @@ func (c *Counters) Serialize(w io.Writer) error {
 		if a.Prefix != b.Prefix {
 			return a.Prefix < b.Prefix
 		}
-		return a.Ext < b.Ext
+		if a.Ext != b.Ext {
+			return a.Ext < b.Ext
+		}
+		// Full is part of the loop-counter key; without it the order of
+		// truncated-vs-full records with equal ids would follow map
+		// iteration order and the "stable" form would not be stable.
+		return !a.Full && b.Full
 	})
 	for _, r := range recs {
 		if err := enc.Encode(r); err != nil {

@@ -1,0 +1,200 @@
+package profile
+
+// This file defines the CounterStore abstraction: the write interface the
+// instrumented runtime increments through, decoupled from the storage
+// layout. Two layouts are provided. NestedStore is the paper's own
+// structure — hash maps keyed by the counter tuples (the four-tuple
+// count[callee][callsite][r][ro] as a struct-keyed map). FlatStore trades
+// memory for speed: per-function Ball-Larus counters live in a dense slice
+// indexed by path id (BL ids are contiguous in [0, NumPaths)), and the
+// tuple-keyed families keep struct-keyed maps with preallocated capacity so
+// the first thousands of increments never rehash. Both materialize into the
+// canonical *Counters form that serialization and estimation consume, and
+// they are proven increment-for-increment identical by the cross-validation
+// tests.
+
+// StoreKind selects a CounterStore layout.
+type StoreKind int
+
+const (
+	// StoreNested is the nested-map layout (the zero value).
+	StoreNested StoreKind = iota
+	// StoreFlat is the dense/flat layout.
+	StoreFlat
+)
+
+// String implements flag-friendly rendering.
+func (k StoreKind) String() string {
+	switch k {
+	case StoreFlat:
+		return "flat"
+	default:
+		return "nested"
+	}
+}
+
+// ParseStoreKind maps a CLI flag value to a StoreKind.
+func ParseStoreKind(s string) (StoreKind, bool) {
+	switch s {
+	case "nested":
+		return StoreNested, true
+	case "flat":
+		return StoreFlat, true
+	}
+	return StoreNested, false
+}
+
+// CounterStore receives the increments of one profiled run. Implementations
+// need not be safe for concurrent use: every run owns its store.
+type CounterStore interface {
+	// IncBL counts one completed Ball-Larus path instance.
+	IncBL(fn int, path int64)
+	// IncLoop counts one overlapping-loop-path instance.
+	IncLoop(k LoopKey)
+	// IncTypeI counts one Type I interprocedural instance.
+	IncTypeI(k TypeIKey)
+	// IncTypeII counts one Type II interprocedural instance.
+	IncTypeII(k TypeIIKey)
+	// IncCall counts one (caller, site, callee) call.
+	IncCall(k CallKey)
+	// Counters materializes the canonical nested-map form.
+	Counters() *Counters
+}
+
+// NewStore builds a store of the requested kind for info's program.
+func NewStore(kind StoreKind, info *Info) CounterStore {
+	if kind == StoreFlat {
+		return NewFlatStore(info)
+	}
+	return NewNestedStore(len(info.Funcs))
+}
+
+// NestedStore is the map-backed store; its Counters are live (no
+// materialization cost).
+type NestedStore struct {
+	c *Counters
+}
+
+// NewNestedStore allocates a nested store for a program with n functions.
+func NewNestedStore(n int) *NestedStore { return &NestedStore{c: NewCounters(n)} }
+
+func (s *NestedStore) IncBL(fn int, path int64) { s.c.BL[fn][path]++ }
+func (s *NestedStore) IncLoop(k LoopKey)        { s.c.Loop[k]++ }
+func (s *NestedStore) IncTypeI(k TypeIKey)      { s.c.TypeI[k]++ }
+func (s *NestedStore) IncTypeII(k TypeIIKey)    { s.c.TypeII[k]++ }
+func (s *NestedStore) IncCall(k CallKey)        { s.c.Calls[k]++ }
+
+// Counters returns the live counters (not a copy).
+func (s *NestedStore) Counters() *Counters { return s.c }
+
+// DenseBLLimit bounds the per-function dense Ball-Larus array; functions
+// with more static paths fall back to a map so pathological path counts
+// cannot blow up memory.
+const DenseBLLimit = 1 << 16
+
+// FlatStore is the dense/flat store.
+type FlatStore struct {
+	// dense[f] is the BL counter array of function f (nil = map
+	// fallback); sparse[f] catches the fallback and any out-of-range id.
+	dense  [][]uint64
+	sparse []map[int64]uint64
+
+	loop   map[LoopKey]uint64
+	typeI  map[TypeIKey]uint64
+	typeII map[TypeIIKey]uint64
+	calls  map[CallKey]uint64
+
+	cached *Counters
+}
+
+// NewFlatStore allocates a flat store sized from info's static counts: BL
+// arrays sized by each function's NumPaths, tuple maps preallocated from
+// the program's loop and call-site census.
+func NewFlatStore(info *Info) *FlatStore {
+	n := len(info.Funcs)
+	s := &FlatStore{
+		dense:  make([][]uint64, n),
+		sparse: make([]map[int64]uint64, n),
+	}
+	var loops, sites int
+	for i, fi := range info.Funcs {
+		loops += len(fi.Loops)
+		sites += len(fi.CallSites)
+		if t := fi.DAG.Total(); t > 0 && t <= DenseBLLimit {
+			s.dense[i] = make([]uint64, t)
+		}
+	}
+	s.loop = make(map[LoopKey]uint64, 16*loops)
+	s.typeI = make(map[TypeIKey]uint64, 16*sites)
+	s.typeII = make(map[TypeIIKey]uint64, 16*sites)
+	s.calls = make(map[CallKey]uint64, sites)
+	return s
+}
+
+func (s *FlatStore) IncBL(fn int, path int64) {
+	s.cached = nil
+	if d := s.dense[fn]; d != nil && path >= 0 && path < int64(len(d)) {
+		d[path]++
+		return
+	}
+	m := s.sparse[fn]
+	if m == nil {
+		m = map[int64]uint64{}
+		s.sparse[fn] = m
+	}
+	m[path]++
+}
+
+func (s *FlatStore) IncLoop(k LoopKey) {
+	s.cached = nil
+	s.loop[k]++
+}
+
+func (s *FlatStore) IncTypeI(k TypeIKey) {
+	s.cached = nil
+	s.typeI[k]++
+}
+
+func (s *FlatStore) IncTypeII(k TypeIIKey) {
+	s.cached = nil
+	s.typeII[k]++
+}
+
+func (s *FlatStore) IncCall(k CallKey) {
+	s.cached = nil
+	s.calls[k]++
+}
+
+// Counters materializes (and memoizes) the canonical nested-map form; only
+// non-zero counters appear, so the result is indistinguishable from a
+// NestedStore's.
+func (s *FlatStore) Counters() *Counters {
+	if s.cached != nil {
+		return s.cached
+	}
+	c := NewCounters(len(s.dense))
+	for f, d := range s.dense {
+		for id, n := range d {
+			if n != 0 {
+				c.BL[f][int64(id)] = n
+			}
+		}
+		for id, n := range s.sparse[f] {
+			c.BL[f][id] += n
+		}
+	}
+	for k, n := range s.loop {
+		c.Loop[k] = n
+	}
+	for k, n := range s.typeI {
+		c.TypeI[k] = n
+	}
+	for k, n := range s.typeII {
+		c.TypeII[k] = n
+	}
+	for k, n := range s.calls {
+		c.Calls[k] = n
+	}
+	s.cached = c
+	return c
+}

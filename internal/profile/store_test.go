@@ -1,0 +1,121 @@
+package profile_test
+
+// Cross-validates the two CounterStore layouts: on the full randprog fuzz
+// corpus, an instrumented run writing through the dense/flat store must
+// produce counters identical key-for-key (and byte-for-byte once
+// serialized) to the same run writing through the nested-map store.
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/interp"
+	"pathprof/internal/lang"
+	"pathprof/internal/profile"
+	"pathprof/internal/randprog"
+)
+
+const fuzzSeeds = 45 // matches the e2e fuzz corpus size
+
+func runWithStore(t *testing.T, seed int64, src string, kind profile.StoreKind) (*profile.Counters, bool) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatalf("seed %d: analyze: %v", seed, err)
+	}
+	k := info.MaxDegree() / 2
+	plan, err := instrument.BuildPlan(info, instrument.Config{K: k, Loops: true, Interproc: true})
+	if err != nil {
+		t.Fatalf("seed %d: plan: %v", seed, err)
+	}
+	m := interp.New(prog, uint64(seed))
+	m.MaxSteps = 2_000_000
+	rt := plan.Attach(m, profile.NewStore(kind, info))
+	if err := m.Run(); err != nil {
+		if err == interp.ErrStepLimit {
+			return nil, false // too heavy; plenty of seeds remain
+		}
+		t.Fatalf("seed %d: run: %v", seed, err)
+	}
+	if rt.Err != nil {
+		t.Fatalf("seed %d: runtime: %v", seed, rt.Err)
+	}
+	return rt.Counters(), true
+}
+
+func TestFlatStoreMatchesNestedOnFuzzCorpus(t *testing.T) {
+	seeds := int64(fuzzSeeds)
+	if testing.Short() {
+		seeds = 8
+	}
+	validated := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.Generate(rand.New(rand.NewSource(seed)), randprog.DefaultConfig())
+		nested, ok := runWithStore(t, seed, src, profile.StoreNested)
+		if !ok {
+			continue
+		}
+		flat, ok := runWithStore(t, seed, src, profile.StoreFlat)
+		if !ok {
+			t.Fatalf("seed %d: flat run hit the step limit but nested did not", seed)
+		}
+		if !reflect.DeepEqual(nested, flat) {
+			t.Fatalf("seed %d: flat store diverges from nested store\nnested: %+v\nflat:   %+v", seed, nested, flat)
+		}
+		var nb, fb bytes.Buffer
+		if err := nested.Serialize(&nb); err != nil {
+			t.Fatalf("seed %d: serialize nested: %v", seed, err)
+		}
+		if err := flat.Serialize(&fb); err != nil {
+			t.Fatalf("seed %d: serialize flat: %v", seed, err)
+		}
+		if !bytes.Equal(nb.Bytes(), fb.Bytes()) {
+			t.Fatalf("seed %d: serialized forms differ", seed)
+		}
+		validated++
+	}
+	if validated < int(seeds)/2 {
+		t.Fatalf("only %d/%d seeds validated; generator drifted heavy", validated, seeds)
+	}
+}
+
+// TestFlatStoreDenseFallback drives the out-of-range/fallback path
+// directly: increments beyond the dense window must land in the sparse
+// overlay and still materialize correctly.
+func TestFlatStoreDenseFallback(t *testing.T) {
+	src := `
+func main() {
+	var x = 0;
+	if (x < 1) { x = x + 1; } else { x = x + 2; }
+	print(x);
+}
+`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := profile.NewFlatStore(info)
+	s.IncBL(0, 0)
+	s.IncBL(0, 0)
+	s.IncBL(0, 1<<40) // far outside any dense window
+	c := s.Counters()
+	if c.BL[0][0] != 2 || c.BL[0][1<<40] != 1 {
+		t.Fatalf("unexpected BL counters: %v", c.BL[0])
+	}
+	// Mutating after materialization must invalidate the memo.
+	s.IncBL(0, 0)
+	if got := s.Counters().BL[0][0]; got != 3 {
+		t.Fatalf("stale materialization: got %d, want 3", got)
+	}
+}
