@@ -7,7 +7,6 @@ package e2e_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"pathprof/internal/estimate"
@@ -19,7 +18,9 @@ import (
 	"pathprof/internal/trace"
 )
 
-const maxFuzzSteps = 400_000
+// The step budgets are shared with the oracle battery and the randprog
+// sweep so every harness agrees on what "too heavy to validate" means.
+const maxFuzzSteps = randprog.MaxOracleSteps
 
 func TestFuzzPipeline(t *testing.T) {
 	seeds := 45
@@ -28,7 +29,7 @@ func TestFuzzPipeline(t *testing.T) {
 	}
 	validated := 0
 	for seed := int64(0); seed < int64(seeds); seed++ {
-		src := randprog.Generate(rand.New(rand.NewSource(seed)), randprog.DefaultConfig())
+		src := randprog.SeedSource(seed)
 		if fuzzOne(t, seed, src) {
 			validated++
 		}
@@ -57,7 +58,7 @@ func fuzzOne(t *testing.T, seed int64, src string) bool {
 	}
 
 	mt := interp.New(prog, uint64(seed))
-	mt.MaxSteps = 8_000_000
+	mt.MaxSteps = randprog.MaxRunSteps
 	tr := trace.NewTracer(info, mt)
 	if err := mt.Run(); err != nil {
 		t.Errorf("seed %d: trace run: %v", seed, err)
@@ -74,7 +75,7 @@ func fuzzOne(t *testing.T, seed int64, src string) bool {
 	maxK := info.MaxDegree()
 	for _, k := range []int{0, 1 + maxK/2, maxK} {
 		m := interp.New(prog, uint64(seed))
-		m.MaxSteps = 8_000_000
+		m.MaxSteps = randprog.MaxRunSteps
 		rt, err := instrument.New(info, instrument.Config{K: k, Loops: true, Interproc: true}, m)
 		if err != nil {
 			t.Errorf("seed %d k=%d: %v", seed, k, err)

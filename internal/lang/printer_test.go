@@ -1,10 +1,11 @@
-package lang
+package lang_test
 
 import (
 	"math/rand"
 	"reflect"
 	"testing"
 
+	"pathprof/internal/lang"
 	"pathprof/internal/randprog"
 )
 
@@ -57,12 +58,12 @@ func TestPrintRoundTripsHandWritten(t *testing.T) {
 		}
 		func main() { print(g, h); f(1, 2); }
 	`
-	a1, err := Parse(src)
+	a1, err := lang.Parse(src)
 	if err != nil {
 		t.Fatalf("parse original: %v", err)
 	}
-	printed := Print(a1)
-	a2, err := Parse(printed)
+	printed := lang.Print(a1)
+	a2, err := lang.Parse(printed)
 	if err != nil {
 		t.Fatalf("re-parse printed source: %v\n%s", err, printed)
 	}
@@ -72,7 +73,7 @@ func TestPrintRoundTripsHandWritten(t *testing.T) {
 		t.Fatalf("round trip changed the AST.\n--- printed ---\n%s", printed)
 	}
 	// And printing is a fixpoint after one round.
-	if p2 := Print(a2); p2 != printed {
+	if p2 := lang.Print(a2); p2 != printed {
 		t.Fatalf("printer not idempotent:\n%s\n---\n%s", printed, p2)
 	}
 }
@@ -80,12 +81,12 @@ func TestPrintRoundTripsHandWritten(t *testing.T) {
 func TestPrintRoundTripsGeneratedPrograms(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		src := randprog.Generate(rand.New(rand.NewSource(seed)), randprog.DefaultConfig())
-		a1, err := Parse(src)
+		a1, err := lang.Parse(src)
 		if err != nil {
 			t.Fatalf("seed %d: parse: %v", seed, err)
 		}
-		printed := Print(a1)
-		a2, err := Parse(printed)
+		printed := lang.Print(a1)
+		a2, err := lang.Parse(printed)
 		if err != nil {
 			t.Fatalf("seed %d: re-parse: %v", seed, err)
 		}
@@ -95,7 +96,7 @@ func TestPrintRoundTripsGeneratedPrograms(t *testing.T) {
 			t.Fatalf("seed %d: round trip changed the AST", seed)
 		}
 		// The printed form must also compile to a valid program.
-		if _, err := Compile(printed); err != nil {
+		if _, err := lang.Compile(printed); err != nil {
 			t.Fatalf("seed %d: printed source does not compile: %v", seed, err)
 		}
 	}

@@ -88,6 +88,45 @@ func TestCountersSerializationDeterministic(t *testing.T) {
 	}
 }
 
+// TestSerializeFullSortKeyStability pins the sort-key bug fixed in the
+// pipeline PR: two loop records that differ ONLY in Full tie on every other
+// sort field, so with Full missing from the comparator their relative order
+// followed map iteration order and the "stable" serialized form was not
+// stable. The counters are rebuilt fresh each iteration so map iteration
+// order actually varies across the 100 serializations.
+func TestSerializeFullSortKeyStability(t *testing.T) {
+	mk := func() *Counters {
+		c := NewCounters(1)
+		c.Loop[LoopKey{Func: 0, Loop: 2, Base: 5, Ext: 3, Full: false}] = 11
+		c.Loop[LoopKey{Func: 0, Loop: 2, Base: 5, Ext: 3, Full: true}] = 22
+		return c
+	}
+	var first []byte
+	for i := 0; i < 100; i++ {
+		var b bytes.Buffer
+		if err := mk().Serialize(&b); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if i == 0 {
+			first = append([]byte(nil), b.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(first, b.Bytes()) {
+			t.Fatalf("iteration %d: serialized bytes differ from iteration 0:\n%s\nvs\n%s",
+				i, first, b.Bytes())
+		}
+	}
+	// The defined order: the truncated (Full=false) record precedes the
+	// full one.
+	lines := strings.Split(strings.TrimSpace(string(first)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 records, got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], `"n":11`) || !strings.Contains(lines[2], `"full":true`) {
+		t.Fatalf("records out of defined order:\n%s\n%s", lines[1], lines[2])
+	}
+}
+
 func TestReadCountersRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
 		"not json":      "banana\n",

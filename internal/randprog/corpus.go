@@ -1,0 +1,94 @@
+package randprog
+
+// This file fixes the thresholds the fuzzing and oracle harnesses share and
+// provides the corpus-harvest helper the differential oracle and the native
+// Go fuzz targets seed themselves from. Every magic number that used to be
+// scattered across the test files (step floors, step caps, corpus sizes)
+// lives here under one name, so the harnesses cannot drift apart.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathprof/internal/interp"
+	"pathprof/internal/lang"
+)
+
+const (
+	// MinUsefulSteps is the step floor below which a generated program is
+	// considered degenerate (it barely exercises the profiling machinery).
+	MinUsefulSteps = 50
+
+	// MaxOracleSteps caps the uninstrumented step count of programs the
+	// full cross-validation battery runs: heavier programs are skipped, as
+	// the multi-run matrix (degrees x stores x sweep modes) would dominate
+	// test time without adding coverage.
+	MaxOracleSteps = 400_000
+
+	// MaxRunSteps is the interpreter hard limit for harness runs; hitting
+	// it means the termination guarantee broke, which is itself a bug.
+	MaxRunSteps = 8_000_000
+
+	// CorpusSeeds is the size of the standard generator-seed sweep the
+	// package's own tests (and the harvested fuzz corpus) cover.
+	CorpusSeeds = 60
+
+	// harvestScanLimit bounds the generator seeds HarvestCorpus examines
+	// before giving up on reaching the requested corpus size.
+	harvestScanLimit = 4 * CorpusSeeds
+)
+
+// Seed is one harvested corpus entry: a generator seed whose program
+// compiled, terminated within the step bounds, and is therefore suitable as
+// an oracle or fuzz input. Steps records the uninstrumented step count at
+// interpreter seed == GenSeed (the harnesses' convention).
+type Seed struct {
+	GenSeed int64
+	Steps   int64
+}
+
+// SeedSource regenerates the canonical program of one generator seed under
+// the default configuration — the single definition of "the program of seed
+// s" shared by the e2e sweep, the oracle battery, and the fuzz targets.
+func SeedSource(genSeed int64) string {
+	return Generate(rand.New(rand.NewSource(genSeed)), DefaultConfig())
+}
+
+// HarvestCorpus scans generator seeds from 0 upward and returns the first n
+// whose programs execute (uninstrumented, interpreter seed == generator
+// seed) in [MinUsefulSteps, maxSteps] steps. It errors if a program fails
+// to compile or run — the generator's termination guarantee must hold on
+// every seed — or if the scan limit is reached before n seeds qualify.
+func HarvestCorpus(n int, maxSteps int64) ([]Seed, error) {
+	var out []Seed
+	for genSeed := int64(0); genSeed < harvestScanLimit && len(out) < n; genSeed++ {
+		steps, err := MeasureSteps(genSeed)
+		if err != nil {
+			return nil, err
+		}
+		if steps < MinUsefulSteps || steps > maxSteps {
+			continue
+		}
+		out = append(out, Seed{GenSeed: genSeed, Steps: steps})
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("randprog: only %d/%d seeds within [%d,%d] steps after scanning %d",
+			len(out), n, MinUsefulSteps, maxSteps, harvestScanLimit)
+	}
+	return out, nil
+}
+
+// MeasureSteps compiles and runs the program of genSeed uninstrumented and
+// returns its step count.
+func MeasureSteps(genSeed int64) (int64, error) {
+	prog, err := lang.Compile(SeedSource(genSeed))
+	if err != nil {
+		return 0, fmt.Errorf("randprog: seed %d: compile: %w", genSeed, err)
+	}
+	m := interp.New(prog, uint64(genSeed))
+	m.MaxSteps = MaxRunSteps
+	if err := m.Run(); err != nil {
+		return 0, fmt.Errorf("randprog: seed %d: run: %w", genSeed, err)
+	}
+	return m.Steps, nil
+}

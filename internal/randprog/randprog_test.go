@@ -10,20 +10,19 @@ import (
 )
 
 func TestGeneratedProgramsCompileAndTerminate(t *testing.T) {
-	for seed := int64(0); seed < 60; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		src := Generate(r, DefaultConfig())
+	for seed := int64(0); seed < CorpusSeeds; seed++ {
+		src := SeedSource(seed)
 		prog, err := lang.Compile(src)
 		if err != nil {
 			t.Fatalf("seed %d: %v\n--- source ---\n%s", seed, err, src)
 		}
 		m := interp.New(prog, uint64(seed))
-		m.MaxSteps = 8_000_000
+		m.MaxSteps = MaxRunSteps
 		if err := m.Run(); err != nil {
 			t.Fatalf("seed %d: run: %v\n--- source ---\n%s", seed, err, src)
 		}
-		if m.Steps < 50 {
-			t.Fatalf("seed %d: only %d steps; degenerate program", seed, m.Steps)
+		if m.Steps < MinUsefulSteps {
+			t.Fatalf("seed %d: only %d steps; degenerate program (floor %d)", seed, m.Steps, MinUsefulSteps)
 		}
 	}
 }
