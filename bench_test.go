@@ -374,6 +374,67 @@ func BenchmarkCounterStoreNested(b *testing.B) { benchmarkCounterStore(b, profil
 // path-id-indexed slices, preallocated tuple maps).
 func BenchmarkCounterStoreFlat(b *testing.B) { benchmarkCounterStore(b, profile.StoreFlat) }
 
+// BenchmarkCounterStoreArena measures the dense-arena store (per-region
+// perfect slot mappings with map overflow).
+func BenchmarkCounterStoreArena(b *testing.B) { benchmarkCounterStore(b, profile.StoreArena) }
+
+// BenchmarkEngineRun measures one full OL instrumented run (300.twolf at
+// k = max/3) on each engine x store cell, all static artifacts (plan,
+// bytecode) amortized through a shared pipeline. This is the head-to-head
+// per-run comparison of the tree-walking reference interpreter against the
+// bytecode engine with fused probe opcodes.
+func BenchmarkEngineRun(b *testing.B) {
+	wb := workload.ByName("300.twolf")
+	prog, err := wb.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pipeline.New(prog, pipeline.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := (p.Info.MaxDegree() + 2) / 3
+	cfg := instrument.Config{K: k, Loops: true, Interproc: true}
+	if _, err := p.Code(cfg); err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM} {
+		for _, st := range []profile.StoreKind{profile.StoreNested, profile.StoreFlat, profile.StoreArena} {
+			b.Run(fmt.Sprintf("%s/%s", eng, st), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					run, err := p.ExecuteStore(eng, cfg, wb.Seed, nil, profile.NewStore(st, p.Info), 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(run.Counters.BL) == 0 {
+						b.Fatal("no counters")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSweepTreeVsVM measures one benchmark's full degree sweep
+// (compile, analyze, trace, then every degree -1..max) per engine on a
+// one-slot pool — the end-to-end number the issue's speedup target is
+// stated against.
+func BenchmarkSweepTreeVsVM(b *testing.B) {
+	wb := workload.ByName("300.twolf")
+	pool := pipeline.NewPool(1)
+	for _, eng := range []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM} {
+		b.Run(eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.CollectWithOptions(wb, pool, profile.StoreFlat, eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCollectSequentialVsPooled measures one benchmark's full degree
 // sweep on a one-slot pool (the old sequential behavior) against the
 // default bounded pool.

@@ -5,13 +5,18 @@
 //
 //	experiments [-exp all|table1|table8|table9|fig5|fig6|fig7|fig8|fig9]
 //	            [-mode paper|extended] [-bench NAME]
-//	            [-parallel N] [-store flat|nested]
+//	            [-parallel N] [-store flat|nested|arena] [-engine vm|tree]
+//	            [-bench-json FILE] [-bench-n N]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each figure prints as one data series per benchmark (degree, value)
 // pairs; tables print in the paper's row layout with an Average row.
 // Collection fans out over a bounded worker pool (-parallel, default
 // GOMAXPROCS); -cpuprofile/-memprofile write pprof profiles of the sweep.
+// -bench-json runs the pipeline microbenchmarks (engine x store per-run
+// cells plus full sweeps on both engines) instead of the experiments and
+// writes the measurements to FILE as JSON; -bench-n sets iterations per
+// cell.
 package main
 
 import (
@@ -44,7 +49,10 @@ func run() error {
 		benchName = flag.String("bench", "", "restrict to one benchmark (default: all nine)")
 		plot      = flag.Bool("plot", false, "render figures as ASCII bar charts instead of series lists")
 		parallel  = flag.Int("parallel", 0, "worker-pool size for the collection sweep (0 = GOMAXPROCS)")
-		storeName = flag.String("store", "flat", "counter store layout: flat or nested")
+		storeName = flag.String("store", "flat", "counter store layout: flat, nested, or arena")
+		engName   = flag.String("engine", "vm", "execution engine: vm (bytecode, fused probes) or tree (reference interpreter)")
+		benchJSON = flag.String("bench-json", "", "run pipeline microbenchmarks and write results to FILE as JSON")
+		benchN    = flag.Int("bench-n", 0, "iterations per microbenchmark cell (0 = default)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
 		memProf   = flag.String("memprofile", "", "write a heap profile to FILE at exit")
 	)
@@ -55,7 +63,33 @@ func run() error {
 		return fmt.Errorf("unknown -store %q", *storeName)
 	}
 	experiments.DefaultStore = store
+	eng, ok := pipeline.ParseEngine(*engName)
+	if !ok {
+		return fmt.Errorf("unknown -engine %q", *engName)
+	}
+	experiments.DefaultEngine = eng
 	pipeline.SetParallelism(*parallel)
+
+	if *benchJSON != "" {
+		name := *benchName
+		if name == "" {
+			name = "300.twolf"
+		}
+		fmt.Fprintf(os.Stderr, "microbenchmarking %s (engine x store grid + sweeps)...\n", name)
+		results, err := experiments.Microbench(name, *benchN)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteBenchJSON(*benchJSON, results); err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Printf("%-6s %-10s %-6s %-7s %14.0f ns/op %12.0f allocs/op\n",
+				r.Name, r.Bench, r.Engine, r.Store, r.NsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+		return nil
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

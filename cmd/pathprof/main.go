@@ -61,7 +61,8 @@ func run() error {
 		loadProf = flag.String("load-profile", "", "estimate from counters in FILE instead of running")
 		dotFunc  = flag.String("dot", "", "print the named function's CFG as DOT")
 		echo     = flag.Bool("run", false, "echo the program's print output")
-		storeNm  = flag.String("store", "nested", "counter store layout: nested or flat")
+		storeNm  = flag.String("store", "nested", "counter store layout: nested, flat, or arena")
+		engNm    = flag.String("engine", "vm", "execution engine: vm (bytecode, fused probes) or tree (reference interpreter)")
 	)
 	flag.Parse()
 
@@ -73,11 +74,15 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown -store %q", *storeNm)
 	}
+	eng, ok := pipeline.ParseEngine(*engNm)
+	if !ok {
+		return fmt.Errorf("unknown -engine %q", *engNm)
+	}
 	src, err := os.ReadFile(*srcPath)
 	if err != nil {
 		return err
 	}
-	s, err := core.OpenOptions(string(src), pipeline.Options{Store: store})
+	s, err := core.OpenOptions(string(src), pipeline.Options{Store: store, Engine: eng})
 	if err != nil {
 		return err
 	}

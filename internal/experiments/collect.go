@@ -24,6 +24,12 @@ import (
 // nested-map store). CLIs may override it before collection starts.
 var DefaultStore = profile.StoreFlat
 
+// DefaultEngine is the execution engine benchmark collection uses (the
+// bytecode VM with fused probes; the oracle battery proves it identical to
+// the tree-walking reference). CLIs may override it before collection
+// starts.
+var DefaultEngine = pipeline.EngineVM
+
 // KRun is the outcome of one instrumented run at a fixed degree.
 type KRun struct {
 	K        int
@@ -70,11 +76,18 @@ func Collect(b *workload.Benchmark) (*BenchRun, error) {
 }
 
 // CollectWith is Collect on an explicit worker pool (a one-slot pool
-// reproduces the old strictly sequential sweep). The static artifacts —
-// analysis, plans, OL graphs — are built once on the benchmark's pipeline
-// and shared by every degree's run; only the executions themselves fan
-// out.
+// reproduces the old strictly sequential sweep), using the package-default
+// store and engine.
 func CollectWith(b *workload.Benchmark, pool *pipeline.Pool) (*BenchRun, error) {
+	return CollectWithOptions(b, pool, DefaultStore, DefaultEngine)
+}
+
+// CollectWithOptions is CollectWith with the counter store and execution
+// engine chosen per call. The static artifacts — analysis, plans, OL
+// graphs, and on the VM engine the compiled bytecode — are built once on
+// the benchmark's pipeline and shared by every degree's run; only the
+// executions themselves fan out.
+func CollectWithOptions(b *workload.Benchmark, pool *pipeline.Pool, store profile.StoreKind, eng pipeline.Engine) (*BenchRun, error) {
 	var (
 		br  *BenchRun
 		p   *pipeline.Pipeline
@@ -82,7 +95,7 @@ func CollectWith(b *workload.Benchmark, pool *pipeline.Pool) (*BenchRun, error) 
 	)
 	// The prelude (compile, analyze, ground-truth trace) is one unit of
 	// pool work; the per-degree runs then fan out as their own units.
-	pool.Do(func() { br, p, err = collectBase(b, pool) })
+	pool.Do(func() { br, p, err = collectBase(b, pool, store, eng) })
 	if err != nil {
 		return nil, err
 	}
@@ -112,12 +125,12 @@ func CollectWith(b *workload.Benchmark, pool *pipeline.Pool) (*BenchRun, error) 
 }
 
 // collectBase builds the benchmark's pipeline and ground truth.
-func collectBase(b *workload.Benchmark, pool *pipeline.Pool) (*BenchRun, *pipeline.Pipeline, error) {
+func collectBase(b *workload.Benchmark, pool *pipeline.Pool, store profile.StoreKind, eng pipeline.Engine) (*BenchRun, *pipeline.Pipeline, error) {
 	prog, err := b.Compile()
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := pipeline.New(prog, pipeline.Options{Store: DefaultStore, Pool: pool})
+	p, err := pipeline.New(prog, pipeline.Options{Store: store, Engine: eng, Pool: pool})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -114,6 +114,25 @@ type Plan struct {
 	funcs []*funcPlan
 }
 
+// FuncInfoAt returns the FuncInfo of function f (by program index).
+func (p *Plan) FuncInfoAt(f int) *profile.FuncInfo { return p.funcs[f].fi }
+
+// ChordsAt returns function f's Ball-Larus chord placement (nil when
+// Config.ChordBL is off).
+func (p *Plan) ChordsAt(f int) *bl.Chords { return p.funcs[f].chords }
+
+// LoopExtsAt returns function f's per-loop extension regions at their
+// effective degrees (nil when loop profiling is off).
+func (p *Plan) LoopExtsAt(f int) []*olpath.Ext { return p.funcs[f].loopExts }
+
+// EntryExtAt returns function f's Type I callee-entry region (nil when
+// interprocedural profiling is off).
+func (p *Plan) EntryExtAt(f int) *olpath.Ext { return p.funcs[f].entryExt }
+
+// SuffixExtsAt returns function f's per-call-site Type II suffix regions
+// (nil when interprocedural profiling is off).
+func (p *Plan) SuffixExtsAt(f int) []*olpath.Ext { return p.funcs[f].suffixExts }
+
 // New creates a runtime for info under cfg and registers it on m, building
 // a throwaway plan and a nested-map store (the uncached path; reuse plans
 // through BuildPlan/Attach or internal/pipeline when running more than

@@ -1,0 +1,110 @@
+package interp
+
+import (
+	"testing"
+
+	"pathprof/internal/ir"
+	"pathprof/internal/lang"
+)
+
+// badOp is an operand with an invalid kind; the frontend never emits one,
+// so it reaches eval only through hand-built IR.
+var badOp = ir.Operand{Kind: 99}
+
+// TestTerminatorErrorContext checks that errors from terminator operand
+// evaluation — Branch conditions, Call arguments, Ret values — carry the
+// same "interp: func.block:" context as body-instruction errors.
+func TestTerminatorErrorContext(t *testing.T) {
+	cases := []struct {
+		name string
+		prog func() *ir.Program
+		want string
+	}{
+		{"branch cond", func() *ir.Program {
+			b := ir.NewFuncBuilder("main")
+			en := b.NewBlock("en")
+			ex := b.NewBlock("ex")
+			b.Term(ir.Ret{})
+			cond := b.NewBlock("cond")
+			b.SetBlock(en)
+			b.Term(ir.Jump{To: cond})
+			b.SetBlock(cond)
+			b.Term(ir.Branch{Cond: badOp, Then: ex, Else: ex})
+			return &ir.Program{Funcs: []*ir.Func{b.Finish(en, ex)}}
+		}, "interp: main.cond: bad operand kind 99"},
+		{"call arg", func() *ir.Program {
+			fb := ir.NewFuncBuilder("f", "a")
+			fen := fb.NewBlock("en")
+			fex := fb.NewBlock("ex")
+			fb.Term(ir.Ret{})
+			fb.SetBlock(fen)
+			fb.Term(ir.Jump{To: fex})
+			f := fb.Finish(fen, fex)
+
+			b := ir.NewFuncBuilder("main")
+			en := b.NewBlock("en")
+			ex := b.NewBlock("ex")
+			b.Term(ir.Ret{})
+			call := b.NewBlock("call")
+			b.SetBlock(en)
+			b.Term(ir.Jump{To: call})
+			b.SetBlock(call)
+			b.Term(ir.Call{Callee: "f", Args: []ir.Operand{badOp}, Next: ex})
+			return &ir.Program{Funcs: []*ir.Func{f, b.Finish(en, ex)}}
+		}, "interp: main.call: bad operand kind 99"},
+		{"ret val", func() *ir.Program {
+			b := ir.NewFuncBuilder("main")
+			en := b.NewBlock("en")
+			ex := b.NewBlock("ex")
+			b.Term(ir.Ret{HasVal: true, Val: badOp})
+			b.SetBlock(en)
+			b.Term(ir.Jump{To: ex})
+			return &ir.Program{Funcs: []*ir.Func{b.Finish(en, ex)}}
+		}, "interp: main.ex: bad operand kind 99"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := New(tc.prog(), 1).Run()
+			if err == nil || err.Error() != tc.want {
+				t.Fatalf("err = %v; want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFrameReuseAllocs guards the frame free-list: a call-heavy run must
+// not allocate a fresh Frame (plus slots and listener data) per call.
+func TestFrameReuseAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed")
+	}
+	prog, err := lang.Compile(`
+		func leaf(a) { return a + 1; }
+		func main() {
+			var i = 0;
+			var s = 0;
+			while (i < 2000) {
+				s = leaf(s);
+				i = i + 1;
+			}
+			print(s);
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := New(prog, 1).Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// 2000 calls; without reuse each allocates a Frame + Slots (+ Data), so
+	// thousands of allocs/op. With the free-list the whole run stays at a
+	// small constant (machine setup + one print).
+	if allocs := res.AllocsPerOp(); allocs > 100 {
+		t.Fatalf("allocs/op = %d; frame reuse regressed (want <= 100)", allocs)
+	}
+}

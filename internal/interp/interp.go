@@ -93,6 +93,10 @@ type Machine struct {
 
 	rng       uint64
 	listeners []Listener
+	// free recycles Frames (and their Slots/Data backing) across calls;
+	// frames are released after OnReturn fires, so listeners may use a
+	// frame inside callbacks but must not retain it past them.
+	free []*Frame
 }
 
 const (
@@ -158,7 +162,7 @@ func (m *Machine) Run() error {
 		case ir.Branch:
 			c, err := m.eval(fr, t.Cond)
 			if err != nil {
-				return err
+				return fmt.Errorf("interp: %s.%s: %w", fr.Fn.Name, blk.Label, err)
 			}
 			to := t.Else
 			if c != 0 {
@@ -181,7 +185,7 @@ func (m *Machine) Run() error {
 			for i, a := range t.Args {
 				v, err := m.eval(fr, a)
 				if err != nil {
-					return err
+					return fmt.Errorf("interp: %s.%s: %w", fr.Fn.Name, blk.Label, err)
 				}
 				nf.Slots[i] = v
 			}
@@ -199,7 +203,7 @@ func (m *Machine) Run() error {
 			if t.HasVal {
 				v, err := m.eval(fr, t.Val)
 				if err != nil {
-					return err
+					return fmt.Errorf("interp: %s.%s: %w", fr.Fn.Name, blk.Label, err)
 				}
 				rv = v
 			}
@@ -208,6 +212,7 @@ func (m *Machine) Run() error {
 			}
 			frames = frames[:len(frames)-1]
 			if len(frames) == 0 {
+				m.freeFrame(fr)
 				return nil
 			}
 			caller := frames[len(frames)-1]
@@ -218,6 +223,7 @@ func (m *Machine) Run() error {
 			for _, l := range m.listeners {
 				l.OnReturn(fr, caller, fr.site)
 			}
+			m.freeFrame(fr)
 			next := caller.Fn.Blocks[caller.Block].Term.(ir.Call).Next
 			m.edge(caller, caller.Block, next)
 			caller.Block = next
@@ -233,6 +239,33 @@ func (m *Machine) newFrame(fn *ir.Func, caller *Frame, site int) *Frame {
 	if caller != nil {
 		depth = caller.Depth + 1
 	}
+	if n := len(m.free); n > 0 {
+		fr := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		fr.Fn = fn
+		fr.Block = fn.Entry
+		fr.Depth = depth
+		fr.site = site
+		fr.pendHasDst = false
+		if ns := fn.NumSlots(); cap(fr.Slots) >= ns {
+			fr.Slots = fr.Slots[:ns]
+			for i := range fr.Slots {
+				fr.Slots[i] = 0
+			}
+		} else {
+			fr.Slots = make([]int64, ns)
+		}
+		if nl := len(m.listeners); cap(fr.Data) >= nl {
+			fr.Data = fr.Data[:nl]
+			for i := range fr.Data {
+				fr.Data[i] = nil
+			}
+		} else {
+			fr.Data = make([]any, nl)
+		}
+		return fr
+	}
 	return &Frame{
 		Fn:    fn,
 		Block: fn.Entry,
@@ -241,6 +274,12 @@ func (m *Machine) newFrame(fn *ir.Func, caller *Frame, site int) *Frame {
 		Data:  make([]any, len(m.listeners)),
 		site:  site,
 	}
+}
+
+// freeFrame recycles fr once no listener can legitimately touch it again
+// (after OnReturn, or after the final OnExit of main).
+func (m *Machine) freeFrame(fr *Frame) {
+	m.free = append(m.free, fr)
 }
 
 func (m *Machine) resolveCallee(fr *Frame, t ir.Call) (*ir.Func, error) {

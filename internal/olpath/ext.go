@@ -292,6 +292,15 @@ func (x *Ext) Classify(e cfg.Edge) Class {
 // which a frozen tracker never adds anyway).
 func (x *Ext) Val(e cfg.Edge) int64 { return x.val[e] }
 
+// ValOK returns the route-encoding increment of e and whether e is a kept
+// OG edge at all — the exact lookup Tracker.Step performs, exposed so an
+// ahead-of-time probe compiler can bake the freeze-on-missing-edge behavior
+// into per-edge probe actions.
+func (x *Ext) ValOK(e cfg.Edge) (int64, bool) {
+	v, ok := x.val[e]
+	return v, ok
+}
+
 // Routes returns the total number of encodable routes from the root.
 func (x *Ext) Routes() int64 { return x.numExt[x.Root] }
 

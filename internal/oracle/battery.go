@@ -65,20 +65,20 @@ func (c *checker) checkCounters() error {
 		// k = 0, the OL-0 == BL identity.
 		for f := range c.tr.BL {
 			if msg := diffMaps(got.BL[f], c.tr.BL[f]); msg != "" {
-				c.violate("counters/bl", cl.k, cl.kind, "func %d: %s", f, msg)
+				c.violate("counters/bl", cl, "func %d: %s", f, msg)
 			}
 		}
 		if msg := diffMaps(got.Loop, want.loop); msg != "" {
-			c.violate("counters/loop", cl.k, cl.kind, "%s", msg)
+			c.violate("counters/loop", cl, "%s", msg)
 		}
 		if msg := diffMaps(got.TypeI, want.t1); msg != "" {
-			c.violate("counters/t1", cl.k, cl.kind, "%s", msg)
+			c.violate("counters/t1", cl, "%s", msg)
 		}
 		if msg := diffMaps(got.TypeII, want.t2); msg != "" {
-			c.violate("counters/t2", cl.k, cl.kind, "%s", msg)
+			c.violate("counters/t2", cl, "%s", msg)
 		}
 		if msg := diffMaps(got.Calls, c.tr.Calls); msg != "" {
-			c.violate("counters/calls", cl.k, cl.kind, "%s", msg)
+			c.violate("counters/calls", cl, "%s", msg)
 		}
 		c.checkConservation(cl, got)
 	}
@@ -100,11 +100,11 @@ func (c *checker) checkConservation(cl cell, got *profile.Counters) {
 	}
 	for ck, calls := range c.tr.Calls {
 		if t1Sum[ck] != calls {
-			c.violate("conserve/t1", cl.k, cl.kind,
+			c.violate("conserve/t1", cl,
 				"edge %+v: Type I mass %d != %d calls", ck, t1Sum[ck], calls)
 		}
 		if t2Sum[ck] != calls {
-			c.violate("conserve/t2", cl.k, cl.kind,
+			c.violate("conserve/t2", cl,
 				"edge %+v: Type II mass %d != %d calls", ck, t2Sum[ck], calls)
 		}
 	}
@@ -119,45 +119,62 @@ func (c *checker) checkConservation(cl cell, got *profile.Counters) {
 	}
 	for id, want := range crossings {
 		if loopSum[id] != want {
-			c.violate("conserve/loop", cl.k, cl.kind,
+			c.violate("conserve/loop", cl,
 				"func %d loop %d: OL mass %d != %d backedge crossings", id.f, id.l, loopSum[id], want)
 		}
 	}
 	for id, got := range loopSum {
 		if crossings[id] == 0 && got != 0 {
-			c.violate("conserve/loop", cl.k, cl.kind,
+			c.violate("conserve/loop", cl,
 				"func %d loop %d: OL mass %d but no backedge crossings", id.f, id.l, got)
 		}
 	}
 }
 
-// checkStores validates that every store layout materialized identical
-// canonical counters at every degree.
+// checkStores validates that every (store, engine) combination materialized
+// identical canonical counters at every degree. With both engines
+// configured this is the tree-vs-vm differential check: the fused-probe
+// bytecode engine must reproduce the listener-dispatched reference
+// key-for-key.
 func (c *checker) checkStores() {
-	ref := c.cfg.Stores[0]
 	for _, k := range c.cfg.Ks {
-		want := c.counters[cell{k: k, kind: ref}]
-		for _, kind := range c.cfg.Stores[1:] {
-			got := c.counters[cell{k: k, kind: kind}]
-			if !reflect.DeepEqual(want, got) {
-				c.violate("stores", k, kind,
-					"canonical counters diverge from %s store", ref)
+		ref := cell{k: k, kind: c.cfg.Stores[0], eng: c.cfg.Engines[0]}
+		want := c.counters[ref]
+		for _, eng := range c.cfg.Engines {
+			for _, kind := range c.cfg.Stores {
+				cl := cell{k: k, kind: kind, eng: eng}
+				if cl == ref {
+					continue
+				}
+				if !reflect.DeepEqual(want, c.counters[cl]) {
+					c.violate("stores", cl,
+						"canonical counters diverge from %s store on %s engine",
+						ref.kind, ref.eng)
+				}
 			}
 		}
 	}
 }
 
-// checkSerialization validates that (a) all stores serialize
-// byte-identically at every degree and (b) serialization round-trips
-// losslessly: deserializing and re-serializing reproduces the exact bytes.
+// checkSerialization validates that (a) every (store, engine) combination
+// serializes byte-identically at every degree and (b) serialization
+// round-trips losslessly: deserializing and re-serializing reproduces the
+// exact bytes.
 func (c *checker) checkSerialization() {
-	ref := c.cfg.Stores[0]
 	for _, k := range c.cfg.Ks {
-		want := c.serialized[cell{k: k, kind: ref}]
-		for _, kind := range c.cfg.Stores[1:] {
-			if !bytes.Equal(want, c.serialized[cell{k: k, kind: kind}]) {
-				c.violate("serialize/stores", k, kind,
-					"serialized form diverges from %s store", ref)
+		ref := cell{k: k, kind: c.cfg.Stores[0], eng: c.cfg.Engines[0]}
+		want := c.serialized[ref]
+		for _, eng := range c.cfg.Engines {
+			for _, kind := range c.cfg.Stores {
+				cl := cell{k: k, kind: kind, eng: eng}
+				if cl == ref {
+					continue
+				}
+				if !bytes.Equal(want, c.serialized[cl]) {
+					c.violate("serialize/stores", cl,
+						"serialized form diverges from %s store on %s engine",
+						ref.kind, ref.eng)
+				}
 			}
 		}
 	}
@@ -165,20 +182,20 @@ func (c *checker) checkSerialization() {
 		raw := c.serialized[cl]
 		rt, err := profile.ReadCounters(bytes.NewReader(raw))
 		if err != nil {
-			c.violate("serialize/roundtrip", cl.k, cl.kind, "ReadCounters: %v", err)
+			c.violate("serialize/roundtrip", cl, "ReadCounters: %v", err)
 			continue
 		}
 		var again bytes.Buffer
 		if err := rt.Serialize(&again); err != nil {
-			c.violate("serialize/roundtrip", cl.k, cl.kind, "re-serialize: %v", err)
+			c.violate("serialize/roundtrip", cl, "re-serialize: %v", err)
 			continue
 		}
 		if !bytes.Equal(raw, again.Bytes()) {
-			c.violate("serialize/roundtrip", cl.k, cl.kind,
+			c.violate("serialize/roundtrip", cl,
 				"round-tripped bytes differ (%d vs %d bytes)", len(raw), len(again.Bytes()))
 		}
 		if !reflect.DeepEqual(rt, c.counters[cl]) {
-			c.violate("serialize/roundtrip", cl.k, cl.kind,
+			c.violate("serialize/roundtrip", cl,
 				"round-tripped counters differ from originals")
 		}
 	}
@@ -214,7 +231,7 @@ func (c *checker) checkEstimates() error {
 		loopTotal += n
 	}
 	if loopTotal != flows.Loop {
-		c.violate("estimate/flows", 0, 0,
+		c.violate("estimate/flows", cell{},
 			"LoopPairs total %d != Flows().Loop %d", loopTotal, flows.Loop)
 	}
 	return nil
@@ -241,21 +258,21 @@ func (c *checker) checkLoopEstimates(ks []int, mode estimate.Mode, pairs map[tra
 				}
 				def, pot := res.Definite(), res.Potential()
 				if def > realTotal || pot < realTotal {
-					c.violate("estimate/bracket", k, 0,
+					c.violate("estimate/bracket", cell{k: k},
 						"%s loop %d mode=%s: flow [%d,%d] misses real %d",
 						fi.Fn.Name, li.Index, mode, def, pot, realTotal)
 				}
 				for pair, real := range perPair {
 					v := res.Var(pair[0], pair[1])
 					if res.Res.Lower[v] > real || res.Res.Upper[v] < real {
-						c.violate("estimate/bracket", k, 0,
+						c.violate("estimate/bracket", cell{k: k},
 							"%s loop %d mode=%s pair(%d,%d): [%d,%d] misses %d",
 							fi.Fn.Name, li.Index, mode, pair[0], pair[1],
 							res.Res.Lower[v], res.Res.Upper[v], real)
 					}
 				}
 				if prevDef >= 0 && (def < prevDef || pot > prevPot) {
-					c.violate("estimate/monotone", k, 0,
+					c.violate("estimate/monotone", cell{k: k},
 						"%s loop %d mode=%s: bounds widened (def %d->%d, pot %d->%d)",
 						fi.Fn.Name, li.Index, mode, prevDef, def, prevPot, pot)
 				}
@@ -309,11 +326,11 @@ func (c *checker) checkInterEstimates(ks []int, mode estimate.Mode) error {
 			}
 			def1, pot1 := r1.Definite(), r1.Potential()
 			if def1 > realT1 || pot1 < realT1 {
-				c.violate("estimate/bracket", k, 0,
+				c.violate("estimate/bracket", cell{k: k},
 					"T1 %+v mode=%s: [%d,%d] misses %d", ck, mode, def1, pot1, realT1)
 			}
 			if prevDef1 >= 0 && (def1 < prevDef1 || pot1 > prevPot1) {
-				c.violate("estimate/monotone", k, 0,
+				c.violate("estimate/monotone", cell{k: k},
 					"T1 %+v mode=%s: bounds widened (def %d->%d, pot %d->%d)",
 					ck, mode, prevDef1, def1, prevPot1, pot1)
 			}
@@ -329,11 +346,11 @@ func (c *checker) checkInterEstimates(ks []int, mode estimate.Mode) error {
 			}
 			def2, pot2 := r2.Definite(), r2.Potential()
 			if def2 > realT2 || pot2 < realT2 {
-				c.violate("estimate/bracket", k, 0,
+				c.violate("estimate/bracket", cell{k: k},
 					"T2 %+v mode=%s: [%d,%d] misses %d", ck, mode, def2, pot2, realT2)
 			}
 			if prevDef2 >= 0 && (def2 < prevDef2 || pot2 > prevPot2) {
-				c.violate("estimate/monotone", k, 0,
+				c.violate("estimate/monotone", cell{k: k},
 					"T2 %+v mode=%s: bounds widened (def %d->%d, pot %d->%d)",
 					ck, mode, prevDef2, def2, prevPot2, pot2)
 			}
@@ -372,7 +389,7 @@ func (c *checker) checkParallel() error {
 		}
 		c.res.Runs++
 		if !bytes.Equal(raws[i], c.serialized[cl]) {
-			c.violate("parallel", cl.k, cl.kind,
+			c.violate("parallel", cl,
 				"parallel-sweep counters diverge from sequential sweep")
 		}
 	}

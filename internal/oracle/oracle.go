@@ -60,8 +60,13 @@ const (
 type Config struct {
 	// Ks are the profiled degrees (default {0, 1, 2}).
 	Ks []int
-	// Stores are the counter-store layouts (default nested and flat).
+	// Stores are the counter-store layouts (default nested, flat, and
+	// arena).
 	Stores []profile.StoreKind
+	// Engines are the execution engines (default tree then vm: the
+	// listener-dispatched reference interpreter is the comparison
+	// baseline the fused-probe bytecode engine must match).
+	Engines []pipeline.Engine
 	// Modes are the estimation constraint modes (default Paper and
 	// Extended).
 	Modes []estimate.Mode
@@ -83,7 +88,10 @@ func (c Config) withDefaults() Config {
 		c.Ks = []int{0, 1, 2}
 	}
 	if len(c.Stores) == 0 {
-		c.Stores = []profile.StoreKind{profile.StoreNested, profile.StoreFlat}
+		c.Stores = []profile.StoreKind{profile.StoreNested, profile.StoreFlat, profile.StoreArena}
+	}
+	if len(c.Engines) == 0 {
+		c.Engines = []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM}
 	}
 	if len(c.Modes) == 0 {
 		c.Modes = []estimate.Mode{estimate.Paper, estimate.Extended}
@@ -104,17 +112,18 @@ func (c Config) withDefaults() Config {
 }
 
 // Violation is one failed invariant. Violations carry enough detail to
-// reproduce: the invariant name, the (k, store) cell of the run matrix, and
-// a human-readable diff fragment.
+// reproduce: the invariant name, the (k, store, engine) cell of the run
+// matrix, and a human-readable diff fragment.
 type Violation struct {
 	Invariant string
 	K         int
 	Store     profile.StoreKind
+	Engine    pipeline.Engine
 	Detail    string
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf("[%s] k=%d store=%s: %s", v.Invariant, v.K, v.Store, v.Detail)
+	return fmt.Sprintf("[%s] k=%d store=%s engine=%s: %s", v.Invariant, v.K, v.Store, v.Engine, v.Detail)
 }
 
 // Result is the outcome of one oracle run.
@@ -203,10 +212,11 @@ func Check(p *pipeline.Pipeline, seed uint64, cfg Config) (*Result, error) {
 	return c.res, nil
 }
 
-// cell is one (degree, store) coordinate of the run matrix.
+// cell is one (degree, store, engine) coordinate of the run matrix.
 type cell struct {
 	k    int
 	kind profile.StoreKind
+	eng  pipeline.Engine
 }
 
 type checker struct {
@@ -222,9 +232,10 @@ type checker struct {
 	serialized map[cell][]byte
 }
 
-func (c *checker) violate(inv string, k int, kind profile.StoreKind, format string, args ...any) {
+func (c *checker) violate(inv string, cl cell, format string, args ...any) {
 	c.res.Violations = append(c.res.Violations, Violation{
-		Invariant: inv, K: k, Store: kind, Detail: fmt.Sprintf(format, args...),
+		Invariant: inv, K: cl.k, Store: cl.kind, Engine: cl.eng,
+		Detail: fmt.Sprintf(format, args...),
 	})
 }
 
@@ -249,27 +260,20 @@ func (c *checker) ground() error {
 }
 
 // run executes one instrumented run at matrix cell cl through the shared
-// pipeline plan cache, returning its counters and serialized form.
+// pipeline artifact cache (plans, and compiled bytecode on the VM engine),
+// returning its counters and serialized form.
 func (c *checker) run(cl cell) (*profile.Counters, []byte, error) {
-	plan, err := c.p.Plan(instrument.Config{K: cl.k, Loops: true, Interproc: true})
+	cfg := instrument.Config{K: cl.k, Loops: true, Interproc: true}
+	store := profile.NewStore(cl.kind, c.p.Info)
+	r, err := c.p.ExecuteStore(cl.eng, cfg, c.seed, nil, store, c.cfg.MaxRunSteps)
 	if err != nil {
-		return nil, nil, fmt.Errorf("oracle: plan k=%d: %w", cl.k, err)
+		return nil, nil, fmt.Errorf("oracle: run k=%d store=%s engine=%s: %w", cl.k, cl.kind, cl.eng, err)
 	}
-	m := interp.New(c.p.Prog, c.seed)
-	m.MaxSteps = c.cfg.MaxRunSteps
-	rt := plan.Attach(m, profile.NewStore(cl.kind, c.p.Info))
-	if err := m.Run(); err != nil {
-		return nil, nil, fmt.Errorf("oracle: run k=%d store=%s: %w", cl.k, cl.kind, err)
-	}
-	if rt.Err != nil {
-		return nil, nil, fmt.Errorf("oracle: runtime k=%d store=%s: %w", cl.k, cl.kind, rt.Err)
-	}
-	counters := rt.Counters()
 	var buf bytes.Buffer
-	if err := counters.Serialize(&buf); err != nil {
-		return nil, nil, fmt.Errorf("oracle: serialize k=%d store=%s: %w", cl.k, cl.kind, err)
+	if err := r.Counters.Serialize(&buf); err != nil {
+		return nil, nil, fmt.Errorf("oracle: serialize k=%d store=%s engine=%s: %w", cl.k, cl.kind, cl.eng, err)
 	}
-	return counters, buf.Bytes(), nil
+	return r.Counters, buf.Bytes(), nil
 }
 
 // sweep fills the run matrix sequentially.
@@ -291,15 +295,17 @@ func (c *checker) sweep() error {
 func (c *checker) cells() []cell {
 	var out []cell
 	for _, k := range c.cfg.Ks {
-		for _, kind := range c.cfg.Stores {
-			out = append(out, cell{k: k, kind: kind})
+		for _, eng := range c.cfg.Engines {
+			for _, kind := range c.cfg.Stores {
+				out = append(out, cell{k: k, kind: kind, eng: eng})
+			}
 		}
 	}
 	return out
 }
 
 // at returns the sequential counters of degree k under the first configured
-// store (all stores are proven identical by checkStores).
+// store and engine (all combinations are proven identical by checkStores).
 func (c *checker) at(k int) *profile.Counters {
-	return c.counters[cell{k: k, kind: c.cfg.Stores[0]}]
+	return c.counters[cell{k: k, kind: c.cfg.Stores[0], eng: c.cfg.Engines[0]}]
 }

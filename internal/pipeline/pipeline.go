@@ -23,15 +23,50 @@ import (
 	"pathprof/internal/overhead"
 	"pathprof/internal/profile"
 	"pathprof/internal/trace"
+	"pathprof/internal/vm"
 )
+
+// Engine selects the execution engine instrumented runs use.
+type Engine int
+
+const (
+	// EngineVM is the bytecode engine with fused probe opcodes (the
+	// default, and the zero value).
+	EngineVM Engine = iota
+	// EngineTree is the tree-walking reference interpreter with
+	// listener-dispatched probes.
+	EngineTree
+)
+
+// String implements flag-friendly rendering.
+func (e Engine) String() string {
+	if e == EngineTree {
+		return "tree"
+	}
+	return "vm"
+}
+
+// ParseEngine maps a CLI flag value to an Engine.
+func ParseEngine(s string) (Engine, bool) {
+	switch s {
+	case "vm":
+		return EngineVM, true
+	case "tree":
+		return EngineTree, true
+	}
+	return EngineVM, false
+}
 
 // Options configures a Pipeline.
 type Options struct {
 	// Limits bound the static enumerations (zero value = defaults).
 	Limits profile.Limits
 	// Store selects the counter-store layout runs write through (zero
-	// value = nested maps; StoreFlat is the dense layout).
+	// value = nested maps; StoreFlat is the dense layout, StoreArena the
+	// dense-arena layout).
 	Store profile.StoreKind
+	// Engine selects the execution engine (zero value = the bytecode VM).
+	Engine Engine
 	// Pool is the worker pool sweeps draw slots from (nil = the shared
 	// process-wide pool).
 	Pool *Pool
@@ -46,6 +81,7 @@ type Pipeline struct {
 
 	mu    sync.Mutex
 	plans map[planKey]*planEntry
+	codes map[planKey]*codeEntry
 }
 
 // planKey identifies one instrumentation plan. Selection and ChordProfile
@@ -58,11 +94,29 @@ type planKey struct {
 	chordProfile              *profile.Counters
 }
 
+func keyOf(cfg instrument.Config) planKey {
+	return planKey{
+		k:            cfg.K,
+		loops:        cfg.Loops,
+		interproc:    cfg.Interproc,
+		chordBL:      cfg.ChordBL,
+		selection:    cfg.Selection,
+		chordProfile: cfg.ChordProfile,
+	}
+}
+
 // planEntry is a singleflight-style slot: the first caller builds, every
 // concurrent and later caller waits and shares the result.
 type planEntry struct {
 	once sync.Once
 	plan *instrument.Plan
+	err  error
+}
+
+// codeEntry caches one configuration's compiled bytecode the same way.
+type codeEntry struct {
+	once sync.Once
+	code *vm.Program
 	err  error
 }
 
@@ -75,7 +129,11 @@ func New(prog *ir.Program, opts Options) (*Pipeline, error) {
 	// Warm the program's lazy name index single-threaded so concurrent
 	// machines only ever read it.
 	prog.FuncByName("main")
-	return &Pipeline{Prog: prog, Info: info, opts: opts, plans: map[planKey]*planEntry{}}, nil
+	return &Pipeline{
+		Prog: prog, Info: info, opts: opts,
+		plans: map[planKey]*planEntry{},
+		codes: map[planKey]*codeEntry{},
+	}, nil
 }
 
 // Compile compiles source and wraps it in a Pipeline.
@@ -103,14 +161,7 @@ func (p *Pipeline) NewStore() profile.CounterStore {
 // Plan returns the instrumentation plan for cfg, building it at most once
 // per configuration even under concurrent callers.
 func (p *Pipeline) Plan(cfg instrument.Config) (*instrument.Plan, error) {
-	key := planKey{
-		k:            cfg.K,
-		loops:        cfg.Loops,
-		interproc:    cfg.Interproc,
-		chordBL:      cfg.ChordBL,
-		selection:    cfg.Selection,
-		chordProfile: cfg.ChordProfile,
-	}
+	key := keyOf(cfg)
 	p.mu.Lock()
 	e := p.plans[key]
 	if e == nil {
@@ -122,12 +173,40 @@ func (p *Pipeline) Plan(cfg instrument.Config) (*instrument.Plan, error) {
 	return e.plan, e.err
 }
 
+// Code returns the compiled bytecode (with cfg's probes fused in) for the
+// VM engine, building it at most once per configuration — the compiled
+// program is a cached artifact alongside the plan it embeds, shared across
+// a degree sweep's runs.
+func (p *Pipeline) Code(cfg instrument.Config) (*vm.Program, error) {
+	plan, err := p.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := keyOf(cfg)
+	p.mu.Lock()
+	e := p.codes[key]
+	if e == nil {
+		e = &codeEntry{}
+		p.codes[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.code, e.err = vm.Compile(p.Prog, plan) })
+	return e.code, e.err
+}
+
 // CachedPlans reports how many plans the cache holds (for tests and
 // diagnostics).
 func (p *Pipeline) CachedPlans() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.plans)
+}
+
+// CachedCodes reports how many compiled bytecode programs the cache holds.
+func (p *Pipeline) CachedCodes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.codes)
 }
 
 // Run is the outcome of one instrumented execution.
@@ -147,10 +226,43 @@ type Run struct {
 }
 
 // Execute performs one instrumented run of the program at cfg with the
-// given seed, through the cached plan. out, when non-nil, receives the
-// program's print output. Safe for concurrent callers: the plan and static
-// artifacts are shared, machine and counter store are per-run.
+// given seed, through the cached plan (and, on the VM engine, the cached
+// bytecode). out, when non-nil, receives the program's print output. Safe
+// for concurrent callers: the plan and static artifacts are shared, machine
+// and counter store are per-run.
 func (p *Pipeline) Execute(cfg instrument.Config, seed uint64, out io.Writer) (*Run, error) {
+	return p.ExecuteStore(p.opts.Engine, cfg, seed, out, p.NewStore(), 0)
+}
+
+// ExecuteStore is Execute with the engine, counter store, and step limit
+// (0 = the engine default) chosen per call — the entry point the
+// differential oracle sweeps its engine x store matrix through.
+func (p *Pipeline) ExecuteStore(eng Engine, cfg instrument.Config, seed uint64, out io.Writer, store profile.CounterStore, maxSteps int64) (*Run, error) {
+	if eng == EngineVM {
+		code, err := p.Code(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := vm.NewMachine(code, seed)
+		if out != nil {
+			m.Out = out
+		}
+		if maxSteps > 0 {
+			m.MaxSteps = maxSteps
+		}
+		if err := m.Run(store); err != nil {
+			return nil, err
+		}
+		return &Run{
+			K:         cfg.K,
+			Selection: cfg.Selection,
+			Counters:  store.Counters(),
+			Overhead:  m.Report(),
+			Steps:     m.Steps,
+			BaseOps:   m.BaseOps,
+		}, nil
+	}
+
 	plan, err := p.Plan(cfg)
 	if err != nil {
 		return nil, err
@@ -159,7 +271,10 @@ func (p *Pipeline) Execute(cfg instrument.Config, seed uint64, out io.Writer) (*
 	if out != nil {
 		m.Out = out
 	}
-	rt := plan.Attach(m, p.NewStore())
+	if maxSteps > 0 {
+		m.MaxSteps = maxSteps
+	}
+	rt := plan.Attach(m, store)
 	if err := m.Run(); err != nil {
 		return nil, err
 	}

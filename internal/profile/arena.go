@@ -1,0 +1,296 @@
+package profile
+
+// ArenaStore is the dense-arena counter store backing the fused-probe
+// engine: per overlap region (loop, Type I entry, Type II suffix) it
+// precomputes a contiguous counter slice indexed by a perfect (base, route)
+// slot mapping, so the hot increment path is one multiply-add and one array
+// bump instead of a tuple-keyed map operation.
+//
+// Sizing rests on a monotonicity property of the extension regions: the
+// kept-edge set of a degree-k region only grows with k (an edge is kept iff
+// the minimum predicate depth of its source is <= k, and depth does not
+// depend on k), so the route count Routes(k) is monotone in k and every
+// degree's route encoding is strictly below Routes(MaxDeg). Sizing each
+// arena's route dimension by the region's maximum useful degree therefore
+// bounds the encodings of *all* degrees, which is what lets one store serve
+// any instrument.Config without knowing its K.
+//
+// Regions whose slot product exceeds ArenaSlotLimit, regions whose
+// max-degree extension cannot be built, indirect call sites (no static
+// callee dimension), and any out-of-range key fall back to tuple-keyed
+// overflow maps, so the store is total: it accepts exactly the increments
+// the other stores accept and materializes an identical *Counters.
+
+// ArenaSlotLimit bounds the dense slot count of one arena region; regions
+// with a larger static cardinality fall back to a map so pathological route
+// counts cannot blow up memory.
+const ArenaSlotLimit = 1 << 16
+
+// loopArena is the dense counter block of one (func, loop) region:
+// slot = (base*routes + ext)*2 + full.
+type loopArena struct {
+	total  int64 // base-path dimension (caller's BL path count)
+	routes int64 // route dimension (max-degree extension routes)
+	slots  []uint64
+}
+
+// tupleArena is the dense counter block of one call site's Type I or
+// Type II family: slot = a*dimB + b, valid only for the site's static
+// callee.
+type tupleArena struct {
+	callee int
+	dimA   int64 // Type I: caller prefix ids; Type II: callee path ids
+	dimB   int64 // route dimension of the region's max-degree extension
+	slots  []uint64
+}
+
+// ArenaStore implements CounterStore with dense per-region arenas and map
+// overflow.
+type ArenaStore struct {
+	info *Info
+
+	// Ball-Larus: dense per function with sparse overlay (as FlatStore).
+	dense  [][]uint64
+	sparse []map[int64]uint64
+
+	loops  [][]*loopArena  // [func][loop], nil entries = overflow
+	typeI  [][]*tupleArena // [caller][site]
+	typeII [][]*tupleArena // [caller][site]
+	calls  [][][]uint64    // [caller][site][callee]
+
+	loopOv   map[LoopKey]uint64
+	typeIOv  map[TypeIKey]uint64
+	typeIIOv map[TypeIIKey]uint64
+	callsOv  map[CallKey]uint64
+
+	cached *Counters
+}
+
+// NewArenaStore sizes every region arena from info's static census. It
+// never fails: a region that cannot be densely sized simply starts in
+// overflow.
+func NewArenaStore(info *Info) *ArenaStore {
+	n := len(info.Funcs)
+	s := &ArenaStore{
+		info:     info,
+		dense:    make([][]uint64, n),
+		sparse:   make([]map[int64]uint64, n),
+		loops:    make([][]*loopArena, n),
+		typeI:    make([][]*tupleArena, n),
+		typeII:   make([][]*tupleArena, n),
+		calls:    make([][][]uint64, n),
+		loopOv:   map[LoopKey]uint64{},
+		typeIOv:  map[TypeIKey]uint64{},
+		typeIIOv: map[TypeIIKey]uint64{},
+		callsOv:  map[CallKey]uint64{},
+	}
+	for f, fi := range info.Funcs {
+		total := fi.DAG.Total()
+		if total > 0 && total <= DenseBLLimit {
+			s.dense[f] = make([]uint64, total)
+		}
+
+		s.loops[f] = make([]*loopArena, len(fi.Loops))
+		for l, li := range fi.Loops {
+			x, err := li.Ext(li.MaxDeg)
+			if err != nil {
+				continue
+			}
+			routes := x.Routes()
+			if total <= 0 || routes <= 0 || total*routes*2 > ArenaSlotLimit {
+				continue
+			}
+			s.loops[f][l] = &loopArena{
+				total: total, routes: routes,
+				slots: make([]uint64, total*routes*2),
+			}
+		}
+
+		s.typeI[f] = make([]*tupleArena, len(fi.CallSites))
+		s.typeII[f] = make([]*tupleArena, len(fi.CallSites))
+		s.calls[f] = make([][]uint64, len(fi.CallSites))
+		for c, cs := range fi.CallSites {
+			s.calls[f][c] = make([]uint64, n)
+			if cs.Indirect || cs.Callee < 0 || cs.Callee >= n {
+				continue
+			}
+			callee := info.Funcs[cs.Callee]
+			// Type I: (caller prefix id) x (callee entry routes).
+			if x, err := callee.EntryExt(callee.MaxDegEntry); err == nil {
+				if r := x.Routes(); total > 0 && r > 0 && total*r <= ArenaSlotLimit {
+					s.typeI[f][c] = &tupleArena{
+						callee: cs.Callee, dimA: total, dimB: r,
+						slots: make([]uint64, total*r),
+					}
+				}
+			}
+			// Type II: (callee path id) x (caller suffix routes).
+			calleeTotal := callee.DAG.Total()
+			if x, err := cs.SuffixExt(cs.MaxDegSuffix); err == nil {
+				if r := x.Routes(); calleeTotal > 0 && r > 0 && calleeTotal*r <= ArenaSlotLimit {
+					s.typeII[f][c] = &tupleArena{
+						callee: cs.Callee, dimA: calleeTotal, dimB: r,
+						slots: make([]uint64, calleeTotal*r),
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *ArenaStore) IncBL(fn int, path int64) {
+	s.cached = nil
+	if d := s.dense[fn]; d != nil && path >= 0 && path < int64(len(d)) {
+		d[path]++
+		return
+	}
+	m := s.sparse[fn]
+	if m == nil {
+		m = map[int64]uint64{}
+		s.sparse[fn] = m
+	}
+	m[path]++
+}
+
+func (s *ArenaStore) IncLoop(k LoopKey) {
+	s.cached = nil
+	if k.Func >= 0 && k.Func < len(s.loops) && k.Loop >= 0 && k.Loop < len(s.loops[k.Func]) {
+		if a := s.loops[k.Func][k.Loop]; a != nil &&
+			k.Base >= 0 && k.Base < a.total && k.Ext >= 0 && k.Ext < a.routes {
+			slot := (k.Base*a.routes + k.Ext) * 2
+			if k.Full {
+				slot++
+			}
+			a.slots[slot]++
+			return
+		}
+	}
+	s.loopOv[k]++
+}
+
+func (s *ArenaStore) IncTypeI(k TypeIKey) {
+	s.cached = nil
+	if k.Caller >= 0 && k.Caller < len(s.typeI) && k.Site >= 0 && k.Site < len(s.typeI[k.Caller]) {
+		if a := s.typeI[k.Caller][k.Site]; a != nil && a.callee == k.Callee &&
+			k.Prefix >= 0 && k.Prefix < a.dimA && k.Ext >= 0 && k.Ext < a.dimB {
+			a.slots[k.Prefix*a.dimB+k.Ext]++
+			return
+		}
+	}
+	s.typeIOv[k]++
+}
+
+func (s *ArenaStore) IncTypeII(k TypeIIKey) {
+	s.cached = nil
+	if k.Caller >= 0 && k.Caller < len(s.typeII) && k.Site >= 0 && k.Site < len(s.typeII[k.Caller]) {
+		if a := s.typeII[k.Caller][k.Site]; a != nil && a.callee == k.Callee &&
+			k.Path >= 0 && k.Path < a.dimA && k.Ext >= 0 && k.Ext < a.dimB {
+			a.slots[k.Path*a.dimB+k.Ext]++
+			return
+		}
+	}
+	s.typeIIOv[k]++
+}
+
+func (s *ArenaStore) IncCall(k CallKey) {
+	s.cached = nil
+	if k.Caller >= 0 && k.Caller < len(s.calls) && k.Site >= 0 && k.Site < len(s.calls[k.Caller]) &&
+		k.Callee >= 0 && k.Callee < len(s.calls[k.Caller][k.Site]) {
+		s.calls[k.Caller][k.Site][k.Callee]++
+		return
+	}
+	s.callsOv[k]++
+}
+
+// Counters materializes (and memoizes) the canonical nested-map form,
+// decoding arena slots back into keys; only non-zero counters appear.
+func (s *ArenaStore) Counters() *Counters {
+	if s.cached != nil {
+		return s.cached
+	}
+	c := NewCounters(len(s.dense))
+	for f, d := range s.dense {
+		for id, n := range d {
+			if n != 0 {
+				c.BL[f][int64(id)] = n
+			}
+		}
+		for id, n := range s.sparse[f] {
+			c.BL[f][id] += n
+		}
+	}
+	for f, las := range s.loops {
+		for l, a := range las {
+			if a == nil {
+				continue
+			}
+			for slot, n := range a.slots {
+				if n == 0 {
+					continue
+				}
+				pair := int64(slot) / 2
+				c.Loop[LoopKey{
+					Func: f, Loop: l,
+					Base: pair / a.routes, Ext: pair % a.routes,
+					Full: slot%2 == 1,
+				}] += n
+			}
+		}
+	}
+	for f, tas := range s.typeI {
+		for site, a := range tas {
+			if a == nil {
+				continue
+			}
+			for slot, n := range a.slots {
+				if n == 0 {
+					continue
+				}
+				c.TypeI[TypeIKey{
+					Caller: f, Site: site, Callee: a.callee,
+					Prefix: int64(slot) / a.dimB, Ext: int64(slot) % a.dimB,
+				}] += n
+			}
+		}
+	}
+	for f, tas := range s.typeII {
+		for site, a := range tas {
+			if a == nil {
+				continue
+			}
+			for slot, n := range a.slots {
+				if n == 0 {
+					continue
+				}
+				c.TypeII[TypeIIKey{
+					Caller: f, Site: site, Callee: a.callee,
+					Path: int64(slot) / a.dimB, Ext: int64(slot) % a.dimB,
+				}] += n
+			}
+		}
+	}
+	for f, sites := range s.calls {
+		for site, callees := range sites {
+			for callee, n := range callees {
+				if n != 0 {
+					c.Calls[CallKey{Caller: f, Site: site, Callee: callee}] += n
+				}
+			}
+		}
+	}
+	for k, n := range s.loopOv {
+		c.Loop[k] += n
+	}
+	for k, n := range s.typeIOv {
+		c.TypeI[k] += n
+	}
+	for k, n := range s.typeIIOv {
+		c.TypeII[k] += n
+	}
+	for k, n := range s.callsOv {
+		c.Calls[k] += n
+	}
+	s.cached = c
+	return c
+}

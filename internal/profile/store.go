@@ -21,6 +21,9 @@ const (
 	StoreNested StoreKind = iota
 	// StoreFlat is the dense/flat layout.
 	StoreFlat
+	// StoreArena is the dense-arena layout (per-region perfect slot
+	// mappings with map overflow; see arena.go).
+	StoreArena
 )
 
 // String implements flag-friendly rendering.
@@ -28,6 +31,8 @@ func (k StoreKind) String() string {
 	switch k {
 	case StoreFlat:
 		return "flat"
+	case StoreArena:
+		return "arena"
 	default:
 		return "nested"
 	}
@@ -40,6 +45,8 @@ func ParseStoreKind(s string) (StoreKind, bool) {
 		return StoreNested, true
 	case "flat":
 		return StoreFlat, true
+	case "arena":
+		return StoreArena, true
 	}
 	return StoreNested, false
 }
@@ -63,10 +70,14 @@ type CounterStore interface {
 
 // NewStore builds a store of the requested kind for info's program.
 func NewStore(kind StoreKind, info *Info) CounterStore {
-	if kind == StoreFlat {
+	switch kind {
+	case StoreFlat:
 		return NewFlatStore(info)
+	case StoreArena:
+		return NewArenaStore(info)
+	default:
+		return NewNestedStore(len(info.Funcs))
 	}
-	return NewNestedStore(len(info.Funcs))
 }
 
 // NestedStore is the map-backed store; its Counters are live (no

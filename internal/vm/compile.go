@@ -1,0 +1,663 @@
+// Package vm is the bytecode execution engine: it compiles each ir.Func
+// once into a flat instruction stream (block bodies and terminators
+// linearized, jump targets resolved to instruction offsets) and — when an
+// instrument.Plan is supplied — fuses the plan's probe work into the stream
+// as per-edge probe records executed by dedicated opcodes, eliminating the
+// per-edge Listener interface dispatch of the tree-walking interpreter.
+//
+// The engine is semantics-identical to internal/interp by construction and
+// by the differential oracle: step counts, base-op accounting, probe-op
+// accounting, counter increments, Print output, and error messages (which
+// deliberately keep the "interp:" prefix so the two engines are
+// byte-comparable) all match the tree engine on the same program and seed.
+// The tree engine remains the reference path and the only one that supports
+// arbitrary listeners (e.g. the ground-truth tracer).
+package vm
+
+import (
+	"fmt"
+
+	"pathprof/internal/bl"
+	"pathprof/internal/cfg"
+	"pathprof/internal/instrument"
+	"pathprof/internal/ir"
+	"pathprof/internal/olpath"
+	"pathprof/internal/overhead"
+	"pathprof/internal/profile"
+)
+
+// operand kinds (compile-time resolved, so the dispatch loop never sees an
+// invalid kind).
+const (
+	kConst uint8 = iota
+	kLocal
+	kGlobal
+)
+
+type operand struct {
+	kind uint8
+	idx  int32
+	val  int64
+}
+
+type opcode uint8
+
+const (
+	opStep opcode = iota
+	opAssign
+	opBin
+	opNot
+	opNeg
+	opLoadIdx
+	opStoreIdx
+	opRand
+	opPrint
+	opFuncRef
+	opJump
+	opProbeJump
+	opBranch
+	opCall
+	opRet
+	opNoTerm
+)
+
+// inst is one bytecode instruction. The struct is deliberately wide: one
+// layout serves every opcode, with each opcode reading only the fields it
+// encodes into.
+type inst struct {
+	op  opcode
+	sub uint8 // opBin: the ir.OpKind; opRet: 1 when a value is returned
+	blk int32 // source block id (error context)
+	a   operand
+	b   operand
+	dst operand
+	arr int32 // array index (opLoadIdx/opStoreIdx); resolved func index (opFuncRef)
+	t1  int32 // jump target; opBranch: then-target
+	t2  int32 // opBranch: else-target
+	// cost is the block's base-op weight (opStep).
+	cost  int64
+	probe *edgeProbe
+	call  *callInfo
+	args  []operand // opPrint
+	name  string    // opFuncRef: referenced name (unknown-func error parity)
+}
+
+// callInfo carries everything a call terminator needs, including the resume
+// edge's probe, which opRet executes after the callee pops (mirroring the
+// tree engine's OnReturn-then-OnEdge ordering).
+type callInfo struct {
+	indirect   bool
+	callee     int32 // direct: program function index (-1 = unknown)
+	calleeName string
+	target     operand // indirect: callable id operand
+	args       []operand
+	hasDst     bool
+	dst        operand
+	site       int32 // call-site index within FuncInfo.CallSites (-1 when uninstrumented)
+	siteOn     bool  // interprocedural probes fire at this site
+	resumePC   int32
+	resume     *edgeProbe
+}
+
+// edgeProbe is the fused probe record of one CFG edge under one plan: all
+// statically-determined op charges are folded into two constants, and only
+// the state transitions that depend on run-time tracker state remain as
+// action lists.
+type edgeProbe struct {
+	// blOps / loopOps are the unconditional probe-op charges of this edge
+	// (Ball-Larus register work; loop DI/PI/guard/ol++/entry charges).
+	blOps   int64
+	loopOps int64
+	// blInc advances the Ball-Larus path register on non-backedges.
+	blInc int64
+
+	// Backedge completion: the path completes with id r+exitVal, and the
+	// register resets to entryVal.
+	backedge bool
+	exitVal  int64
+	entryVal int64
+	// beLoop is the backedge's own (selected) loop, to flush and
+	// re-activate after the completed path id is known (-1 = none).
+	beLoop int32
+
+	loops []loopAct
+	// entry is the Type I region action (nil on backedges or when
+	// interprocedural profiling is off); sites[i] is call-site i's Type II
+	// action (nil entries = unselected sites).
+	entry *extAct
+	sites []*extAct
+}
+
+func (p *edgeProbe) empty() bool {
+	return !p.backedge && p.blOps == 0 && p.loopOps == 0 && p.blInc == 0 &&
+		len(p.loops) == 0 && p.entry == nil && p.sites == nil
+}
+
+const (
+	laExit uint8 = iota
+	laBody
+	laBroken
+)
+
+// loopAct is one loop's state transition on one edge. Kinds mirror the
+// reference runtime's per-edge switch: exit edges flush an active tracker,
+// in-body edges step it, and another loop's backedge inside the body breaks
+// it. Loop-entry edges have no dynamic part (their charge folds into
+// loopOps).
+type loopAct struct {
+	kind uint8
+	loop int32
+	// full marks exit edges leaving from one of the loop's tails.
+	full bool
+	// liveOps is charged when the tracker is live (PI register update).
+	liveOps int64
+	hasVal  bool
+	val     int64
+	predTo  bool
+}
+
+// extAct is one interprocedural region's step on one edge; charges apply
+// only while a tracker of the region is in flight.
+type extAct struct {
+	statOps int64 // DI register / PI guard
+	liveOps int64 // PI register update while unfrozen
+	hasVal  bool
+	val     int64
+	predTo  bool
+}
+
+// compiledFunc is one function's bytecode plus the per-region tracker
+// constants its probes reference.
+type compiledFunc struct {
+	fn       *ir.Func
+	idx      int // program function index
+	numSlots int
+	code     []inst
+
+	numLoops   int
+	loopFreeze []int // per loop: preds threshold (ext degree + 1)
+	loopRoot   []int // per loop: preds at activation (root depth)
+
+	hasEntry    bool
+	entryFreeze int
+	entryRoot   int
+
+	suffixFreeze []int
+	suffixRoot   []int
+}
+
+// Program is a compiled program, optionally fused with one instrumentation
+// plan. Like a Plan, it is immutable after Compile and shareable across any
+// number of machines.
+type Program struct {
+	IR *ir.Program
+	// Plan is the fused instrumentation plan (nil = plain execution).
+	Plan  *instrument.Plan
+	funcs []*compiledFunc
+	main  int
+}
+
+// Compile lowers prog (and plan's probes, when non-nil) to bytecode.
+func Compile(prog *ir.Program, plan *instrument.Plan) (*Program, error) {
+	p := &Program{IR: prog, Plan: plan, main: -1}
+	for idx, fn := range prog.Funcs {
+		cf, err := compileFunc(prog, plan, idx, fn)
+		if err != nil {
+			return nil, err
+		}
+		p.funcs = append(p.funcs, cf)
+		if fn.Name == "main" {
+			p.main = idx
+		}
+	}
+	return p, nil
+}
+
+// fixup is a pending jump-target patch: direct to a block, or through a
+// probe trampoline emitted after all blocks.
+type fixup struct {
+	pc    int32
+	field uint8 // 1 = t1, 2 = t2
+	to    int
+	probe *edgeProbe
+	blk   int32
+}
+
+type fnCompiler struct {
+	prog       *ir.Program
+	plan       *instrument.Plan
+	fn         *ir.Func
+	fi         *profile.FuncInfo
+	chords     *bl.Chords
+	loopExts   []*olpath.Ext
+	entryExt   *olpath.Ext
+	suffixExts []*olpath.Ext
+	sel        *profile.Selection
+
+	code    []inst
+	blockPC []int32
+	fixups  []fixup
+	resumes []*callInfo // resumePC patched to blockPC of resumes[i].resumePC (block id)
+}
+
+func compileFunc(prog *ir.Program, plan *instrument.Plan, idx int, fn *ir.Func) (*compiledFunc, error) {
+	c := &fnCompiler{prog: prog, plan: plan, fn: fn}
+	if plan != nil {
+		c.fi = plan.FuncInfoAt(idx)
+		c.chords = plan.ChordsAt(idx)
+		c.loopExts = plan.LoopExtsAt(idx)
+		c.entryExt = plan.EntryExtAt(idx)
+		c.suffixExts = plan.SuffixExtsAt(idx)
+		c.sel = plan.Cfg.Selection
+	}
+	cf := &compiledFunc{fn: fn, idx: idx, numSlots: fn.NumSlots()}
+
+	c.blockPC = make([]int32, len(fn.Blocks))
+	for bid, blk := range fn.Blocks {
+		c.blockPC[bid] = int32(len(c.code))
+		c.emit(inst{op: opStep, blk: int32(bid), cost: blk.Cost()})
+		for _, in := range blk.Body {
+			if err := c.body(bid, in); err != nil {
+				return nil, fmt.Errorf("vm: compile %s.%s: %w", fn.Name, blk.Label, err)
+			}
+		}
+		if err := c.term(bid, blk.Term); err != nil {
+			return nil, fmt.Errorf("vm: compile %s.%s: %w", fn.Name, blk.Label, err)
+		}
+	}
+
+	// Trampolines for branch edges whose probes are non-empty, then patch
+	// every pending target.
+	for i := range c.fixups {
+		fx := &c.fixups[i]
+		target := c.blockPC[fx.to]
+		if fx.probe != nil {
+			target = int32(len(c.code))
+			c.emit(inst{op: opProbeJump, blk: fx.blk, probe: fx.probe, t1: c.blockPC[fx.to]})
+		}
+		switch fx.field {
+		case 1:
+			c.code[fx.pc].t1 = target
+		default:
+			c.code[fx.pc].t2 = target
+		}
+	}
+	for _, ci := range c.resumes {
+		ci.resumePC = c.blockPC[ci.resumePC]
+	}
+	cf.code = c.code
+
+	if plan != nil {
+		if c.loopExts != nil {
+			cf.numLoops = len(c.loopExts)
+			cf.loopFreeze = make([]int, cf.numLoops)
+			cf.loopRoot = make([]int, cf.numLoops)
+			for i, x := range c.loopExts {
+				cf.loopFreeze[i] = x.K + 1
+				cf.loopRoot[i] = x.RootDepth()
+			}
+		}
+		if c.entryExt != nil {
+			cf.hasEntry = true
+			cf.entryFreeze = c.entryExt.K + 1
+			cf.entryRoot = c.entryExt.RootDepth()
+			cf.suffixFreeze = make([]int, len(c.suffixExts))
+			cf.suffixRoot = make([]int, len(c.suffixExts))
+			for i, x := range c.suffixExts {
+				cf.suffixFreeze[i] = x.K + 1
+				cf.suffixRoot[i] = x.RootDepth()
+			}
+		}
+	}
+	return cf, nil
+}
+
+func (c *fnCompiler) emit(in inst) { c.code = append(c.code, in) }
+
+func (c *fnCompiler) operand(o ir.Operand) (operand, error) {
+	switch o.Kind {
+	case ir.Const:
+		return operand{kind: kConst, val: o.Val}, nil
+	case ir.Local:
+		return operand{kind: kLocal, idx: int32(o.Index)}, nil
+	case ir.Global:
+		return operand{kind: kGlobal, idx: int32(o.Index)}, nil
+	default:
+		return operand{}, fmt.Errorf("bad operand kind %d", o.Kind)
+	}
+}
+
+func (c *fnCompiler) dest(d ir.Dest) (operand, error) {
+	switch d.Kind {
+	case ir.Local:
+		return operand{kind: kLocal, idx: int32(d.Index)}, nil
+	case ir.Global:
+		return operand{kind: kGlobal, idx: int32(d.Index)}, nil
+	default:
+		return operand{}, fmt.Errorf("bad destination kind %d", d.Kind)
+	}
+}
+
+func (c *fnCompiler) body(bid int, in ir.Instr) error {
+	var out inst
+	out.blk = int32(bid)
+	var err error
+	switch in := in.(type) {
+	case ir.Assign:
+		out.op = opAssign
+		if out.a, err = c.operand(in.Src); err != nil {
+			return err
+		}
+		if out.dst, err = c.dest(in.Dst); err != nil {
+			return err
+		}
+	case ir.BinOp:
+		out.op = opBin
+		out.sub = uint8(in.Op)
+		if out.a, err = c.operand(in.A); err != nil {
+			return err
+		}
+		if out.b, err = c.operand(in.B); err != nil {
+			return err
+		}
+		if out.dst, err = c.dest(in.Dst); err != nil {
+			return err
+		}
+	case ir.Not:
+		out.op = opNot
+		if out.a, err = c.operand(in.Src); err != nil {
+			return err
+		}
+		if out.dst, err = c.dest(in.Dst); err != nil {
+			return err
+		}
+	case ir.Neg:
+		out.op = opNeg
+		if out.a, err = c.operand(in.Src); err != nil {
+			return err
+		}
+		if out.dst, err = c.dest(in.Dst); err != nil {
+			return err
+		}
+	case ir.LoadIdx:
+		out.op = opLoadIdx
+		out.arr = int32(in.Array)
+		if out.a, err = c.operand(in.Idx); err != nil {
+			return err
+		}
+		if out.dst, err = c.dest(in.Dst); err != nil {
+			return err
+		}
+	case ir.StoreIdx:
+		out.op = opStoreIdx
+		out.arr = int32(in.Array)
+		if out.a, err = c.operand(in.Idx); err != nil {
+			return err
+		}
+		if out.b, err = c.operand(in.Src); err != nil {
+			return err
+		}
+	case ir.Rand:
+		out.op = opRand
+		if out.a, err = c.operand(in.Bound); err != nil {
+			return err
+		}
+		if out.dst, err = c.dest(in.Dst); err != nil {
+			return err
+		}
+	case ir.Print:
+		out.op = opPrint
+		out.args = make([]operand, len(in.Args))
+		for i, a := range in.Args {
+			if out.args[i], err = c.operand(a); err != nil {
+				return err
+			}
+		}
+	case ir.FuncRef:
+		out.op = opFuncRef
+		out.name = in.Name
+		out.arr = int32(c.prog.FuncIndex(in.Name))
+		if out.dst, err = c.dest(in.Dst); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown instruction %T", in)
+	}
+	c.emit(out)
+	return nil
+}
+
+func (c *fnCompiler) term(bid int, t ir.Terminator) error {
+	switch t := t.(type) {
+	case ir.Jump:
+		probe, err := c.probe(bid, t.To)
+		if err != nil {
+			return err
+		}
+		op := opJump
+		if probe != nil {
+			op = opProbeJump
+		}
+		c.fixups = append(c.fixups, fixup{pc: int32(len(c.code)), field: 1, to: t.To})
+		c.emit(inst{op: op, blk: int32(bid), probe: probe})
+	case ir.Branch:
+		cond, err := c.operand(t.Cond)
+		if err != nil {
+			return err
+		}
+		thenProbe, err := c.probe(bid, t.Then)
+		if err != nil {
+			return err
+		}
+		elseProbe, err := c.probe(bid, t.Else)
+		if err != nil {
+			return err
+		}
+		pc := int32(len(c.code))
+		c.fixups = append(c.fixups,
+			fixup{pc: pc, field: 1, to: t.Then, probe: thenProbe, blk: int32(bid)},
+			fixup{pc: pc, field: 2, to: t.Else, probe: elseProbe, blk: int32(bid)})
+		c.emit(inst{op: opBranch, blk: int32(bid), a: cond})
+	case ir.Call:
+		ci := &callInfo{indirect: t.Indirect, callee: -1, site: -1, calleeName: t.Callee}
+		if t.Indirect {
+			target, err := c.operand(t.Target)
+			if err != nil {
+				return err
+			}
+			ci.target = target
+		} else {
+			ci.callee = int32(c.prog.FuncIndex(t.Callee))
+		}
+		ci.args = make([]operand, len(t.Args))
+		for i, a := range t.Args {
+			o, err := c.operand(a)
+			if err != nil {
+				return err
+			}
+			ci.args[i] = o
+		}
+		if t.HasDst {
+			d, err := c.dest(t.Dst)
+			if err != nil {
+				return err
+			}
+			ci.hasDst = true
+			ci.dst = d
+		}
+		if c.plan != nil {
+			cs := c.fi.CallSiteOfBlock[cfg.NodeID(bid)]
+			if cs == nil {
+				return fmt.Errorf("no call site info at block %d", bid)
+			}
+			ci.site = int32(cs.Index)
+			ci.siteOn = c.plan.Cfg.Interproc && c.plan.Cfg.K >= 0 &&
+				c.sel.SiteOn(c.fi.Index, cs.Index)
+		}
+		resume, err := c.probe(bid, t.Next)
+		if err != nil {
+			return err
+		}
+		ci.resume = resume
+		ci.resumePC = int32(t.Next) // block id; patched to a pc afterwards
+		c.resumes = append(c.resumes, ci)
+		c.emit(inst{op: opCall, blk: int32(bid), call: ci})
+	case ir.Ret:
+		out := inst{op: opRet, blk: int32(bid)}
+		if t.HasVal {
+			v, err := c.operand(t.Val)
+			if err != nil {
+				return err
+			}
+			out.sub = 1
+			out.a = v
+		}
+		c.emit(out)
+	default:
+		c.emit(inst{op: opNoTerm, blk: int32(bid)})
+	}
+	return nil
+}
+
+// probe builds the fused probe of edge bid→to (nil when the program is
+// uninstrumented or the edge has no probe work at all).
+func (c *fnCompiler) probe(bid, to int) (*edgeProbe, error) {
+	if c.plan == nil {
+		return nil, nil
+	}
+	fi := c.fi
+	d := fi.DAG
+	e := cfg.Edge{From: cfg.NodeID(bid), To: cfg.NodeID(to)}
+	isBE := d.IsBackedge(e)
+	p := &edgeProbe{beLoop: -1}
+
+	// Ball-Larus op accounting: naive placement charges every non-zero
+	// real-edge increment and two register reloads per backedge; chord
+	// placement charges non-zero chord increments (backedges standing for
+	// their exit+entry dummies).
+	if c.chords == nil {
+		if !isBE {
+			if re := d.RealEdge(e); re != nil && re.Val != 0 {
+				p.blOps += overhead.RegOp
+			}
+		} else {
+			p.blOps += 2 * overhead.RegOp
+		}
+	} else {
+		charge := func(de *bl.DAGEdge) {
+			if de != nil && c.chords.IsChord(de) && c.chords.Inc(de) != 0 {
+				p.blOps += overhead.RegOp
+			}
+		}
+		if !isBE {
+			charge(d.RealEdge(e))
+		} else {
+			charge(d.ExitDummy(e))
+			charge(d.EntryDummy(e.To))
+		}
+	}
+
+	// Ball-Larus register update / backedge completion values.
+	if !isBE {
+		re := d.RealEdge(e)
+		if re == nil {
+			return nil, fmt.Errorf("edge %d->%d not in DAG", bid, to)
+		}
+		p.blInc = re.Val
+	} else {
+		xd, ed := d.ExitDummy(e), d.EntryDummy(e.To)
+		if xd == nil || ed == nil {
+			return nil, fmt.Errorf("backedge %d->%d without dummies", bid, to)
+		}
+		p.backedge = true
+		p.exitVal = xd.Val
+		p.entryVal = ed.Val
+	}
+
+	if c.loopExts != nil {
+		for i, li := range fi.Loops {
+			if !c.sel.LoopOn(fi.Index, i) {
+				continue
+			}
+			x := c.loopExts[i]
+			inFrom := li.Loop.Contains(e.From)
+			inTo := li.Loop.Contains(e.To)
+			switch {
+			case isBE && li.Loop.IsBackedge(e):
+				// The loop's own backedge: handled after path
+				// completion (needs the completed id).
+			case inFrom && !inTo:
+				p.loopOps += overhead.GuardOp
+				p.loops = append(p.loops, loopAct{kind: laExit, loop: int32(i), full: isTailOf(li, e.From)})
+			case inFrom && inTo:
+				if isBE {
+					p.loops = append(p.loops, loopAct{kind: laBroken, loop: int32(i)})
+					continue
+				}
+				a := loopAct{kind: laBody, loop: int32(i)}
+				switch x.Classify(e) {
+				case olpath.DI:
+					p.loopOps += overhead.RegOp
+				case olpath.PI:
+					p.loopOps += overhead.GuardOp
+					a.liveOps = overhead.RegOp
+				}
+				a.val, a.hasVal = x.ValOK(e)
+				a.predTo = d.PredicateLike(e.To)
+				if a.predTo {
+					p.loopOps += overhead.RegOp
+				}
+				p.loops = append(p.loops, a)
+			case !inFrom && inTo:
+				p.loopOps += overhead.RegOp
+			}
+		}
+		if isBE {
+			li := fi.LoopOfBackedge[e]
+			if li == nil {
+				return nil, fmt.Errorf("backedge %d->%d without loop", bid, to)
+			}
+			if c.sel.LoopOn(fi.Index, li.Index) {
+				p.beLoop = int32(li.Index)
+			}
+		}
+	}
+
+	if c.entryExt != nil && !isBE {
+		p.entry = extActFor(c.entryExt, e)
+		p.sites = make([]*extAct, len(c.suffixExts))
+		for i, x := range c.suffixExts {
+			if c.sel.SiteOn(fi.Index, i) {
+				p.sites[i] = extActFor(x, e)
+			}
+		}
+	}
+
+	if p.empty() {
+		return nil, nil
+	}
+	return p, nil
+}
+
+func extActFor(x *olpath.Ext, e cfg.Edge) *extAct {
+	a := &extAct{}
+	switch x.Classify(e) {
+	case olpath.DI:
+		a.statOps = overhead.RegOp
+	case olpath.PI:
+		a.statOps = overhead.GuardOp
+		a.liveOps = overhead.RegOp
+	}
+	a.val, a.hasVal = x.ValOK(e)
+	a.predTo = x.D.PredicateLike(e.To)
+	return a
+}
+
+func isTailOf(li *profile.LoopInfo, v cfg.NodeID) bool {
+	for _, be := range li.Loop.Backedges {
+		if be.From == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,586 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"pathprof/internal/interp"
+	"pathprof/internal/ir"
+	"pathprof/internal/overhead"
+	"pathprof/internal/profile"
+)
+
+const (
+	defaultMaxSteps = int64(200_000_000)
+	defaultMaxDepth = 4096
+)
+
+// trk is the run-time state of one tracker (loop, entry, or suffix region);
+// for entry and suffix regions, presence implies active.
+type trk struct {
+	active bool
+	frozen bool
+	broken bool
+	accum  int64
+	preds  int
+}
+
+type suffix struct {
+	site   int
+	callee int
+	q      int64
+	t      trk
+}
+
+// frame is one procedure activation of the bytecode engine.
+type frame struct {
+	fn    *compiledFunc
+	pc    int32 // points at the opCall while a callee is running
+	depth int
+	slots []int64
+
+	// Ball-Larus walker state.
+	r      int64
+	lastID int64
+
+	// Overlap trackers.
+	loops    []trk
+	loopBase []int64
+	entry    trk
+	entryCaller int
+	entrySite   int
+	entryPrefix int64
+	suffixes    []suffix
+}
+
+// Machine executes one compiled program. Its public knobs and counters
+// mirror interp.Machine so callers can switch engines without translation.
+type Machine struct {
+	prog    *Program
+	Globals []int64
+	Arrays  [][]int64
+	// Out receives Print output (defaults to io.Discard).
+	Out io.Writer
+	// MaxSteps bounds executed blocks (0 = default limit); MaxDepth
+	// bounds call depth.
+	MaxSteps int64
+	MaxDepth int
+
+	// Steps counts executed blocks; BaseOps accumulates block costs.
+	Steps   int64
+	BaseOps int64
+	// BLOps, LoopOps, InterOps tally probe operations by category,
+	// identically to instrument.Runtime.
+	BLOps, LoopOps, InterOps int64
+
+	rng    uint64
+	store  profile.CounterStore
+	frames []*frame
+	free   []*frame
+}
+
+// NewMachine creates a machine for p with the given deterministic RNG seed
+// (the same seed transformation as interp.New, so both engines draw
+// identical random sequences).
+func NewMachine(p *Program, seed uint64) *Machine {
+	m := &Machine{
+		prog:     p,
+		Globals:  make([]int64, len(p.IR.Globals)),
+		Out:      io.Discard,
+		MaxSteps: defaultMaxSteps,
+		MaxDepth: defaultMaxDepth,
+		rng:      seed*2685821657736338717 + 1442695040888963407,
+	}
+	m.Arrays = make([][]int64, len(p.IR.Arrays))
+	for i, a := range p.IR.Arrays {
+		m.Arrays[i] = make([]int64, a.Size)
+	}
+	return m
+}
+
+// Rand returns the next deterministic pseudo-random value in [0, bound)
+// (xorshift64*; bound <= 0 yields 0).
+func (m *Machine) Rand(bound int64) int64 {
+	if bound <= 0 {
+		return 0
+	}
+	m.rng ^= m.rng >> 12
+	m.rng ^= m.rng << 25
+	m.rng ^= m.rng >> 27
+	v := m.rng * 2685821657736338717
+	return int64(v % uint64(bound))
+}
+
+// Report packages the run's probe-op tallies against its base-op count.
+func (m *Machine) Report() overhead.Report {
+	return overhead.Report{BaseOps: m.BaseOps, BLOps: m.BLOps, LoopOps: m.LoopOps, InterOps: m.InterOps}
+}
+
+// Counters materializes the run's counters (nil for uninstrumented runs).
+func (m *Machine) Counters() *profile.Counters {
+	if m.store == nil {
+		return nil
+	}
+	return m.store.Counters()
+}
+
+var (
+	errDivZero = errors.New("division by zero")
+	errModZero = errors.New("modulo by zero")
+)
+
+func (m *Machine) errAt(fr *frame, in *inst, err error) error {
+	return fmt.Errorf("interp: %s.%s: %w", fr.fn.fn.Name, fr.fn.fn.Blocks[in.blk].Label, err)
+}
+
+func (m *Machine) eval(fr *frame, o operand) int64 {
+	switch o.kind {
+	case kConst:
+		return o.val
+	case kLocal:
+		return fr.slots[o.idx]
+	default:
+		return m.Globals[o.idx]
+	}
+}
+
+func (m *Machine) setDst(fr *frame, d operand, v int64) {
+	if d.kind == kLocal {
+		fr.slots[d.idx] = v
+	} else {
+		m.Globals[d.idx] = v
+	}
+}
+
+func (m *Machine) getFrame(cf *compiledFunc, depth int) *frame {
+	var fr *frame
+	if n := len(m.free); n > 0 {
+		fr = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+	} else {
+		fr = &frame{}
+	}
+	fr.fn = cf
+	fr.pc = 0
+	fr.depth = depth
+	if cap(fr.slots) >= cf.numSlots {
+		fr.slots = fr.slots[:cf.numSlots]
+		for i := range fr.slots {
+			fr.slots[i] = 0
+		}
+	} else {
+		fr.slots = make([]int64, cf.numSlots)
+	}
+	fr.r = 0
+	fr.lastID = 0
+	fr.entry = trk{}
+	if cap(fr.loops) >= cf.numLoops {
+		fr.loops = fr.loops[:cf.numLoops]
+		for i := range fr.loops {
+			fr.loops[i] = trk{}
+		}
+		fr.loopBase = fr.loopBase[:cf.numLoops]
+		for i := range fr.loopBase {
+			fr.loopBase[i] = 0
+		}
+	} else {
+		fr.loops = make([]trk, cf.numLoops)
+		fr.loopBase = make([]int64, cf.numLoops)
+	}
+	fr.suffixes = fr.suffixes[:0]
+	return fr
+}
+
+func (m *Machine) putFrame(fr *frame) { m.free = append(m.free, fr) }
+
+// Run executes main to completion, writing counters through store when the
+// program was compiled with a plan (nil store = a fresh nested store,
+// readable through Counters afterwards).
+func (m *Machine) Run(store profile.CounterStore) error {
+	if m.prog.main < 0 {
+		return fmt.Errorf("interp: no main")
+	}
+	if m.prog.Plan != nil {
+		if store == nil {
+			store = profile.NewNestedStore(len(m.prog.Plan.Info.Funcs))
+		}
+		m.store = store
+	}
+
+	fr := m.getFrame(m.prog.funcs[m.prog.main], 0)
+	m.frames = append(m.frames[:0], fr)
+	code := fr.fn.code
+	pc := int32(0)
+
+	for {
+		in := &code[pc]
+		switch in.op {
+		case opStep:
+			if m.Steps >= m.MaxSteps {
+				return interp.ErrStepLimit
+			}
+			m.Steps++
+			m.BaseOps += in.cost
+			pc++
+
+		case opAssign:
+			m.setDst(fr, in.dst, m.eval(fr, in.a))
+			pc++
+
+		case opBin:
+			a, b := m.eval(fr, in.a), m.eval(fr, in.b)
+			var v int64
+			switch ir.OpKind(in.sub) {
+			case ir.OpAdd:
+				v = a + b
+			case ir.OpSub:
+				v = a - b
+			case ir.OpMul:
+				v = a * b
+			case ir.OpDiv:
+				if b == 0 {
+					return m.errAt(fr, in, errDivZero)
+				}
+				v = a / b
+			case ir.OpMod:
+				if b == 0 {
+					return m.errAt(fr, in, errModZero)
+				}
+				v = a % b
+			case ir.OpEq:
+				v = b2i(a == b)
+			case ir.OpNe:
+				v = b2i(a != b)
+			case ir.OpLt:
+				v = b2i(a < b)
+			case ir.OpLe:
+				v = b2i(a <= b)
+			case ir.OpGt:
+				v = b2i(a > b)
+			case ir.OpGe:
+				v = b2i(a >= b)
+			case ir.OpAnd:
+				v = a & b
+			case ir.OpOr:
+				v = a | b
+			case ir.OpXor:
+				v = a ^ b
+			default:
+				return m.errAt(fr, in, fmt.Errorf("unknown op %v", ir.OpKind(in.sub)))
+			}
+			m.setDst(fr, in.dst, v)
+			pc++
+
+		case opNot:
+			if m.eval(fr, in.a) == 0 {
+				m.setDst(fr, in.dst, 1)
+			} else {
+				m.setDst(fr, in.dst, 0)
+			}
+			pc++
+
+		case opNeg:
+			m.setDst(fr, in.dst, -m.eval(fr, in.a))
+			pc++
+
+		case opLoadIdx:
+			idx := m.eval(fr, in.a)
+			arr := m.Arrays[in.arr]
+			if idx < 0 || idx >= int64(len(arr)) {
+				return m.errAt(fr, in, fmt.Errorf("index %d out of range [0,%d)", idx, len(arr)))
+			}
+			m.setDst(fr, in.dst, arr[idx])
+			pc++
+
+		case opStoreIdx:
+			idx := m.eval(fr, in.a)
+			v := m.eval(fr, in.b)
+			arr := m.Arrays[in.arr]
+			if idx < 0 || idx >= int64(len(arr)) {
+				return m.errAt(fr, in, fmt.Errorf("index %d out of range [0,%d)", idx, len(arr)))
+			}
+			arr[idx] = v
+			pc++
+
+		case opRand:
+			m.setDst(fr, in.dst, m.Rand(m.eval(fr, in.a)))
+			pc++
+
+		case opPrint:
+			vals := make([]any, len(in.args))
+			for i, a := range in.args {
+				vals[i] = m.eval(fr, a)
+			}
+			fmt.Fprintln(m.Out, vals...)
+			pc++
+
+		case opFuncRef:
+			if in.arr < 0 {
+				return m.errAt(fr, in, fmt.Errorf("funcref to unknown %q", in.name))
+			}
+			m.setDst(fr, in.dst, int64(in.arr))
+			pc++
+
+		case opJump:
+			pc = in.t1
+
+		case opProbeJump:
+			m.runProbe(fr, in.probe)
+			pc = in.t1
+
+		case opBranch:
+			if m.eval(fr, in.a) != 0 {
+				pc = in.t1
+			} else {
+				pc = in.t2
+			}
+
+		case opCall:
+			ci := in.call
+			var callee *compiledFunc
+			if ci.indirect {
+				v := m.eval(fr, ci.target)
+				if v < 0 || v >= int64(len(m.prog.funcs)) {
+					return m.errAt(fr, in, fmt.Errorf("indirect call to invalid callable id %d", v))
+				}
+				callee = m.prog.funcs[v]
+			} else {
+				if ci.callee < 0 {
+					return m.errAt(fr, in, fmt.Errorf("call to unknown %q", ci.calleeName))
+				}
+				callee = m.prog.funcs[ci.callee]
+			}
+			if fr.depth+1 >= m.MaxDepth {
+				return fmt.Errorf("interp: call depth limit at %s", callee.fn.Name)
+			}
+			if len(ci.args) != callee.fn.NumParams {
+				return fmt.Errorf("interp: call %s with %d args, want %d", callee.fn.Name, len(ci.args), callee.fn.NumParams)
+			}
+			nf := m.getFrame(callee, fr.depth+1)
+			for i, a := range ci.args {
+				nf.slots[i] = m.eval(fr, a)
+			}
+			if m.store != nil {
+				m.store.IncCall(profile.CallKey{Caller: fr.fn.idx, Site: int(ci.site), Callee: callee.idx})
+				if ci.siteOn {
+					m.InterOps += overhead.CallProbeOp
+					// The callee-entry (Type I) tracker activates
+					// immediately: callee.hasEntry always holds when
+					// siteOn does (both require Interproc && K >= 0).
+					nf.entry = trk{
+						active: true,
+						preds:  callee.entryRoot,
+						frozen: callee.entryRoot >= callee.entryFreeze,
+					}
+					nf.entryCaller = fr.fn.idx
+					nf.entrySite = int(ci.site)
+					nf.entryPrefix = fr.r
+					m.InterOps += 2 * overhead.RegOp // func id store + prefix save
+				}
+			}
+			fr.pc = pc
+			m.frames = append(m.frames, nf)
+			fr = nf
+			code = fr.fn.code
+			pc = 0
+
+		case opRet:
+			var rv int64
+			if in.sub != 0 {
+				rv = m.eval(fr, in.a)
+			}
+			if m.store != nil {
+				// Exit completion: the walker stands at the exit
+				// block, so the completed path id is r itself.
+				m.completePath(fr, fr.r)
+			}
+			n := len(m.frames) - 1
+			m.frames[n] = nil
+			m.frames = m.frames[:n]
+			if n == 0 {
+				m.putFrame(fr)
+				return nil
+			}
+			caller := m.frames[n-1]
+			ci := caller.fn.code[caller.pc].call
+			if ci.hasDst {
+				m.setDst(caller, ci.dst, rv)
+			}
+			if m.store != nil && ci.siteOn {
+				// Arm the caller-suffix (Type II) tracker before the
+				// resume edge fires, so the resume probe steps it —
+				// the tree engine's OnReturn-then-OnEdge ordering.
+				caller.suffixes = append(caller.suffixes, suffix{
+					site:   int(ci.site),
+					callee: fr.fn.idx,
+					q:      fr.lastID,
+					t: trk{
+						active: true,
+						preds:  caller.fn.suffixRoot[ci.site],
+						frozen: caller.fn.suffixRoot[ci.site] >= caller.fn.suffixFreeze[ci.site],
+					},
+				})
+				m.InterOps += 2 * overhead.RegOp // arm ro/ol for the suffix
+			}
+			m.putFrame(fr)
+			fr = caller
+			code = fr.fn.code
+			if ci.resume != nil {
+				m.runProbe(fr, ci.resume)
+			}
+			pc = ci.resumePC
+
+		case opNoTerm:
+			return fmt.Errorf("interp: block %s.%s has no terminator", fr.fn.fn.Name, fr.fn.fn.Blocks[in.blk].Label)
+		}
+	}
+}
+
+// runProbe executes one fused edge probe: op accounting, loop tracker
+// transitions, interprocedural region steps, the Ball-Larus register
+// update, and — on backedges — path completion plus loop activation.
+func (m *Machine) runProbe(fr *frame, p *edgeProbe) {
+	m.BLOps += p.blOps
+	m.LoopOps += p.loopOps
+
+	for i := range p.loops {
+		la := &p.loops[i]
+		t := &fr.loops[la.loop]
+		switch la.kind {
+		case laExit:
+			if t.active {
+				m.flushLoop(fr, int(la.loop), la.full)
+			}
+		case laBroken:
+			if t.active {
+				t.frozen = true
+				t.broken = true
+			}
+		default: // laBody
+			if t.active && !t.frozen {
+				m.LoopOps += la.liveOps
+				if !la.hasVal {
+					t.frozen = true
+				} else {
+					t.accum += la.val
+					if la.predTo {
+						t.preds++
+						if t.preds >= fr.fn.loopFreeze[la.loop] {
+							t.frozen = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if fr.entry.active && p.entry != nil {
+		m.extStep(&fr.entry, p.entry, fr.fn.entryFreeze)
+	}
+	if p.sites != nil {
+		for i := range fr.suffixes {
+			s := &fr.suffixes[i]
+			if a := p.sites[s.site]; a != nil {
+				m.extStep(&s.t, a, fr.fn.suffixFreeze[s.site])
+			}
+		}
+	}
+
+	if !p.backedge {
+		fr.r += p.blInc
+		return
+	}
+
+	id := fr.r + p.exitVal
+	m.completePath(fr, id)
+	fr.r = p.entryVal
+	if p.beLoop >= 0 {
+		lt := &fr.loops[p.beLoop]
+		if lt.active {
+			m.flushLoop(fr, int(p.beLoop), true)
+		}
+		lt.active = true
+		lt.frozen = fr.fn.loopRoot[p.beLoop] >= fr.fn.loopFreeze[p.beLoop]
+		lt.broken = false
+		lt.accum = 0
+		lt.preds = fr.fn.loopRoot[p.beLoop]
+		fr.loopBase[p.beLoop] = id
+		m.LoopOps += 3 * overhead.RegOp // ro = r + y; r = x; ol = 0
+	}
+}
+
+// extStep advances one in-flight interprocedural tracker over an edge.
+func (m *Machine) extStep(t *trk, a *extAct, freeze int) {
+	m.InterOps += a.statOps
+	if !t.frozen {
+		m.InterOps += a.liveOps
+	}
+	if a.predTo {
+		m.InterOps += overhead.RegOp // ol++
+	}
+	if t.frozen {
+		return
+	}
+	if !a.hasVal {
+		t.frozen = true
+		return
+	}
+	t.accum += a.val
+	if a.predTo {
+		t.preds++
+		if t.preds >= freeze {
+			t.frozen = true
+		}
+	}
+}
+
+// flushLoop finalizes one loop extension into a counter.
+func (m *Machine) flushLoop(fr *frame, loop int, full bool) {
+	t := &fr.loops[loop]
+	if t.broken {
+		full = false
+	}
+	ext := t.accum
+	*t = trk{}
+	m.store.IncLoop(profile.LoopKey{
+		Func: fr.fn.idx, Loop: loop,
+		Base: fr.loopBase[loop], Ext: ext, Full: full,
+	})
+	m.LoopOps += overhead.CounterOp
+}
+
+// completePath handles a finished Ball-Larus path instance: the BL counter,
+// the pending Type I finalization, and every in-flight Type II suffix.
+func (m *Machine) completePath(fr *frame, id int64) {
+	m.store.IncBL(fr.fn.idx, id)
+	m.BLOps += overhead.CounterOp
+	fr.lastID = id
+
+	if fr.entry.active {
+		ext := fr.entry.accum
+		fr.entry = trk{}
+		m.store.IncTypeI(profile.TypeIKey{
+			Caller: fr.entryCaller, Site: fr.entrySite,
+			Callee: fr.fn.idx, Prefix: fr.entryPrefix, Ext: ext,
+		})
+		m.InterOps += overhead.TupleCounterOp
+	}
+	for i := range fr.suffixes {
+		s := &fr.suffixes[i]
+		m.store.IncTypeII(profile.TypeIIKey{
+			Caller: fr.fn.idx, Site: s.site, Callee: s.callee,
+			Path: s.q, Ext: s.t.accum,
+		})
+		m.InterOps += overhead.TupleCounterOp
+	}
+	fr.suffixes = fr.suffixes[:0]
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

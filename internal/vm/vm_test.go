@@ -1,0 +1,292 @@
+package vm_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/interp"
+	"pathprof/internal/ir"
+	"pathprof/internal/lang"
+	"pathprof/internal/profile"
+	"pathprof/internal/randprog"
+	"pathprof/internal/vm"
+)
+
+// treeRun executes source on the tree engine under cfg, returning the
+// machine, runtime, and error.
+func treeRun(t *testing.T, source string, seed uint64, cfg instrument.Config, out *bytes.Buffer, maxSteps int64) (*interp.Machine, *instrument.Runtime, error) {
+	t.Helper()
+	prog, err := lang.Compile(source)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	m := interp.New(prog, seed)
+	if out != nil {
+		m.Out = out
+	}
+	if maxSteps > 0 {
+		m.MaxSteps = maxSteps
+	}
+	rt, err := instrument.New(info, cfg, m)
+	if err != nil {
+		t.Fatalf("instrument.New: %v", err)
+	}
+	err = m.Run()
+	if err == nil && rt.Err != nil {
+		t.Fatalf("runtime error: %v", rt.Err)
+	}
+	return m, rt, err
+}
+
+// vmRun executes source on the bytecode engine under cfg.
+func vmRun(t *testing.T, source string, seed uint64, cfg instrument.Config, out *bytes.Buffer, maxSteps int64) (*vm.Machine, profile.CounterStore, error) {
+	t.Helper()
+	prog, err := lang.Compile(source)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	info, err := profile.Analyze(prog, profile.Limits{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	plan, err := instrument.BuildPlan(info, cfg)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	code, err := vm.Compile(prog, plan)
+	if err != nil {
+		t.Fatalf("vm.Compile: %v", err)
+	}
+	m := vm.NewMachine(code, seed)
+	if out != nil {
+		m.Out = out
+	}
+	if maxSteps > 0 {
+		m.MaxSteps = maxSteps
+	}
+	st := profile.NewNestedStore(len(info.Funcs))
+	return m, st, m.Run(st)
+}
+
+// assertParity compares everything both engines expose for one (source,
+// seed, cfg) triple.
+func assertParity(t *testing.T, source string, seed uint64, cfg instrument.Config) {
+	t.Helper()
+	var treeOut, vmOut bytes.Buffer
+	tm, rt, terr := treeRun(t, source, seed, cfg, &treeOut, 0)
+	vmm, st, verr := vmRun(t, source, seed, cfg, &vmOut, 0)
+	if terr != nil || verr != nil {
+		t.Fatalf("run errors: tree=%v vm=%v", terr, verr)
+	}
+	if tm.Steps != vmm.Steps || tm.BaseOps != vmm.BaseOps {
+		t.Fatalf("steps/baseops: tree=(%d,%d) vm=(%d,%d)", tm.Steps, tm.BaseOps, vmm.Steps, vmm.BaseOps)
+	}
+	if !bytes.Equal(treeOut.Bytes(), vmOut.Bytes()) {
+		t.Fatalf("print output differs:\ntree: %q\nvm:   %q", treeOut.String(), vmOut.String())
+	}
+	if rt.BLOps != vmm.BLOps || rt.LoopOps != vmm.LoopOps || rt.InterOps != vmm.InterOps {
+		t.Fatalf("probe ops: tree=(%d,%d,%d) vm=(%d,%d,%d)",
+			rt.BLOps, rt.LoopOps, rt.InterOps, vmm.BLOps, vmm.LoopOps, vmm.InterOps)
+	}
+	tc, vc := rt.Counters(), st.Counters()
+	if !reflect.DeepEqual(tc, vc) {
+		t.Fatalf("counters differ (k=%d loops=%v inter=%v)", cfg.K, cfg.Loops, cfg.Interproc)
+	}
+}
+
+// TestCorpusParity runs randprog corpus programs on both engines across
+// degrees and checks byte-identical behavior: output, step counts, probe-op
+// tallies, and counters.
+func TestCorpusParity(t *testing.T) {
+	seeds, err := randprog.HarvestCorpus(8, randprog.MaxOracleSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seeds {
+		src := randprog.SeedSource(s.GenSeed)
+		for _, k := range []int{0, 2} {
+			cfg := instrument.Config{K: k, Loops: true, Interproc: true}
+			t.Run(fmt.Sprintf("seed%d/k%d", s.GenSeed, k), func(t *testing.T) {
+				assertParity(t, src, uint64(s.GenSeed), cfg)
+			})
+		}
+	}
+}
+
+// TestChordParity checks the chord-placement op accounting matches on both
+// engines.
+func TestChordParity(t *testing.T) {
+	seeds, err := randprog.HarvestCorpus(3, randprog.MaxOracleSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seeds {
+		src := randprog.SeedSource(s.GenSeed)
+		cfg := instrument.Config{K: 1, Loops: true, Interproc: true, ChordBL: true}
+		t.Run(fmt.Sprintf("seed%d", s.GenSeed), func(t *testing.T) {
+			assertParity(t, src, uint64(s.GenSeed), cfg)
+		})
+	}
+}
+
+// TestSelectionParity checks selective instrumentation (a non-nil
+// Selection picking only the first loop and site of each function) matches.
+func TestSelectionParity(t *testing.T) {
+	seeds, err := randprog.HarvestCorpus(3, randprog.MaxOracleSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seeds {
+		src := randprog.SeedSource(s.GenSeed)
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := profile.Analyze(prog, profile.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := &profile.Selection{Loops: map[profile.LoopID]bool{}, Sites: map[profile.SiteID]bool{}}
+		for _, fi := range info.Funcs {
+			if len(fi.Loops) > 0 {
+				sel.Loops[profile.LoopID{Func: fi.Index, Loop: 0}] = true
+			}
+			if len(fi.CallSites) > 0 {
+				sel.Sites[profile.SiteID{Func: fi.Index, Site: 0}] = true
+			}
+		}
+		cfg := instrument.Config{K: 2, Loops: true, Interproc: true, Selection: sel}
+		t.Run(fmt.Sprintf("seed%d", s.GenSeed), func(t *testing.T) {
+			assertParity(t, src, uint64(s.GenSeed), cfg)
+		})
+	}
+}
+
+// TestStepLimitParity checks both engines stop with ErrStepLimit at the
+// same step count.
+func TestStepLimitParity(t *testing.T) {
+	src := "func main() { while (1) { } }"
+	cfg := instrument.Config{K: 1, Loops: true, Interproc: true}
+	tm, _, terr := treeRun(t, src, 1, cfg, nil, 1000)
+	vmm, _, verr := vmRun(t, src, 1, cfg, nil, 1000)
+	if !errors.Is(terr, interp.ErrStepLimit) || !errors.Is(verr, interp.ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit on both: tree=%v vm=%v", terr, verr)
+	}
+	if tm.Steps != vmm.Steps {
+		t.Fatalf("steps at limit: tree=%d vm=%d", tm.Steps, vmm.Steps)
+	}
+}
+
+// TestDepthLimitParity checks the call-depth error is identical.
+func TestDepthLimitParity(t *testing.T) {
+	src := "func f() { f(); } func main() { f(); }"
+	cfg := instrument.Config{K: 0, Loops: true, Interproc: true}
+	_, _, terr := treeRun(t, src, 1, cfg, nil, 0)
+	_, _, verr := vmRun(t, src, 1, cfg, nil, 0)
+	if terr == nil || verr == nil || terr.Error() != verr.Error() {
+		t.Fatalf("depth errors differ: tree=%v vm=%v", terr, verr)
+	}
+	if !strings.Contains(verr.Error(), "call depth limit") {
+		t.Fatalf("unexpected error: %v", verr)
+	}
+}
+
+// TestRuntimeErrorParity checks runtime errors carry the same
+// function/block context on both engines, byte for byte.
+func TestRuntimeErrorParity(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"div by zero", "func main() { var z = 0; print(1 / z); }"},
+		{"mod by zero", "func main() { var z = 0; print(1 % z); }"},
+		{"array oob", "array a[4]; func main() { a[9] = 1; }"},
+		{"array negative", "array a[4]; func main() { var i = -1; a[i] = 1; }"},
+		{"bad indirect", "func main() { var f = 99; f(); }"},
+	}
+	cfg := instrument.Config{K: 1, Loops: true, Interproc: true}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, terr := treeRun(t, tc.src, 1, cfg, nil, 0)
+			_, _, verr := vmRun(t, tc.src, 1, cfg, nil, 0)
+			if terr == nil || verr == nil {
+				t.Fatalf("want errors on both engines: tree=%v vm=%v", terr, verr)
+			}
+			if terr.Error() != verr.Error() {
+				t.Fatalf("error text differs:\ntree: %s\nvm:   %s", terr, verr)
+			}
+		})
+	}
+}
+
+// TestUninstrumentedExecution checks plain (plan-less) compilation executes
+// identically to an uninstrumented tree run.
+func TestUninstrumentedExecution(t *testing.T) {
+	seeds, err := randprog.HarvestCorpus(5, randprog.MaxOracleSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range seeds {
+		src := randprog.SeedSource(s.GenSeed)
+		prog, err := lang.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var treeOut, vmOut bytes.Buffer
+		tm := interp.New(prog, uint64(s.GenSeed))
+		tm.Out = &treeOut
+		if err := tm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		code, err := vm.Compile(prog, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vmm := vm.NewMachine(code, uint64(s.GenSeed))
+		vmm.Out = &vmOut
+		if err := vmm.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		if tm.Steps != vmm.Steps || tm.BaseOps != vmm.BaseOps {
+			t.Fatalf("seed %d: steps/baseops: tree=(%d,%d) vm=(%d,%d)",
+				s.GenSeed, tm.Steps, tm.BaseOps, vmm.Steps, vmm.BaseOps)
+		}
+		if !bytes.Equal(treeOut.Bytes(), vmOut.Bytes()) {
+			t.Fatalf("seed %d: output differs", s.GenSeed)
+		}
+		if vmm.Counters() != nil {
+			t.Fatal("uninstrumented run has counters")
+		}
+	}
+}
+
+// TestNoMain checks the missing-main error matches the tree engine. The
+// frontend rejects main-less sources, so strip main from a compiled program.
+func TestNoMain(t *testing.T) {
+	full, err := lang.Compile("func f() { } func main() { f(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fns []*ir.Func
+	for _, fn := range full.Funcs {
+		if fn.Name != "main" {
+			fns = append(fns, fn)
+		}
+	}
+	prog := &ir.Program{Funcs: fns}
+	code, err := vm.Compile(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := vm.NewMachine(code, 1).Run(nil)
+	terr := interp.New(prog, 1).Run()
+	if verr == nil || terr == nil || verr.Error() != terr.Error() {
+		t.Fatalf("no-main errors differ: tree=%v vm=%v", terr, verr)
+	}
+}
