@@ -20,6 +20,14 @@
 //	-dump-instr F print function F's instrumentation plan at degree -k
 //	-dot FUNC     print FUNC's CFG in Graphviz DOT syntax
 //	-run          echo the program's own print output
+//
+// Aggregation mode (no -src; pairs with -save-profile / -load-profile):
+//
+//	pathprof -merge OUT a.prof b.prof ...
+//
+// folds profiles saved with -save-profile — e.g. the same program run at
+// different seeds, or shards collected by separate pathprofd instances —
+// into OUT, loadable with -load-profile for estimation over the fleet.
 package main
 
 import (
@@ -31,10 +39,49 @@ import (
 	"pathprof/internal/core"
 	"pathprof/internal/estimate"
 	"pathprof/internal/instrument"
+	"pathprof/internal/merge"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/stats"
 )
+
+// mergeProfiles implements -merge: fold saved profile files into one.
+func mergeProfiles(out string, files []string) error {
+	if len(files) < 1 {
+		return fmt.Errorf("-merge needs at least one profile file argument")
+	}
+	snaps := make([]*merge.Snapshot, 0, len(files))
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		run, err := core.LoadRun(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		snaps = append(snaps, merge.New(run.K, run.Counters))
+	}
+	merged, err := merge.MergeAll(snaps...)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveRun(f, core.RunFromCounters(merged.K, merged.Counters)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d profiles (k=%d, %d functions) into %s\n",
+		len(files), merged.K, merged.NumFuncs, out)
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -63,9 +110,13 @@ func run() error {
 		echo     = flag.Bool("run", false, "echo the program's print output")
 		storeNm  = flag.String("store", "nested", "counter store layout: nested, flat, or arena")
 		engNm    = flag.String("engine", "vm", "execution engine: vm (bytecode, fused probes) or tree (reference interpreter)")
+		mergeOut = flag.String("merge", "", "fold the profile FILEs given as arguments into OUT and exit")
 	)
 	flag.Parse()
 
+	if *mergeOut != "" {
+		return mergeProfiles(*mergeOut, flag.Args())
+	}
 	if *srcPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-src is required")

@@ -1,0 +1,89 @@
+// Command pathprofd is the profile aggregation daemon: an HTTP service that
+// accepts profiling jobs, shards them across the pipeline worker pool, and
+// serves merged per-job and fleet-wide profiles. See internal/server for the
+// API; cmd/profload is the matching load generator.
+//
+// SIGTERM/SIGINT triggers a graceful drain: new jobs are refused with 503,
+// every already-accepted job completes and folds into its fleet profile, and
+// only then does the listener shut down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathprof/internal/pipeline"
+	"pathprof/internal/profile"
+	"pathprof/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7422", "listen address")
+	queueCap := flag.Int("queue", 256, "job queue capacity (full queue rejects with 429)")
+	runners := flag.Int("runners", 0, "concurrent job executors (0 = GOMAXPROCS)")
+	storeNm := flag.String("store", "flat", "counter store layout: nested|flat|arena")
+	parallel := flag.Int("parallel", 0, "shard worker pool size (0 = GOMAXPROCS)")
+	maxSteps := flag.Int64("max-steps", 0, "per-shard VM step limit (0 = engine default)")
+	maxShards := flag.Int("max-shards", 64, "largest accepted per-job shard count")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job wall-clock budget")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-HTTP-request handler budget")
+	drainWait := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
+	flag.Parse()
+
+	store, ok := profile.ParseStoreKind(*storeNm)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pathprofd: unknown store %q (want nested|flat|arena)\n", *storeNm)
+		os.Exit(2)
+	}
+	pipeline.SetParallelism(*parallel)
+
+	srv := server.New(server.Config{
+		QueueCap:   *queueCap,
+		Runners:    *runners,
+		MaxShards:  *maxShards,
+		Store:      store,
+		MaxSteps:   *maxSteps,
+		JobTimeout: *jobTimeout,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      http.TimeoutHandler(srv.Handler(), *reqTimeout, "request timed out\n"),
+		ReadTimeout:  *reqTimeout,
+		WriteTimeout: 2 * *reqTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("pathprofd: listening on %s (store=%s, queue=%d)", *addr, store, *queueCap)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("pathprofd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("pathprofd: draining (up to %s)...", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("pathprofd: drain incomplete: %v", err)
+	} else {
+		log.Printf("pathprofd: drained cleanly")
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("pathprofd: http shutdown: %v", err)
+	}
+	srv.Close()
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pathprof/internal/instrument"
+	"pathprof/internal/merge"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/workload"
@@ -110,6 +111,47 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 		res, err := measure("sweep", wb.Name, eng.String(), DefaultStore.String(), iters, func() error {
 			_, err := CollectWithOptions(wb, pool, DefaultStore, eng)
 			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+
+	// Merge cells: fold mergeShards pre-collected shard snapshots — the
+	// aggregation service's hot path — once as pure snapshot algebra
+	// (store "snapshot") and once through each layout's bulk-add path,
+	// materialization included. Shard collection happens outside the
+	// timed region.
+	const mergeShards = 8
+	snaps := make([]*merge.Snapshot, mergeShards)
+	for i := range snaps {
+		r, err := p.ExecuteStore(pipeline.EngineVM, cfg, wb.Seed+uint64(i), nil,
+			profile.NewStore(profile.StoreNested, p.Info), 0)
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = merge.New(k, r.Counters)
+	}
+	res, err := measure("merge", wb.Name, pipeline.EngineVM.String(), "snapshot", iters, func() error {
+		_, err := merge.MergeAll(snaps...)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, res)
+	for _, st := range stores {
+		st := st
+		res, err := measure("merge", wb.Name, pipeline.EngineVM.String(), st.String(), iters, func() error {
+			dst := profile.NewStore(st, p.Info)
+			for _, s := range snaps {
+				if err := merge.IntoStore(dst, s); err != nil {
+					return err
+				}
+			}
+			dst.Counters()
+			return nil
 		})
 		if err != nil {
 			return nil, err

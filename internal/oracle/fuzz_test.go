@@ -87,3 +87,18 @@ func FuzzSerializeRoundTrip(f *testing.F) {
 		})
 	})
 }
+
+// FuzzMergeSplit validates the aggregation invariant: chunked runs folded
+// through internal/merge serialize byte-identically to the concatenated
+// run, at degree k across every store layout.
+func FuzzMergeSplit(f *testing.F) {
+	f.Add(int64(1), int64(1), 1)
+	f.Add(int64(5), int64(2), 0)
+	f.Add(int64(9), int64(9), 2)
+	f.Fuzz(func(t *testing.T, genSeed, interpSeed int64, k int) {
+		fuzzOracle(t, genSeed, interpSeed, oracle.Config{
+			Ks:     []int{clampK(k)},
+			Checks: oracle.CheckMerge,
+		})
+	})
+}

@@ -26,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, target := range []string{"FuzzPipeline", "FuzzEstimateBounds", "FuzzSerializeRoundTrip"} {
+	for _, target := range []string{"FuzzPipeline", "FuzzEstimateBounds", "FuzzSerializeRoundTrip", "FuzzMergeSplit"} {
 		tdir := filepath.Join(*dir, target)
 		if err := os.MkdirAll(tdir, 0o755); err != nil {
 			log.Fatal(err)

@@ -51,9 +51,14 @@ const (
 	// through a worker pool and byte-compares against the sequential
 	// sweep.
 	CheckParallel
+	// CheckMerge validates the aggregation-service invariant: splitting a
+	// workload into independently profiled chunks and folding the chunk
+	// snapshots through internal/merge serializes byte-identically to the
+	// unsplit concatenated run, for every store layout.
+	CheckMerge
 
 	// ChecksAll enables the full battery.
-	ChecksAll = CheckCounters | CheckStores | CheckEstimates | CheckSerialization | CheckParallel
+	ChecksAll = CheckCounters | CheckStores | CheckEstimates | CheckSerialization | CheckParallel | CheckMerge
 )
 
 // Config bounds and selects one oracle run.
@@ -209,6 +214,11 @@ func Check(p *pipeline.Pipeline, seed uint64, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	if cfg.Checks&CheckMerge != 0 {
+		if err := c.checkMerge(); err != nil {
+			return nil, err
+		}
+	}
 	return c.res, nil
 }
 
@@ -230,6 +240,10 @@ type checker struct {
 	// matrix cell.
 	counters   map[cell]*profile.Counters
 	serialized map[cell][]byte
+
+	// tamperChunk, when set, corrupts chunk i's counters before the merge
+	// fold — the self-test hook proving the merge invariant has teeth.
+	tamperChunk func(i int, c *profile.Counters)
 }
 
 func (c *checker) violate(inv string, cl cell, format string, args ...any) {

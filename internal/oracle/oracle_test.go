@@ -46,8 +46,9 @@ func TestOracleBattery(t *testing.T) {
 				t.Fatalf("seed %d: %v\n--- source ---\n%s", s.GenSeed, err, randprog.SeedSource(s.GenSeed))
 			}
 			// 3 degrees x 3 stores x 2 engines, sequential + parallel
-			// sweeps.
-			if want := 2 * 3 * 3 * 2; res.Runs != want {
+			// sweeps, plus the merge cell's 3 stores x 3 chunks x
+			// (split + concatenated) runs.
+			if want := 2*3*3*2 + 3*3*2; res.Runs != want {
 				t.Fatalf("seed %d: %d instrumented runs, want %d", s.GenSeed, res.Runs, want)
 			}
 		})

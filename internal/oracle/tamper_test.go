@@ -125,3 +125,31 @@ func TestBatteryDetectsParallelDivergence(t *testing.T) {
 		t.Fatalf("parallel divergence went undetected: %v", c.res.Violations)
 	}
 }
+
+func TestBatteryDetectsMergeDivergence(t *testing.T) {
+	c := tamperedChecker(t)
+	// Inflate one BL counter in the middle chunk's snapshot before the
+	// fold: the merged profile must stop matching the concatenated run.
+	c.tamperChunk = func(i int, cc *profile.Counters) {
+		if i != 1 {
+			return
+		}
+		f, id := firstBLKey(cc)
+		if f < 0 {
+			t.Fatal("no BL counters to corrupt")
+		}
+		cc.BL[f][id] += 3
+	}
+	if err := c.checkMerge(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range c.res.Violations {
+		if v.Invariant == "merge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merge divergence went undetected: %v", c.res.Violations)
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -37,6 +38,22 @@ func (p *Pool) Do(fn func()) {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	fn()
+}
+
+// DoCtx is Do with a cancellable wait: when ctx is done before a slot frees
+// up, fn never starts and the context's error is returned. Once fn starts
+// it runs to completion — cancellation bounds queueing delay (the quantity
+// a server's per-job timeout needs to control), not execution, which the
+// engines bound with their own step limits.
+func (p *Pool) DoCtx(ctx context.Context, fn func()) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
 }
 
 var (

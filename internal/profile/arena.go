@@ -203,6 +203,73 @@ func (s *ArenaStore) IncCall(k CallKey) {
 	s.callsOv[k]++
 }
 
+func (s *ArenaStore) AddBL(fn int, path int64, n uint64) {
+	s.cached = nil
+	if d := s.dense[fn]; d != nil && path >= 0 && path < int64(len(d)) {
+		d[path] = SatAdd(d[path], n)
+		return
+	}
+	m := s.sparse[fn]
+	if m == nil {
+		m = map[int64]uint64{}
+		s.sparse[fn] = m
+	}
+	m[path] = SatAdd(m[path], n)
+}
+
+func (s *ArenaStore) AddLoop(k LoopKey, n uint64) {
+	s.cached = nil
+	if k.Func >= 0 && k.Func < len(s.loops) && k.Loop >= 0 && k.Loop < len(s.loops[k.Func]) {
+		if a := s.loops[k.Func][k.Loop]; a != nil &&
+			k.Base >= 0 && k.Base < a.total && k.Ext >= 0 && k.Ext < a.routes {
+			slot := (k.Base*a.routes + k.Ext) * 2
+			if k.Full {
+				slot++
+			}
+			a.slots[slot] = SatAdd(a.slots[slot], n)
+			return
+		}
+	}
+	s.loopOv[k] = SatAdd(s.loopOv[k], n)
+}
+
+func (s *ArenaStore) AddTypeI(k TypeIKey, n uint64) {
+	s.cached = nil
+	if k.Caller >= 0 && k.Caller < len(s.typeI) && k.Site >= 0 && k.Site < len(s.typeI[k.Caller]) {
+		if a := s.typeI[k.Caller][k.Site]; a != nil && a.callee == k.Callee &&
+			k.Prefix >= 0 && k.Prefix < a.dimA && k.Ext >= 0 && k.Ext < a.dimB {
+			slot := k.Prefix*a.dimB + k.Ext
+			a.slots[slot] = SatAdd(a.slots[slot], n)
+			return
+		}
+	}
+	s.typeIOv[k] = SatAdd(s.typeIOv[k], n)
+}
+
+func (s *ArenaStore) AddTypeII(k TypeIIKey, n uint64) {
+	s.cached = nil
+	if k.Caller >= 0 && k.Caller < len(s.typeII) && k.Site >= 0 && k.Site < len(s.typeII[k.Caller]) {
+		if a := s.typeII[k.Caller][k.Site]; a != nil && a.callee == k.Callee &&
+			k.Path >= 0 && k.Path < a.dimA && k.Ext >= 0 && k.Ext < a.dimB {
+			slot := k.Path*a.dimB + k.Ext
+			a.slots[slot] = SatAdd(a.slots[slot], n)
+			return
+		}
+	}
+	s.typeIIOv[k] = SatAdd(s.typeIIOv[k], n)
+}
+
+func (s *ArenaStore) AddCall(k CallKey, n uint64) {
+	s.cached = nil
+	if k.Caller >= 0 && k.Caller < len(s.calls) && k.Site >= 0 && k.Site < len(s.calls[k.Caller]) &&
+		k.Callee >= 0 && k.Callee < len(s.calls[k.Caller][k.Site]) {
+		c := &s.calls[k.Caller][k.Site][k.Callee]
+		*c = SatAdd(*c, n)
+		return
+	}
+	s.callsOv[k] = SatAdd(s.callsOv[k], n)
+}
+
 // Counters materializes (and memoizes) the canonical nested-map form,
 // decoding arena slots back into keys; only non-zero counters appear.
 func (s *ArenaStore) Counters() *Counters {
@@ -217,7 +284,7 @@ func (s *ArenaStore) Counters() *Counters {
 			}
 		}
 		for id, n := range s.sparse[f] {
-			c.BL[f][id] += n
+			c.BL[f][id] = SatAdd(c.BL[f][id], n)
 		}
 	}
 	for f, las := range s.loops {
@@ -234,7 +301,11 @@ func (s *ArenaStore) Counters() *Counters {
 					Func: f, Loop: l,
 					Base: pair / a.routes, Ext: pair % a.routes,
 					Full: slot%2 == 1,
-				}] += n
+				}] = SatAdd(c.Loop[LoopKey{
+					Func: f, Loop: l,
+					Base: pair / a.routes, Ext: pair % a.routes,
+					Full: slot%2 == 1,
+				}], n)
 			}
 		}
 	}
@@ -280,16 +351,16 @@ func (s *ArenaStore) Counters() *Counters {
 		}
 	}
 	for k, n := range s.loopOv {
-		c.Loop[k] += n
+		c.Loop[k] = SatAdd(c.Loop[k], n)
 	}
 	for k, n := range s.typeIOv {
-		c.TypeI[k] += n
+		c.TypeI[k] = SatAdd(c.TypeI[k], n)
 	}
 	for k, n := range s.typeIIOv {
-		c.TypeII[k] += n
+		c.TypeII[k] = SatAdd(c.TypeII[k], n)
 	}
 	for k, n := range s.callsOv {
-		c.Calls[k] += n
+		c.Calls[k] = SatAdd(c.Calls[k], n)
 	}
 	s.cached = c
 	return c

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 )
 
 // This file gives Counters a stable on-disk form, so two-phase workflows
@@ -26,87 +25,16 @@ const (
 	formatVersion = 1
 )
 
-// record is one counter line.
-type record struct {
-	Kind string `json:"kind"` // "bl", "loop", "t1", "t2", "call"
-	// Fields used per kind; zero values omitted.
-	Func   int    `json:"func,omitempty"`
-	Loop   int    `json:"loop,omitempty"`
-	Caller int    `json:"caller,omitempty"`
-	Site   int    `json:"site,omitempty"`
-	Callee int    `json:"callee,omitempty"`
-	Path   int64  `json:"path,omitempty"`
-	Base   int64  `json:"base,omitempty"`
-	Ext    int64  `json:"ext,omitempty"`
-	Prefix int64  `json:"prefix,omitempty"`
-	Full   bool   `json:"full,omitempty"`
-	N      uint64 `json:"n"`
-}
-
-// Serialize writes the counters in the stable line-JSON form.
+// Serialize writes the counters in the stable line-JSON form: the canonical
+// Records flattening (one shared sort key; see records.go) encoded one
+// record per line.
 func (c *Counters) Serialize(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(serializedHeader{Format: formatName, Version: formatVersion, NumFuncs: len(c.BL)}); err != nil {
 		return err
 	}
-
-	var recs []record
-	for f, m := range c.BL {
-		for id, n := range m {
-			recs = append(recs, record{Kind: "bl", Func: f, Path: id, N: n})
-		}
-	}
-	for k, n := range c.Loop {
-		recs = append(recs, record{Kind: "loop", Func: k.Func, Loop: k.Loop, Base: k.Base, Ext: k.Ext, Full: k.Full, N: n})
-	}
-	for k, n := range c.TypeI {
-		recs = append(recs, record{Kind: "t1", Caller: k.Caller, Site: k.Site, Callee: k.Callee, Prefix: k.Prefix, Ext: k.Ext, N: n})
-	}
-	for k, n := range c.TypeII {
-		recs = append(recs, record{Kind: "t2", Caller: k.Caller, Site: k.Site, Callee: k.Callee, Path: k.Path, Ext: k.Ext, N: n})
-	}
-	for k, n := range c.Calls {
-		recs = append(recs, record{Kind: "call", Caller: k.Caller, Site: k.Site, Callee: k.Callee, N: n})
-	}
-	sort.Slice(recs, func(i, j int) bool {
-		a, b := recs[i], recs[j]
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if a.Func != b.Func {
-			return a.Func < b.Func
-		}
-		if a.Caller != b.Caller {
-			return a.Caller < b.Caller
-		}
-		if a.Site != b.Site {
-			return a.Site < b.Site
-		}
-		if a.Callee != b.Callee {
-			return a.Callee < b.Callee
-		}
-		if a.Loop != b.Loop {
-			return a.Loop < b.Loop
-		}
-		if a.Base != b.Base {
-			return a.Base < b.Base
-		}
-		if a.Path != b.Path {
-			return a.Path < b.Path
-		}
-		if a.Prefix != b.Prefix {
-			return a.Prefix < b.Prefix
-		}
-		if a.Ext != b.Ext {
-			return a.Ext < b.Ext
-		}
-		// Full is part of the loop-counter key; without it the order of
-		// truncated-vs-full records with equal ids would follow map
-		// iteration order and the "stable" form would not be stable.
-		return !a.Full && b.Full
-	})
-	for _, r := range recs {
+	for _, r := range c.Records() {
 		if err := enc.Encode(r); err != nil {
 			return err
 		}
@@ -132,7 +60,7 @@ func ReadCounters(r io.Reader) (*Counters, error) {
 	}
 	c := NewCounters(hdr.NumFuncs)
 	for {
-		var rec record
+		var rec Record
 		if err := dec.Decode(&rec); err == io.EOF {
 			break
 		} else if err != nil {

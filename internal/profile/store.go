@@ -68,6 +68,26 @@ type CounterStore interface {
 	Counters() *Counters
 }
 
+// BulkStore is the aggregation extension of CounterStore: weighted,
+// saturating adds, the write interface profile merging folds one run's (or
+// one shard's) counters into a long-lived accumulator through. All three
+// bundled stores implement it. Adds saturate at the uint64 maximum (see
+// SatAdd) so fleet-scale aggregation degrades to a pinned ceiling instead
+// of wrapping.
+type BulkStore interface {
+	CounterStore
+	// AddBL adds n occurrences of one Ball-Larus path.
+	AddBL(fn int, path int64, n uint64)
+	// AddLoop adds n occurrences of one overlapping-loop-path counter.
+	AddLoop(k LoopKey, n uint64)
+	// AddTypeI adds n occurrences of one Type I counter.
+	AddTypeI(k TypeIKey, n uint64)
+	// AddTypeII adds n occurrences of one Type II counter.
+	AddTypeII(k TypeIIKey, n uint64)
+	// AddCall adds n occurrences of one call edge.
+	AddCall(k CallKey, n uint64)
+}
+
 // NewStore builds a store of the requested kind for info's program.
 func NewStore(kind StoreKind, info *Info) CounterStore {
 	switch kind {
@@ -97,6 +117,14 @@ func (s *NestedStore) IncCall(k CallKey)        { s.c.Calls[k]++ }
 
 // Counters returns the live counters (not a copy).
 func (s *NestedStore) Counters() *Counters { return s.c }
+
+func (s *NestedStore) AddBL(fn int, path int64, n uint64) {
+	s.c.BL[fn][path] = SatAdd(s.c.BL[fn][path], n)
+}
+func (s *NestedStore) AddLoop(k LoopKey, n uint64)     { s.c.Loop[k] = SatAdd(s.c.Loop[k], n) }
+func (s *NestedStore) AddTypeI(k TypeIKey, n uint64)   { s.c.TypeI[k] = SatAdd(s.c.TypeI[k], n) }
+func (s *NestedStore) AddTypeII(k TypeIIKey, n uint64) { s.c.TypeII[k] = SatAdd(s.c.TypeII[k], n) }
+func (s *NestedStore) AddCall(k CallKey, n uint64)     { s.c.Calls[k] = SatAdd(s.c.Calls[k], n) }
 
 // DenseBLLimit bounds the per-function dense Ball-Larus array; functions
 // with more static paths fall back to a map so pathological path counts
@@ -176,6 +204,40 @@ func (s *FlatStore) IncCall(k CallKey) {
 	s.calls[k]++
 }
 
+func (s *FlatStore) AddBL(fn int, path int64, n uint64) {
+	s.cached = nil
+	if d := s.dense[fn]; d != nil && path >= 0 && path < int64(len(d)) {
+		d[path] = SatAdd(d[path], n)
+		return
+	}
+	m := s.sparse[fn]
+	if m == nil {
+		m = map[int64]uint64{}
+		s.sparse[fn] = m
+	}
+	m[path] = SatAdd(m[path], n)
+}
+
+func (s *FlatStore) AddLoop(k LoopKey, n uint64) {
+	s.cached = nil
+	s.loop[k] = SatAdd(s.loop[k], n)
+}
+
+func (s *FlatStore) AddTypeI(k TypeIKey, n uint64) {
+	s.cached = nil
+	s.typeI[k] = SatAdd(s.typeI[k], n)
+}
+
+func (s *FlatStore) AddTypeII(k TypeIIKey, n uint64) {
+	s.cached = nil
+	s.typeII[k] = SatAdd(s.typeII[k], n)
+}
+
+func (s *FlatStore) AddCall(k CallKey, n uint64) {
+	s.cached = nil
+	s.calls[k] = SatAdd(s.calls[k], n)
+}
+
 // Counters materializes (and memoizes) the canonical nested-map form; only
 // non-zero counters appear, so the result is indistinguishable from a
 // NestedStore's.
@@ -191,7 +253,7 @@ func (s *FlatStore) Counters() *Counters {
 			}
 		}
 		for id, n := range s.sparse[f] {
-			c.BL[f][id] += n
+			c.BL[f][id] = SatAdd(c.BL[f][id], n)
 		}
 	}
 	for k, n := range s.loop {

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunLoad drives the load generator against a real in-process daemon
+// with a deliberately tiny queue, so the 429 retry path is exercised along
+// with the happy path, and checks the report's arithmetic hangs together.
+func TestRunLoad(t *testing.T) {
+	d := newDaemon(t, Config{QueueCap: 2, Runners: 2}, true)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := RunLoad(ctx, LoadConfig{
+		BaseURL: d.ts.URL, Jobs: 8, Concurrency: 4, Shards: 2, K: 1,
+		Benchmarks: []string{"181.mcf", "008.espresso"},
+		Client:     d.cli,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v (report %+v)", err, rep)
+	}
+	if rep.Completed != 8 || rep.Failed != 0 {
+		t.Fatalf("completed %d failed %d, want 8/0", rep.Completed, rep.Failed)
+	}
+	if rep.JobsPerSec <= 0 || rep.DurationSec <= 0 {
+		t.Fatalf("throughput not computed: %+v", rep)
+	}
+	if rep.LatencyP50Ms <= 0 || rep.LatencyP99Ms < rep.LatencyP50Ms || rep.LatencyMaxMs < rep.LatencyP99Ms {
+		t.Fatalf("latency percentiles out of order: p50=%v p99=%v max=%v",
+			rep.LatencyP50Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)
+	}
+	if rep.Metrics == nil || rep.Metrics.JobsCompleted != 8 {
+		t.Fatalf("server metrics not folded into report: %+v", rep.Metrics)
+	}
+	if rep.Metrics.ShardsExecuted != 16 {
+		t.Fatalf("shards executed = %d, want 16", rep.Metrics.ShardsExecuted)
+	}
+}

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Metrics is the daemon's instrumentation: flat expvar-style counters and
+// gauges, updated with atomics on the hot paths and rendered as one JSON
+// object on /metrics. Names are stable — the load generator and the CI
+// smoke test key on them.
+type Metrics struct {
+	jobsAccepted  atomic.Int64
+	jobsRejected  atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsInFlight  atomic.Int64
+	shardsRun     atomic.Int64
+	shardErrors   atomic.Int64
+	merges        atomic.Int64
+	mergeNs       atomic.Int64
+}
+
+// MetricsSnapshot is the rendered /metrics payload.
+type MetricsSnapshot struct {
+	JobsAccepted   int64 `json:"jobs_accepted"`
+	JobsRejected   int64 `json:"jobs_rejected"`
+	JobsCompleted  int64 `json:"jobs_completed"`
+	JobsFailed     int64 `json:"jobs_failed"`
+	JobsInFlight   int64 `json:"jobs_in_flight"`
+	QueueDepth     int   `json:"queue_depth"`
+	ShardsExecuted int64 `json:"shards_executed"`
+	ShardErrors    int64 `json:"shard_errors"`
+	Merges         int64 `json:"merges"`
+	MergeNs        int64 `json:"merge_ns"`
+}
+
+func (s *Server) metricsSnapshot() MetricsSnapshot {
+	m := &s.metrics
+	return MetricsSnapshot{
+		JobsAccepted:   m.jobsAccepted.Load(),
+		JobsRejected:   m.jobsRejected.Load(),
+		JobsCompleted:  m.jobsCompleted.Load(),
+		JobsFailed:     m.jobsFailed.Load(),
+		JobsInFlight:   m.jobsInFlight.Load(),
+		QueueDepth:     len(s.queue),
+		ShardsExecuted: m.shardsRun.Load(),
+		ShardErrors:    m.shardErrors.Load(),
+		Merges:         m.merges.Load(),
+		MergeNs:        m.mergeNs.Load(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// writeJSON writes v as an indented JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response writer errors are the client's problem
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

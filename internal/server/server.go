@@ -1,0 +1,605 @@
+// Package server implements the pathprofd profile-aggregation daemon: a
+// long-running HTTP service that accepts profiling jobs, fans each job's
+// shards out across the shared pipeline worker pool on the bytecode VM
+// engine, folds the shard snapshots into one profile with internal/merge,
+// and serves per-job results, flow estimates, and merged fleet-wide profiles
+// per benchmark.
+//
+// API:
+//
+//	POST /v1/jobs                  submit {benchmark|source, seed, k, shards};
+//	                               202 {id} | 429 when the queue is full |
+//	                               503 while draining
+//	GET  /v1/jobs/{id}             job status, shard errors, result + estimate
+//	GET  /v1/jobs/{id}/profile     the job's merged counter snapshot
+//	GET  /v1/profiles/{benchmark}  the fleet-wide merged snapshot (?k=N)
+//	GET  /metrics                  expvar-style counters (see MetricsSnapshot)
+//	GET  /healthz                  "ok", or "draining" during shutdown
+//
+// Backpressure is explicit: the job queue is bounded, an enqueue that would
+// block is rejected with 429 immediately, and SIGTERM handling (in
+// cmd/pathprofd) flips the server into draining mode — new jobs get 503,
+// every accepted job still completes — before the process exits.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"pathprof/internal/core"
+	"pathprof/internal/estimate"
+	"pathprof/internal/instrument"
+	"pathprof/internal/merge"
+	"pathprof/internal/pipeline"
+	"pathprof/internal/profile"
+	"pathprof/internal/workload"
+)
+
+// Config tunes a Server. The zero value is serviceable: defaults are
+// applied by New.
+type Config struct {
+	// QueueCap bounds the job queue; a full queue rejects submissions
+	// with 429 (default 256).
+	QueueCap int
+	// Runners is the number of concurrent job executors (default
+	// GOMAXPROCS). Shards inside each job additionally draw slots from
+	// the pipeline pool, so total CPU parallelism stays bounded by the
+	// pool no matter how many runners are in flight.
+	Runners int
+	// MaxShards caps the per-job shard count (default 64).
+	MaxShards int
+	// Store selects the counter-store layout shard runs write through
+	// (default the dense/flat store).
+	Store profile.StoreKind
+	// MaxSteps is the per-shard VM step limit (0 = the engine default);
+	// runaway programs fail their shard instead of wedging a runner.
+	MaxSteps int64
+	// JobTimeout bounds one job's wall clock, queue-to-done (default 2m).
+	JobTimeout time.Duration
+	// Pool is the worker pool shard executions draw from (nil = the
+	// process-wide shared pool).
+	Pool *pipeline.Pool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.Runners <= 0 {
+		c.Runners = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 64
+	}
+	if c.Store == profile.StoreNested {
+		c.Store = profile.StoreFlat
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// JobRequest is the POST /v1/jobs body. Exactly one of Benchmark (a bundled
+// workload name, e.g. "300.twolf") or Source (program text in the bundled
+// language) selects the program.
+type JobRequest struct {
+	Benchmark string `json:"benchmark,omitempty"`
+	Source    string `json:"source,omitempty"`
+	// Seed is the base RNG seed; shard i runs with Seed+i.
+	Seed uint64 `json:"seed"`
+	// K is the requested degree of overlap (-1 = Ball-Larus only). It is
+	// clamped to the program's maximum useful degree.
+	K int `json:"k"`
+	// Shards is the number of independent runs to fan out and merge
+	// (default 1).
+	Shards int `json:"shards"`
+}
+
+// ShardError is one failed shard in a job status: the shard index is
+// structured, not baked into a prose string, so fleet tooling can requeue
+// or blame exactly the shard that failed.
+type ShardError struct {
+	Shard int    `json:"shard"`
+	Error string `json:"error"`
+}
+
+// JobResult is the outcome summary of a completed job.
+type JobResult struct {
+	// Funcs and MaxDegree describe the profiled program.
+	Funcs     int `json:"funcs"`
+	MaxDegree int `json:"maxDegree"`
+	// K is the effective profiled degree after clamping.
+	K int `json:"k"`
+	// Steps totals executed blocks across every shard.
+	Steps int64 `json:"steps"`
+	// Mass is the merged snapshot's total counter mass.
+	Mass uint64 `json:"mass"`
+	// MergeNs is the time spent folding shard snapshots.
+	MergeNs int64 `json:"mergeNs"`
+	// Definite/Potential/Vars/Exact/Skipped summarize the flow estimate
+	// (paper Eqs. 1-18) over the merged profile.
+	Definite  int64 `json:"definite"`
+	Potential int64 `json:"potential"`
+	Vars      int   `json:"vars"`
+	Exact     int   `json:"exact"`
+	Skipped   int   `json:"skipped"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID         string       `json:"id"`
+	State      string       `json:"state"` // queued | running | done | failed
+	Benchmark  string       `json:"benchmark,omitempty"`
+	K          int          `json:"k"`
+	Shards     int          `json:"shards"`
+	ShardsDone int          `json:"shardsDone"`
+	Errors     []ShardError `json:"errors,omitempty"`
+	Result     *JobResult   `json:"result,omitempty"`
+}
+
+// job is the server-side job record.
+type job struct {
+	id  string
+	req JobRequest
+
+	mu         sync.Mutex
+	state      string
+	shardsDone int
+	errors     []ShardError
+	result     *JobResult
+	snap       *merge.Snapshot
+	done       chan struct{}
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state, Benchmark: j.req.Benchmark,
+		K: j.req.K, Shards: j.req.Shards, ShardsDone: j.shardsDone,
+		Errors: append([]ShardError(nil), j.errors...),
+	}
+	if j.result != nil {
+		r := *j.result
+		st.Result = &r
+	}
+	return st
+}
+
+// fleetKey identifies one fleet-wide merged profile: snapshots only merge
+// within a (benchmark, degree) cell.
+type fleetKey struct {
+	bench string
+	k     int
+}
+
+// pipeEntry is a singleflight slot for one program's pipeline.
+type pipeEntry struct {
+	once sync.Once
+	p    *pipeline.Pipeline
+	err  error
+}
+
+// Server is the aggregation daemon. Create with New, wire its Handler into
+// an http.Server, call Start, and Drain before exit.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan *job
+	metrics Metrics
+
+	jobsMu sync.RWMutex
+	jobs   map[string]*job
+	nextID int
+
+	pipesMu sync.Mutex
+	pipes   map[string]*pipeEntry
+
+	fleetMu sync.Mutex
+	fleet   map[fleetKey]*merge.Snapshot
+
+	// drainMu serializes enqueue against the drain flip: once Drain holds
+	// the write lock, every later submission observes accepting == false,
+	// so the in-flight job WaitGroup can only shrink.
+	drainMu   sync.RWMutex
+	accepting bool
+	jobWG     sync.WaitGroup
+
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+	runnerWG  sync.WaitGroup
+}
+
+// New builds a Server. Call Start to launch its job runners.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		queue:     make(chan *job, cfg.QueueCap),
+		jobs:      map[string]*job{},
+		pipes:     map[string]*pipeEntry{},
+		fleet:     map[fleetKey]*merge.Snapshot{},
+		accepting: true,
+	}
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleJobProfile)
+	s.mux.HandleFunc("GET /v1/profiles/{benchmark}", s.handleFleetProfile)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the runner goroutines.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Runners; i++ {
+		s.runnerWG.Add(1)
+		go func() {
+			defer s.runnerWG.Done()
+			for {
+				select {
+				case j := <-s.queue:
+					s.runJob(j)
+					s.jobWG.Done()
+				case <-s.runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Drain stops accepting new jobs and waits until every accepted job —
+// queued or running — has completed, or ctx expires. It does not stop the
+// runners; call Close afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.accepting = false
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the runner goroutines. Jobs still queued are abandoned;
+// Drain first for a loss-free shutdown.
+func (s *Server) Close() {
+	s.cancelRun()
+	s.runnerWG.Wait()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.drainMu.RLock()
+	accepting := s.accepting
+	s.drainMu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !accepting {
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+const maxRequestBody = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed job request: "+err.Error())
+		return
+	}
+	if (req.Benchmark == "") == (req.Source == "") {
+		writeError(w, http.StatusBadRequest, "exactly one of benchmark or source is required")
+		return
+	}
+	if req.Benchmark != "" && workload.ByName(req.Benchmark) == nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown benchmark %q", req.Benchmark))
+		return
+	}
+	if req.Shards == 0 {
+		req.Shards = 1
+	}
+	if req.Shards < 1 || req.Shards > s.cfg.MaxShards {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("shards must be in [1,%d], got %d", s.cfg.MaxShards, req.Shards))
+		return
+	}
+	if req.K < -1 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be >= -1, got %d", req.K))
+		return
+	}
+
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if !s.accepting {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	s.jobsMu.Lock()
+	s.nextID++
+	j := &job{id: fmt.Sprintf("j-%d", s.nextID), req: req, state: "queued", done: make(chan struct{})}
+	s.jobs[j.id] = j
+	s.jobsMu.Unlock()
+
+	// Add before the send: a runner may dequeue (and Done) the instant the
+	// send succeeds.
+	s.jobWG.Add(1)
+	select {
+	case s.queue <- j:
+		s.metrics.jobsAccepted.Add(1)
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id})
+	default:
+		s.jobWG.Done()
+		s.jobsMu.Lock()
+		delete(s.jobs, j.id)
+		s.jobsMu.Unlock()
+		s.metrics.jobsRejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "job queue is full")
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.jobsMu.RLock()
+	defer s.jobsMu.RUnlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	snap, state := j.snap, j.state
+	j.mu.Unlock()
+	if snap == nil {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; no merged profile", state))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	snap.Encode(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
+	bench := r.PathValue("benchmark")
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	var ks []int
+	for key := range s.fleet {
+		if key.bench == bench {
+			ks = append(ks, key.k)
+		}
+	}
+	if len(ks) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no fleet profile for %q", bench))
+		return
+	}
+	sort.Ints(ks)
+	k := ks[0]
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		v, err := strconv.Atoi(kq)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "malformed k")
+			return
+		}
+		k = v
+	} else if len(ks) > 1 {
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("fleet profiles exist at degrees %v; select one with ?k=", ks))
+		return
+	}
+	snap, ok := s.fleet[fleetKey{bench: bench, k: k}]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no fleet profile for %q at k=%d", bench, k))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	snap.Encode(w) //nolint:errcheck // client went away
+}
+
+// pipelineFor builds (at most once per program) the pipeline of a job's
+// program. Benchmarks key by name; ad-hoc sources by content hash.
+func (s *Server) pipelineFor(req JobRequest) (*pipeline.Pipeline, error) {
+	key := "bench:" + req.Benchmark
+	if req.Benchmark == "" {
+		sum := sha256.Sum256([]byte(req.Source))
+		key = "src:" + hex.EncodeToString(sum[:])
+	}
+	s.pipesMu.Lock()
+	e := s.pipes[key]
+	if e == nil {
+		e = &pipeEntry{}
+		s.pipes[key] = e
+	}
+	s.pipesMu.Unlock()
+	e.once.Do(func() {
+		opts := pipeline.Options{Store: s.cfg.Store, Engine: pipeline.EngineVM, Pool: s.pool()}
+		if req.Benchmark != "" {
+			b := workload.ByName(req.Benchmark)
+			prog, err := b.Compile()
+			if err != nil {
+				e.err = err
+				return
+			}
+			e.p, e.err = pipeline.New(prog, opts)
+			return
+		}
+		e.p, e.err = pipeline.Compile(req.Source, opts)
+	})
+	return e.p, e.err
+}
+
+func (s *Server) pool() *pipeline.Pool {
+	if s.cfg.Pool != nil {
+		return s.cfg.Pool
+	}
+	return pipeline.Shared()
+}
+
+// runJob executes one job end to end: resolve the program's pipeline, fan
+// the shards out over the worker pool, merge the shard snapshots, estimate
+// flows over the merged profile, and fold the snapshot into the fleet
+// profile of the job's benchmark.
+func (s *Server) runJob(j *job) {
+	s.metrics.jobsInFlight.Add(1)
+	defer s.metrics.jobsInFlight.Add(-1)
+	j.mu.Lock()
+	j.state = "running"
+	j.mu.Unlock()
+	defer close(j.done)
+
+	ctx, cancel := context.WithTimeout(s.runCtx, s.cfg.JobTimeout)
+	defer cancel()
+
+	fail := func(msg string) {
+		j.mu.Lock()
+		j.state = "failed"
+		j.errors = append(j.errors, ShardError{Shard: -1, Error: msg})
+		j.mu.Unlock()
+		s.metrics.jobsFailed.Add(1)
+	}
+
+	p, err := s.pipelineFor(j.req)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	k := j.req.K
+	if max := p.Info.MaxDegree(); k > max {
+		k = max
+	}
+	cfg := instrument.Config{K: k, Loops: k >= 0, Interproc: k >= 0}
+
+	// Fan the shards out; each holds one pool slot while executing. Shard
+	// errors carry the shard index both structurally (ShardError.Shard)
+	// and in the wrapped error text, so a step-limit blowup in shard 7 of
+	// 32 is attributable at a glance.
+	type shardOut struct {
+		snap  *merge.Snapshot
+		steps int64
+		err   error
+	}
+	outs := make([]shardOut, j.req.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < j.req.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			perr := s.pool().DoCtx(ctx, func() {
+				run, rerr := p.ExecuteStore(pipeline.EngineVM, cfg, j.req.Seed+uint64(i), nil,
+					profile.NewStore(s.cfg.Store, p.Info), s.cfg.MaxSteps)
+				s.metrics.shardsRun.Add(1)
+				if rerr != nil {
+					outs[i].err = fmt.Errorf("shard %d: %w", i, rerr)
+					return
+				}
+				outs[i].snap = merge.New(k, run.Counters)
+				outs[i].steps = run.Steps
+			})
+			if perr != nil {
+				outs[i].err = fmt.Errorf("shard %d: %w", i, perr)
+			}
+			j.mu.Lock()
+			j.shardsDone++
+			j.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	var snaps []*merge.Snapshot
+	var steps int64
+	var shardErrs []ShardError
+	for i, o := range outs {
+		if o.err != nil {
+			shardErrs = append(shardErrs, ShardError{Shard: i, Error: o.err.Error()})
+			continue
+		}
+		snaps = append(snaps, o.snap)
+		steps += o.steps
+	}
+	if len(shardErrs) > 0 {
+		s.metrics.shardErrors.Add(int64(len(shardErrs)))
+		j.mu.Lock()
+		j.state = "failed"
+		j.errors = append(j.errors, shardErrs...)
+		j.mu.Unlock()
+		s.metrics.jobsFailed.Add(1)
+		return
+	}
+
+	mergeStart := time.Now()
+	snap, err := merge.MergeAll(snaps...)
+	mergeNs := time.Since(mergeStart).Nanoseconds()
+	if err != nil {
+		fail("merging shard snapshots: " + err.Error())
+		return
+	}
+	s.metrics.merges.Add(1)
+	s.metrics.mergeNs.Add(mergeNs)
+
+	pe, err := core.FromPipeline(p).EstimateMode(core.RunFromCounters(k, snap.Counters), estimate.Paper)
+	if err != nil {
+		fail("estimating flows: " + err.Error())
+		return
+	}
+	vars, exact := pe.Counts()
+	res := &JobResult{
+		Funcs: snap.NumFuncs, MaxDegree: p.Info.MaxDegree(), K: k,
+		Steps: steps, Mass: snap.Mass(), MergeNs: mergeNs,
+		Definite: pe.Definite(), Potential: pe.Potential(),
+		Vars: vars, Exact: exact, Skipped: pe.Skipped,
+	}
+
+	if j.req.Benchmark != "" {
+		s.fleetMu.Lock()
+		key := fleetKey{bench: j.req.Benchmark, k: k}
+		if f := s.fleet[key]; f == nil {
+			s.fleet[key] = snap.Clone()
+		} else {
+			f.Merge(snap) //nolint:errcheck // same benchmark+k is compatible by construction
+		}
+		s.fleetMu.Unlock()
+	}
+
+	j.mu.Lock()
+	j.state = "done"
+	j.result = res
+	j.snap = snap
+	j.mu.Unlock()
+	s.metrics.jobsCompleted.Add(1)
+}

@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{40, 10, 20, 30} // deliberately unsorted
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {-5, 10}, {150, 40},
+		{50, 25},   // midpoint interpolates
+		{25, 17.5}, // rank 0.75 between 10 and 20
+		{75, 32.5},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Percentile(xs, %v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil, 50) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single element: got %v, want 7", got)
+	}
+	if xs[0] != 40 {
+		t.Error("Percentile mutated its input")
+	}
+}
