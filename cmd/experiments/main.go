@@ -29,6 +29,7 @@ import (
 
 	"pathprof/internal/estimate"
 	"pathprof/internal/experiments"
+	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/stats"
@@ -55,6 +56,7 @@ func run() error {
 		benchN    = flag.Int("bench-n", 0, "iterations per microbenchmark cell (0 = default)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to FILE")
 		memProf   = flag.String("memprofile", "", "write a heap profile to FILE at exit")
+		doTrace   = flag.Bool("trace", false, "render a span tree of the collection sweep to stderr")
 	)
 	flag.Parse()
 
@@ -137,9 +139,19 @@ func run() error {
 	}
 
 	fmt.Fprintf(os.Stderr, "collecting %d benchmark(s), sweeping every overlap degree...\n", len(benches))
+	root := obs.NewSpan("experiments")
+	defer func() {
+		root.End()
+		if *doTrace {
+			fmt.Fprint(os.Stderr, obs.Render(root.Tree()))
+		}
+	}()
 	var runs []*experiments.BenchRun
 	for _, b := range benches {
+		collectSpan := root.Child("collect")
+		collectSpan.SetAttr("bench", b.Name)
 		br, err := experiments.Collect(b)
+		collectSpan.End()
 		if err != nil {
 			return err
 		}

@@ -40,6 +40,7 @@ import (
 	"pathprof/internal/estimate"
 	"pathprof/internal/instrument"
 	"pathprof/internal/merge"
+	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/stats"
@@ -111,6 +112,7 @@ func run() error {
 		storeNm  = flag.String("store", "nested", "counter store layout: nested, flat, or arena")
 		engNm    = flag.String("engine", "vm", "execution engine: vm (bytecode, fused probes) or tree (reference interpreter)")
 		mergeOut = flag.String("merge", "", "fold the profile FILEs given as arguments into OUT and exit")
+		doTrace  = flag.Bool("trace", false, "render a span tree of the run's stages to stderr")
 	)
 	flag.Parse()
 
@@ -129,11 +131,24 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown -engine %q", *engNm)
 	}
+	// The span tree is always built (spans are two timestamps and a mutex)
+	// and rendered only under -trace, keeping the stage timings out of the
+	// control flow.
+	root := obs.NewSpan("pathprof")
+	defer func() {
+		root.End()
+		if *doTrace {
+			fmt.Fprint(os.Stderr, obs.Render(root.Tree()))
+		}
+	}()
+
 	src, err := os.ReadFile(*srcPath)
 	if err != nil {
 		return err
 	}
+	compileSpan := root.Child("compile")
 	s, err := core.OpenOptions(string(src), pipeline.Options{Store: store, Engine: eng})
+	compileSpan.End()
 	if err != nil {
 		return err
 	}
@@ -187,11 +202,14 @@ func run() error {
 		}
 		fmt.Printf("loaded counters from %s (profile degree k=%d)\n", *loadProf, runRes.K)
 	} else if *hot > 0 || *doEst || *pairs >= 0 || *ovh || *saveProf != "" {
+		profSpan := root.Child("profile")
+		profSpan.SetAttr("k", fmt.Sprint(*k))
 		if *k < 0 {
 			runRes, err = s.ProfileBL(*seed)
 		} else {
 			runRes, err = s.ProfileOL(*seed, *k)
 		}
+		profSpan.End()
 		if err != nil {
 			return err
 		}
@@ -228,7 +246,9 @@ func run() error {
 
 	var pe *core.ProgramEstimate
 	if *doEst || *pairs >= 0 {
+		estSpan := root.Child("estimate")
 		pe, err = s.EstimateMode(runRes, mode)
+		estSpan.End()
 		if err != nil {
 			return err
 		}
@@ -247,7 +267,9 @@ func run() error {
 	}
 
 	if *attr || *wpp {
+		traceSpan := root.Child("trace")
 		tr, err := s.Trace(*seed)
+		traceSpan.End()
 		if err != nil {
 			return err
 		}

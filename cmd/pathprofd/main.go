@@ -6,6 +6,10 @@
 // SIGTERM/SIGINT triggers a graceful drain: new jobs are refused with 503,
 // every already-accepted job completes and folds into its fleet profile, and
 // only then does the listener shut down.
+//
+// Observability (DESIGN.md §12, docs/OPERATIONS.md): structured logs go to
+// stderr at -log-level; -debug-addr starts a second, private listener
+// serving /debug/pprof/ for live CPU/heap/goroutine profiling.
 package main
 
 import (
@@ -13,17 +17,34 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/server"
 )
+
+// parseLevel maps a -log-level flag value to a slog level.
+func parseLevel(s string) (slog.Level, bool) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return 0, false
+}
 
 func main() {
 	addr := flag.String("addr", "localhost:7422", "listen address")
@@ -36,6 +57,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job wall-clock budget")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-HTTP-request handler budget")
 	drainWait := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error")
+	debugAddr := flag.String("debug-addr", "", "private /debug/pprof listener address (empty = disabled)")
 	flag.Parse()
 
 	store, ok := profile.ParseStoreKind(*storeNm)
@@ -43,6 +66,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pathprofd: unknown store %q (want nested|flat|arena)\n", *storeNm)
 		os.Exit(2)
 	}
+	level, ok := parseLevel(*logLevel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pathprofd: unknown log level %q (want debug|info|warn|error)\n", *logLevel)
+		os.Exit(2)
+	}
+	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	obs.SetLogger(lg) // pipeline/vm/merge debug events flow to the same stream
 	pipeline.SetParallelism(*parallel)
 
 	srv := server.New(server.Config{
@@ -52,8 +82,20 @@ func main() {
 		Store:      store,
 		MaxSteps:   *maxSteps,
 		JobTimeout: *jobTimeout,
+		Logger:     lg,
 	})
 	srv.Start()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				lg.Warn("debug.listener.failed", "addr", *debugAddr, "error", err.Error())
+			}
+		}()
+		defer dbg.Close()
+		lg.Info("debug.listening", "addr", *debugAddr)
+	}
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
@@ -66,24 +108,25 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("pathprofd: listening on %s (store=%s, queue=%d)", *addr, store, *queueCap)
+	lg.Info("listening", "addr", *addr, "store", store.String(), "queue", *queueCap)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("pathprofd: serve: %v", err)
+		lg.Error("serve.failed", "error", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("pathprofd: draining (up to %s)...", *drainWait)
+	lg.Info("draining", "timeout", drainWait.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
-		log.Printf("pathprofd: drain incomplete: %v", err)
+		lg.Warn("drain.incomplete", "error", err.Error())
 	} else {
-		log.Printf("pathprofd: drained cleanly")
+		lg.Info("drained")
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("pathprofd: http shutdown: %v", err)
+		lg.Warn("http.shutdown.failed", "error", err.Error())
 	}
 	srv.Close()
 }

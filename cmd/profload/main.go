@@ -63,4 +63,12 @@ func main() {
 	fmt.Printf("profload: %d/%d jobs done in %.2fs — %.1f jobs/s, p50 %.1fms p95 %.1fms p99 %.1fms (%d rejections retried)\n",
 		rep.Completed, rep.Jobs, rep.DurationSec, rep.JobsPerSec,
 		rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.Rejected)
+	for _, name := range server.HistogramMetricNames {
+		st, ok := rep.Stages[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("profload:   %-18s n=%-5d mean=%-10.2f p50=%-10.2f p95=%-10.2f p99=%.2f\n",
+			name, st.Count, st.Mean, st.P50, st.P95, st.P99)
+	}
 }

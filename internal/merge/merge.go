@@ -33,7 +33,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
+	"pathprof/internal/obs"
 	"pathprof/internal/profile"
 )
 
@@ -109,11 +111,20 @@ func MergeAll(snaps ...*Snapshot) (*Snapshot, error) {
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("merge: MergeAll of no snapshots")
 	}
+	var start time.Time
+	if obs.DebugEnabled() {
+		start = time.Now()
+	}
 	out := Empty(snaps[0].K, snaps[0].NumFuncs)
 	for _, s := range snaps {
 		if err := out.Merge(s); err != nil {
 			return nil, err
 		}
+	}
+	if !start.IsZero() {
+		obs.Logger().Debug("merge.fold",
+			"snapshots", len(snaps), "k", out.K, "mass", out.Mass(),
+			"elapsed_ms", time.Since(start).Milliseconds())
 	}
 	return out, nil
 }

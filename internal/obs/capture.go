@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+)
+
+// Entry is one log record captured by a CaptureHandler: the level, the
+// message, and every attribute flattened into a map (group names joined
+// with "." into the key).
+type Entry struct {
+	// Level is the record's severity.
+	Level slog.Level
+	// Message is the record's message — the stable event name tests and
+	// DESIGN.md §12 key on (e.g. "job.accepted").
+	Message string
+	// Attrs holds the record's attributes; values are resolved with
+	// slog.Value.Resolve then stored as-is.
+	Attrs map[string]any
+}
+
+// captureState is the buffer shared by a CaptureHandler and every
+// WithAttrs/WithGroup clone derived from it.
+type captureState struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// CaptureHandler is a slog.Handler that records every handled entry in
+// memory, in arrival order — the test-capturable handler behind the log
+// assertions in internal/server and the CLIs. Create with NewCapture; share
+// one across goroutines freely (clones made by WithAttrs/WithGroup record
+// into the same buffer).
+type CaptureHandler struct {
+	level slog.Level
+	state *captureState
+	// attrs are the handler-level attributes accumulated by WithAttrs,
+	// folded into every captured entry; groups prefix attribute keys.
+	attrs  []slog.Attr
+	groups []string
+}
+
+// NewCapture returns a CaptureHandler recording records at or above level.
+func NewCapture(level slog.Level) *CaptureHandler {
+	return &CaptureHandler{level: level, state: &captureState{}}
+}
+
+// Enabled implements slog.Handler.
+func (h *CaptureHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level
+}
+
+// Handle implements slog.Handler: the record is flattened into an Entry and
+// appended to the shared capture buffer.
+func (h *CaptureHandler) Handle(_ context.Context, r slog.Record) error {
+	e := Entry{Level: r.Level, Message: r.Message, Attrs: map[string]any{}}
+	for _, a := range h.attrs {
+		flattenAttr(e.Attrs, h.groups, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		flattenAttr(e.Attrs, h.groups, a)
+		return true
+	})
+	h.state.mu.Lock()
+	h.state.entries = append(h.state.entries, e)
+	h.state.mu.Unlock()
+	return nil
+}
+
+// WithAttrs implements slog.Handler; the clone records into the same buffer.
+func (h *CaptureHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	c := *h
+	c.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &c
+}
+
+// WithGroup implements slog.Handler; group names prefix attribute keys with
+// "name." in the flattened Attrs map.
+func (h *CaptureHandler) WithGroup(name string) slog.Handler {
+	c := *h
+	c.groups = append(append([]string(nil), h.groups...), name)
+	return &c
+}
+
+// flattenAttr folds a into attrs, joining group prefixes with ".".
+func flattenAttr(attrs map[string]any, groups []string, a slog.Attr) {
+	v := a.Value.Resolve()
+	key := a.Key
+	for i := len(groups) - 1; i >= 0; i-- {
+		key = groups[i] + "." + key
+	}
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			flattenAttr(attrs, append(groups, a.Key), ga)
+		}
+		return
+	}
+	attrs[key] = v.Any()
+}
+
+// Entries returns a copy of every captured entry in arrival order.
+func (h *CaptureHandler) Entries() []Entry {
+	h.state.mu.Lock()
+	defer h.state.mu.Unlock()
+	return append([]Entry(nil), h.state.entries...)
+}
+
+// Messages returns the captured messages in arrival order.
+func (h *CaptureHandler) Messages() []string {
+	entries := h.Entries()
+	msgs := make([]string, len(entries))
+	for i, e := range entries {
+		msgs[i] = e.Message
+	}
+	return msgs
+}
+
+// Reset discards everything captured so far.
+func (h *CaptureHandler) Reset() {
+	h.state.mu.Lock()
+	h.state.entries = nil
+	h.state.mu.Unlock()
+}

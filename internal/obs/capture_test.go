@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCaptureHandlerOrderAndAttrs(t *testing.T) {
+	h := NewCapture(slog.LevelDebug)
+	lg := slog.New(h)
+	lg.Info("job.accepted", "job_id", "j-1", "shards", 3)
+	lg.Debug("pipeline.execute", "engine", "vm")
+	lg.With("job_id", "j-1").Warn("job.failed", "error", "boom")
+
+	entries := h.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("captured %d entries, want 3", len(entries))
+	}
+	if got := h.Messages(); strings.Join(got, ",") != "job.accepted,pipeline.execute,job.failed" {
+		t.Fatalf("messages out of order: %v", got)
+	}
+	if entries[0].Attrs["job_id"] != "j-1" || entries[0].Attrs["shards"] != int64(3) {
+		t.Fatalf("attrs not captured: %v", entries[0].Attrs)
+	}
+	if entries[0].Level != slog.LevelInfo || entries[1].Level != slog.LevelDebug {
+		t.Fatal("levels not captured")
+	}
+	// With-attrs fold into derived handlers' entries.
+	if entries[2].Attrs["job_id"] != "j-1" || entries[2].Attrs["error"] != "boom" {
+		t.Fatalf("WithAttrs entry attrs: %v", entries[2].Attrs)
+	}
+
+	// Group keys flatten with a dot.
+	lg.WithGroup("job").Info("grouped", "id", "j-2")
+	entries = h.Entries()
+	if entries[3].Attrs["job.id"] != "j-2" {
+		t.Fatalf("group key not flattened: %v", entries[3].Attrs)
+	}
+
+	h.Reset()
+	if len(h.Entries()) != 0 {
+		t.Fatal("Reset left entries behind")
+	}
+}
+
+func TestCaptureHandlerLevelFilter(t *testing.T) {
+	h := NewCapture(slog.LevelInfo)
+	lg := slog.New(h)
+	lg.Debug("dropped")
+	lg.Info("kept")
+	if got := h.Messages(); len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("level filter broken: %v", got)
+	}
+}
+
+func TestDefaultLoggerDiscardsAndSetLogger(t *testing.T) {
+	SetLogger(nil) // restore the discarding default
+	if DebugEnabled() {
+		t.Fatal("default logger accepts Debug")
+	}
+	Logger().Info("goes nowhere") // must not panic
+
+	h := NewCapture(slog.LevelDebug)
+	SetLogger(slog.New(h))
+	defer SetLogger(nil)
+	if !DebugEnabled() {
+		t.Fatal("DebugEnabled false after installing a debug capture")
+	}
+	Logger().Debug("seen")
+	if got := h.Messages(); len(got) != 1 || got[0] != "seen" {
+		t.Fatalf("installed logger not used: %v", got)
+	}
+}
+
+func TestDebugMuxServesPprof(t *testing.T) {
+	ts := httptest.NewServer(DebugMux())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns a mux serving the net/http/pprof handlers under
+// /debug/pprof/ — the opt-in debug surface pathprofd exposes behind
+// -debug-addr. Registering explicitly (instead of importing net/http/pprof
+// for its side effect) keeps http.DefaultServeMux untouched, so production
+// listeners never leak profiling endpoints by accident.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefLatencyBoundsMs is the standard bucket-boundary ladder for latency
+// histograms, in milliseconds. Boundaries are upper bounds: bucket i counts
+// observations in (bounds[i-1], bounds[i]], the first bucket starts at 0,
+// and one implicit overflow bucket catches everything above the last
+// boundary. The ladder is roughly geometric (×2/×2.5 steps) from 0.25 ms to
+// 1 min, matching the range a profiling job's stages span — from
+// sub-millisecond merges to multi-second sharded executions.
+var DefLatencyBoundsMs = []float64{
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000,
+}
+
+// DefSizeBoundsBytes is the standard bucket-boundary ladder for size
+// histograms, in bytes: powers of four from 256 B to 1 GiB.
+var DefSizeBoundsBytes = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
+// Histogram is a fixed-boundary counting histogram safe for concurrent
+// Observe calls: one atomic bucket counter per boundary plus an overflow
+// bucket, an atomic total count, and an atomic sum. Boundaries are fixed at
+// construction, which is what keeps snapshots mergeable across processes
+// and runs — two histograms built from the same boundary ladder always
+// merge bucket-for-bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending upper-bound
+// ladder. The boundary slice is copied; it must be strictly ascending and
+// non-empty or NewHistogram panics (boundaries are compile-time constants
+// in every caller, so a bad ladder is a programming error).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one boundary")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram boundaries not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Negative values clamp into the first bucket.
+// Lock-free: one binary search plus three atomic adds.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram — the JSON shape
+// /metrics serves. Counts has one entry per boundary plus a final overflow
+// entry; P50/P95/P99 are precomputed Quantile estimates so downstream
+// consumers (the load generator, BENCH_server.json) need no bucket math.
+type HistogramSnapshot struct {
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// Sum is the sum of every observed value.
+	Sum float64 `json:"sum"`
+	// Bounds is the boundary ladder the histogram was built over.
+	Bounds []float64 `json:"bounds"`
+	// Counts holds per-bucket observation counts; len(Bounds)+1 entries,
+	// the last counting observations above the final boundary.
+	Counts []uint64 `json:"counts"`
+	// P50, P95, P99 are precomputed quantile estimates (see Quantile).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Snapshot copies the histogram's current state and precomputes the
+// standard quantiles. Concurrent Observe calls may land between bucket
+// reads; each snapshot is internally consistent to within those in-flight
+// observations.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	// Derive Count from the buckets rather than the count atomic so the
+	// quantile walk never chases a total the buckets don't yet hold.
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.P50 = s.Quantile(50)
+	s.P95 = s.Quantile(95)
+	s.P99 = s.Quantile(99)
+	return s
+}
+
+// Quantile estimates the p-th percentile (0..100) by locating the bucket
+// holding the target rank (the same fractional rank convention as
+// stats.Percentile: rank = p/100·(n−1)) and interpolating linearly inside
+// it. The estimate lands in the bucket of the rank's upper order statistic,
+// and the exact (interpolated) percentile lies between that order statistic
+// and the previous one — so on data with no empty-bucket gap at the
+// percentile, the estimation error is bounded by the width of that bucket
+// plus its lower neighbor (asserted against stats.Percentile in the
+// package tests). Ranks falling in the overflow bucket clamp to the final
+// boundary. An empty snapshot yields 0.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := p / 100 * float64(s.Count-1)
+	if rank < 0 {
+		rank = 0
+	}
+	cum := 0.0
+	lo := 0.0
+	for i, c := range s.Counts {
+		hi := math.Inf(1)
+		if i < len(s.Bounds) {
+			hi = s.Bounds[i]
+		}
+		if c > 0 {
+			if rank <= cum+float64(c)-1 {
+				if math.IsInf(hi, 1) {
+					// Overflow bucket: no upper edge to interpolate
+					// toward — report the last finite boundary.
+					return lo
+				}
+				frac := (rank - cum + 1) / float64(c)
+				return lo + frac*(hi-lo)
+			}
+			cum += float64(c)
+		}
+		lo = hi
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Merge folds o into a new snapshot: per-bucket counts and sums add, and
+// the quantiles are recomputed over the union — the operation that lets
+// per-shard or per-replica histograms aggregate exactly (bucket counting is
+// associative and commutative). Snapshots over different boundary ladders
+// refuse to merge.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(s.Bounds) == 0 {
+		return o, nil
+	}
+	if len(o.Bounds) == 0 {
+		return s, nil
+	}
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with %d vs %d boundaries", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("obs: merging histograms with different boundary %d: %v vs %v", i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	out := HistogramSnapshot{
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]uint64, len(s.Counts)),
+	}
+	for i := range out.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	out.P50 = out.Quantile(50)
+	out.P95 = out.Quantile(95)
+	out.P99 = out.Quantile(99)
+	return out, nil
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

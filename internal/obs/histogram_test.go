@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pathprof/internal/stats"
+)
+
+func TestHistogramBoundaryAssignment(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{-5, 0},   // negative clamps into the first bucket
+		{0, 0},    // lower edge
+		{1, 0},    // boundaries are inclusive upper bounds
+		{1.01, 1}, // just past a boundary
+		{10, 1},
+		{99.9, 2},
+		{100, 2},
+		{100.1, 3}, // overflow bucket
+		{1e12, 3},
+	}
+	for _, tc := range cases {
+		h := NewHistogram([]float64{1, 10, 100})
+		h.Observe(tc.v)
+		s := h.Snapshot()
+		for i, c := range s.Counts {
+			want := uint64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("Observe(%v): bucket %d count %d, want value in bucket %d", tc.v, i, c, tc.bucket)
+			}
+		}
+	}
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 555.5 {
+		t.Fatalf("count=%d sum=%v, want 4 / 555.5", s.Count, s.Sum)
+	}
+	for i, want := range []uint64{1, 1, 1, 1} {
+		if s.Counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], want, s.Counts)
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 40))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count=%d, want %d", s.Count, workers*per)
+	}
+	var want float64
+	for i := 0; i < per; i++ {
+		want += float64(i % 40)
+	}
+	want *= workers
+	if math.Abs(s.Sum-want) > 1e-6 {
+		t.Fatalf("sum=%v, want %v", s.Sum, want)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a, b := NewHistogram([]float64{1, 10}), NewHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{0.7, 7} {
+		b.Observe(v)
+	}
+	m, err := a.Snapshot().Merge(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 5 || math.Abs(m.Sum-63.2) > 1e-9 {
+		t.Fatalf("merged count=%d sum=%v", m.Count, m.Sum)
+	}
+	for i, want := range []uint64{2, 2, 1} {
+		if m.Counts[i] != want {
+			t.Fatalf("merged bucket %d = %d, want %d", i, m.Counts[i], want)
+		}
+	}
+
+	// Identity: merging an empty (zero-value) snapshot is a no-op.
+	id, err := a.Snapshot().Merge(HistogramSnapshot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Count != 3 {
+		t.Fatalf("identity merge count=%d, want 3", id.Count)
+	}
+
+	// Mismatched ladders refuse.
+	c := NewHistogram([]float64{2, 10})
+	if _, err := a.Snapshot().Merge(c.Snapshot()); err == nil {
+		t.Fatal("merge across different boundary ladders did not error")
+	}
+	d := NewHistogram([]float64{1, 10, 100})
+	if _, err := a.Snapshot().Merge(d.Snapshot()); err == nil {
+		t.Fatal("merge across different ladder lengths did not error")
+	}
+}
+
+// TestQuantileErrorBound pins the documented estimation guarantee: on data
+// with every bucket around the percentile populated, the histogram quantile
+// differs from the exact stats.Percentile by at most the width of the
+// bucket holding the rank's order statistic plus its lower neighbor.
+func TestQuantileErrorBound(t *testing.T) {
+	bounds := []float64{5, 10, 25, 50, 100, 250, 500, 1000}
+	// width around value v: the enclosing bucket plus its lower neighbor.
+	localWidth := func(v float64) float64 {
+		lo, prev := 0.0, 0.0
+		for _, b := range bounds {
+			if v <= b {
+				return (b - lo) + (lo - prev)
+			}
+			prev = lo
+			lo = b
+		}
+		return lo - prev
+	}
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() float64{
+		"uniform":     func() float64 { return rng.Float64() * 1000 },
+		"exponential": func() float64 { return math.Min(rng.ExpFloat64()*120, 999) },
+		"bimodal": func() float64 {
+			if rng.Intn(2) == 0 {
+				return 5 + rng.Float64()*20
+			}
+			return 300 + rng.Float64()*300
+		},
+	}
+	for name, draw := range distributions {
+		h := NewHistogram(bounds)
+		xs := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := draw()
+			xs = append(xs, v)
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9} {
+			exact := stats.Percentile(xs, p)
+			est := s.Quantile(p)
+			if tol := localWidth(exact); math.Abs(est-exact) > tol {
+				t.Errorf("%s p%v: estimate %v vs exact %v exceeds local bucket tolerance %v",
+					name, p, est, exact, tol)
+			}
+		}
+		// The precomputed fields match Quantile.
+		if s.P50 != s.Quantile(50) || s.P95 != s.Quantile(95) || s.P99 != s.Quantile(99) {
+			t.Errorf("%s: precomputed quantiles diverge from Quantile()", name)
+		}
+		// Quantiles are monotone in p.
+		prev := -1.0
+		for p := 0.0; p <= 100; p += 2.5 {
+			q := s.Quantile(p)
+			if q < prev {
+				t.Fatalf("%s: Quantile not monotone at p=%v: %v < %v", name, p, q, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if empty.Quantile(50) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean not 0")
+	}
+	h := NewHistogram([]float64{10, 20})
+	h.Observe(1e9) // overflow-only data clamps to the final boundary
+	if q := h.Snapshot().Quantile(50); q != 20 {
+		t.Fatalf("overflow-only quantile = %v, want clamp to 20", q)
+	}
+	h2 := NewHistogram([]float64{10, 20})
+	h2.Observe(4)
+	if q := h2.Snapshot().Quantile(0); q < 0 || q > 10 {
+		t.Fatalf("single-observation p0 = %v, want within first bucket", q)
+	}
+	if m := h2.Snapshot().Mean(); m != 4 {
+		t.Fatalf("mean = %v, want 4", m)
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("job")
+	q := root.Child("queue")
+	time.Sleep(2 * time.Millisecond)
+	q.End()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := root.Child("shard")
+			sh.SetAttr("shard", string(rune('0'+i)))
+			ex := sh.Child("execute")
+			time.Sleep(time.Millisecond)
+			ex.End()
+			sh.End()
+		}(i)
+	}
+	wg.Wait()
+	m := root.Child("merge")
+	m.End()
+	root.End()
+
+	n := root.Tree()
+	if n.Name != "job" || n.Open {
+		t.Fatalf("root node %+v", n)
+	}
+	if len(n.Children) != 5 {
+		t.Fatalf("root has %d children, want 5", len(n.Children))
+	}
+	if n.Children[0].Name != "queue" {
+		t.Fatalf("children not in start order: %v", n.Children[0].Name)
+	}
+	names := map[string]int{}
+	Walk(n, func(node *SpanNode, depth int) {
+		names[node.Name]++
+		if node.StartNs < 0 {
+			t.Fatalf("span %s starts before root: %d", node.Name, node.StartNs)
+		}
+		if node.DurationNs < 0 {
+			t.Fatalf("span %s has negative duration", node.Name)
+		}
+		if node.StartNs+node.DurationNs > n.DurationNs {
+			t.Fatalf("span %s (%d+%d) extends past root end %d",
+				node.Name, node.StartNs, node.DurationNs, n.DurationNs)
+		}
+	})
+	if names["shard"] != 3 || names["execute"] != 3 || names["queue"] != 1 || names["merge"] != 1 {
+		t.Fatalf("span census wrong: %v", names)
+	}
+	if q.Duration() < 2*time.Millisecond {
+		t.Fatalf("queue duration %v < slept 2ms", q.Duration())
+	}
+
+	// End is idempotent: a second End doesn't move the recorded end time.
+	d := q.Duration()
+	q.End()
+	if q.Duration() != d {
+		t.Fatal("second End moved the span's end")
+	}
+
+	// The tree serializes to JSON with the documented field names.
+	raw, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"name"`, `"start_ns"`, `"duration_ns"`, `"children"`, `"attrs"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("serialized tree missing %s: %s", key, raw)
+		}
+	}
+}
+
+func TestSpanOpenAndRender(t *testing.T) {
+	root := NewSpan("job")
+	c := root.Child("queue")
+	n := root.Tree()
+	if !n.Open || !n.Children[0].Open {
+		t.Fatalf("unfinished spans not marked open: %+v", n)
+	}
+	c.SetAttr("k", "2")
+	c.End()
+	root.End()
+	text := Render(root.Tree())
+	if !strings.Contains(text, "job") || !strings.Contains(text, "queue") {
+		t.Fatalf("render missing span names:\n%s", text)
+	}
+	if !strings.Contains(text, "{k=2}") {
+		t.Fatalf("render missing attrs:\n%s", text)
+	}
+	if !strings.Contains(text, "  queue") {
+		t.Fatalf("render not indented by depth:\n%s", text)
+	}
+}

@@ -15,11 +15,13 @@ package pipeline
 import (
 	"io"
 	"sync"
+	"time"
 
 	"pathprof/internal/instrument"
 	"pathprof/internal/interp"
 	"pathprof/internal/ir"
 	"pathprof/internal/lang"
+	"pathprof/internal/obs"
 	"pathprof/internal/overhead"
 	"pathprof/internal/profile"
 	"pathprof/internal/trace"
@@ -169,8 +171,24 @@ func (p *Pipeline) Plan(cfg instrument.Config) (*instrument.Plan, error) {
 		p.plans[key] = e
 	}
 	p.mu.Unlock()
-	e.once.Do(func() { e.plan, e.err = instrument.BuildPlan(p.Info, cfg) })
+	e.once.Do(func() {
+		start := time.Now()
+		e.plan, e.err = instrument.BuildPlan(p.Info, cfg)
+		if obs.DebugEnabled() {
+			obs.Logger().Debug("pipeline.plan",
+				"k", cfg.K, "loops", cfg.Loops, "interproc", cfg.Interproc,
+				"elapsed_ms", time.Since(start).Milliseconds(), "err", errString(e.err))
+		}
+	})
 	return e.plan, e.err
+}
+
+// errString renders an error for a log attr without panicking on nil.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Code returns the compiled bytecode (with cfg's probes fused in) for the
@@ -190,7 +208,14 @@ func (p *Pipeline) Code(cfg instrument.Config) (*vm.Program, error) {
 		p.codes[key] = e
 	}
 	p.mu.Unlock()
-	e.once.Do(func() { e.code, e.err = vm.Compile(p.Prog, plan) })
+	e.once.Do(func() {
+		start := time.Now()
+		e.code, e.err = vm.Compile(p.Prog, plan)
+		if obs.DebugEnabled() {
+			obs.Logger().Debug("pipeline.code",
+				"k", cfg.K, "elapsed_ms", time.Since(start).Milliseconds(), "err", errString(e.err))
+		}
+	})
 	return e.code, e.err
 }
 
@@ -250,8 +275,14 @@ func (p *Pipeline) ExecuteStore(eng Engine, cfg instrument.Config, seed uint64, 
 		if maxSteps > 0 {
 			m.MaxSteps = maxSteps
 		}
+		start := time.Now()
 		if err := m.Run(store); err != nil {
 			return nil, err
+		}
+		if obs.DebugEnabled() {
+			obs.Logger().Debug("pipeline.execute",
+				"engine", eng.String(), "k", cfg.K, "seed", seed,
+				"steps", m.Steps, "elapsed_ms", time.Since(start).Milliseconds())
 		}
 		return &Run{
 			K:         cfg.K,
@@ -275,11 +306,17 @@ func (p *Pipeline) ExecuteStore(eng Engine, cfg instrument.Config, seed uint64, 
 		m.MaxSteps = maxSteps
 	}
 	rt := plan.Attach(m, store)
+	start := time.Now()
 	if err := m.Run(); err != nil {
 		return nil, err
 	}
 	if rt.Err != nil {
 		return nil, rt.Err
+	}
+	if obs.DebugEnabled() {
+		obs.Logger().Debug("pipeline.execute",
+			"engine", eng.String(), "k", cfg.K, "seed", seed,
+			"steps", m.Steps, "elapsed_ms", time.Since(start).Milliseconds())
 	}
 	return &Run{
 		K:         cfg.K,

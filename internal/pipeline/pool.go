@@ -4,6 +4,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
+
+	"pathprof/internal/obs"
 )
 
 // Pool bounds the number of heavy pipeline stages (instrumented runs,
@@ -46,10 +49,18 @@ func (p *Pool) Do(fn func()) {
 // a server's per-job timeout needs to control), not execution, which the
 // engines bound with their own step limits.
 func (p *Pool) DoCtx(ctx context.Context, fn func()) error {
+	var start time.Time
+	if obs.DebugEnabled() {
+		start = time.Now()
+	}
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	if !start.IsZero() {
+		obs.Logger().Debug("pool.wait",
+			"wait_ms", time.Since(start).Milliseconds(), "slots", cap(p.sem))
 	}
 	defer func() { <-p.sem }()
 	fn()

@@ -139,6 +139,8 @@ func NewArenaStore(info *Info) *ArenaStore {
 	return s
 }
 
+// IncBL counts one completion of fn's Ball-Larus path, dense when the
+// function has an array, the sparse overflow map otherwise.
 func (s *ArenaStore) IncBL(fn int, path int64) {
 	s.cached = nil
 	if d := s.dense[fn]; d != nil && path >= 0 && path < int64(len(d)) {
@@ -153,6 +155,8 @@ func (s *ArenaStore) IncBL(fn int, path int64) {
 	m[path]++
 }
 
+// IncLoop counts one loop-crossing path, in the loop's perfect slot
+// mapping when the key is in range, the overflow map otherwise.
 func (s *ArenaStore) IncLoop(k LoopKey) {
 	s.cached = nil
 	if k.Func >= 0 && k.Func < len(s.loops) && k.Loop >= 0 && k.Loop < len(s.loops[k.Func]) {
@@ -169,6 +173,8 @@ func (s *ArenaStore) IncLoop(k LoopKey) {
 	s.loopOv[k]++
 }
 
+// IncTypeI counts one Type I path, in the call site's arena when the key
+// is in range, the overflow map otherwise.
 func (s *ArenaStore) IncTypeI(k TypeIKey) {
 	s.cached = nil
 	if k.Caller >= 0 && k.Caller < len(s.typeI) && k.Site >= 0 && k.Site < len(s.typeI[k.Caller]) {
@@ -181,6 +187,8 @@ func (s *ArenaStore) IncTypeI(k TypeIKey) {
 	s.typeIOv[k]++
 }
 
+// IncTypeII counts one Type II path, in the call site's arena when the
+// key is in range, the overflow map otherwise.
 func (s *ArenaStore) IncTypeII(k TypeIIKey) {
 	s.cached = nil
 	if k.Caller >= 0 && k.Caller < len(s.typeII) && k.Site >= 0 && k.Site < len(s.typeII[k.Caller]) {
@@ -193,6 +201,7 @@ func (s *ArenaStore) IncTypeII(k TypeIIKey) {
 	s.typeIIOv[k]++
 }
 
+// IncCall counts one call-site transition, dense when in range.
 func (s *ArenaStore) IncCall(k CallKey) {
 	s.cached = nil
 	if k.Caller >= 0 && k.Caller < len(s.calls) && k.Site >= 0 && k.Site < len(s.calls[k.Caller]) &&
@@ -203,6 +212,7 @@ func (s *ArenaStore) IncCall(k CallKey) {
 	s.callsOv[k]++
 }
 
+// AddBL folds n completions of fn's Ball-Larus path in, saturating.
 func (s *ArenaStore) AddBL(fn int, path int64, n uint64) {
 	s.cached = nil
 	if d := s.dense[fn]; d != nil && path >= 0 && path < int64(len(d)) {
@@ -217,6 +227,7 @@ func (s *ArenaStore) AddBL(fn int, path int64, n uint64) {
 	m[path] = SatAdd(m[path], n)
 }
 
+// AddLoop folds n loop-path completions in, saturating.
 func (s *ArenaStore) AddLoop(k LoopKey, n uint64) {
 	s.cached = nil
 	if k.Func >= 0 && k.Func < len(s.loops) && k.Loop >= 0 && k.Loop < len(s.loops[k.Func]) {
@@ -233,6 +244,7 @@ func (s *ArenaStore) AddLoop(k LoopKey, n uint64) {
 	s.loopOv[k] = SatAdd(s.loopOv[k], n)
 }
 
+// AddTypeI folds n Type I path completions in, saturating.
 func (s *ArenaStore) AddTypeI(k TypeIKey, n uint64) {
 	s.cached = nil
 	if k.Caller >= 0 && k.Caller < len(s.typeI) && k.Site >= 0 && k.Site < len(s.typeI[k.Caller]) {
@@ -246,6 +258,7 @@ func (s *ArenaStore) AddTypeI(k TypeIKey, n uint64) {
 	s.typeIOv[k] = SatAdd(s.typeIOv[k], n)
 }
 
+// AddTypeII folds n Type II path completions in, saturating.
 func (s *ArenaStore) AddTypeII(k TypeIIKey, n uint64) {
 	s.cached = nil
 	if k.Caller >= 0 && k.Caller < len(s.typeII) && k.Site >= 0 && k.Site < len(s.typeII[k.Caller]) {
@@ -259,6 +272,7 @@ func (s *ArenaStore) AddTypeII(k TypeIIKey, n uint64) {
 	s.typeIIOv[k] = SatAdd(s.typeIIOv[k], n)
 }
 
+// AddCall folds n call-site transitions in, saturating.
 func (s *ArenaStore) AddCall(k CallKey, n uint64) {
 	s.cached = nil
 	if k.Caller >= 0 && k.Caller < len(s.calls) && k.Site >= 0 && k.Site < len(s.calls[k.Caller]) &&

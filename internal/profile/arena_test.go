@@ -59,10 +59,10 @@ func TestArenaStoreMatchesNested(t *testing.T) {
 		{Func: 0, Loop: 0, Base: 0, Ext: 0, Full: true},
 		{Func: 0, Loop: 0, Base: 0, Ext: 0, Full: false},
 		{Func: 0, Loop: 0, Base: 1, Ext: 1, Full: true},
-		{Func: 0, Loop: 0, Base: -1, Ext: 0, Full: true},   // overflow: negative base
-		{Func: 0, Loop: 0, Base: 1 << 40, Ext: 0},          // overflow: huge base
-		{Func: 0, Loop: 99, Base: 0, Ext: 0},               // overflow: no such loop
-		{Func: 7, Loop: 0, Base: 0, Ext: 0},                // overflow: no such func
+		{Func: 0, Loop: 0, Base: -1, Ext: 0, Full: true}, // overflow: negative base
+		{Func: 0, Loop: 0, Base: 1 << 40, Ext: 0},        // overflow: huge base
+		{Func: 0, Loop: 99, Base: 0, Ext: 0},             // overflow: no such loop
+		{Func: 7, Loop: 0, Base: 0, Ext: 0},              // overflow: no such func
 	}
 	keysI := []profile.TypeIKey{
 		{Caller: 1, Site: 0, Callee: 0, Prefix: 0, Ext: 0},
@@ -72,7 +72,7 @@ func TestArenaStoreMatchesNested(t *testing.T) {
 	}
 	keysII := []profile.TypeIIKey{
 		{Caller: 1, Site: 0, Callee: 0, Path: 0, Ext: 0},
-		{Caller: 1, Site: 0, Callee: 0, Path: 0, Ext: -3},  // overflow: negative route
+		{Caller: 1, Site: 0, Callee: 0, Path: 0, Ext: -3}, // overflow: negative route
 	}
 	keysCall := []profile.CallKey{
 		{Caller: 1, Site: 0, Callee: 0},

@@ -109,22 +109,40 @@ type NestedStore struct {
 // NewNestedStore allocates a nested store for a program with n functions.
 func NewNestedStore(n int) *NestedStore { return &NestedStore{c: NewCounters(n)} }
 
+// IncBL counts one completion of fn's Ball-Larus path.
 func (s *NestedStore) IncBL(fn int, path int64) { s.c.BL[fn][path]++ }
-func (s *NestedStore) IncLoop(k LoopKey)        { s.c.Loop[k]++ }
-func (s *NestedStore) IncTypeI(k TypeIKey)      { s.c.TypeI[k]++ }
-func (s *NestedStore) IncTypeII(k TypeIIKey)    { s.c.TypeII[k]++ }
-func (s *NestedStore) IncCall(k CallKey)        { s.c.Calls[k]++ }
+
+// IncLoop counts one loop-crossing overlapping path.
+func (s *NestedStore) IncLoop(k LoopKey) { s.c.Loop[k]++ }
+
+// IncTypeI counts one Type I (call-site entry) interprocedural path.
+func (s *NestedStore) IncTypeI(k TypeIKey) { s.c.TypeI[k]++ }
+
+// IncTypeII counts one Type II (return suffix) interprocedural path.
+func (s *NestedStore) IncTypeII(k TypeIIKey) { s.c.TypeII[k]++ }
+
+// IncCall counts one observed call-site transition.
+func (s *NestedStore) IncCall(k CallKey) { s.c.Calls[k]++ }
 
 // Counters returns the live counters (not a copy).
 func (s *NestedStore) Counters() *Counters { return s.c }
 
+// AddBL folds n completions of fn's Ball-Larus path in, saturating.
 func (s *NestedStore) AddBL(fn int, path int64, n uint64) {
 	s.c.BL[fn][path] = SatAdd(s.c.BL[fn][path], n)
 }
-func (s *NestedStore) AddLoop(k LoopKey, n uint64)     { s.c.Loop[k] = SatAdd(s.c.Loop[k], n) }
-func (s *NestedStore) AddTypeI(k TypeIKey, n uint64)   { s.c.TypeI[k] = SatAdd(s.c.TypeI[k], n) }
+
+// AddLoop folds n loop-path completions in, saturating.
+func (s *NestedStore) AddLoop(k LoopKey, n uint64) { s.c.Loop[k] = SatAdd(s.c.Loop[k], n) }
+
+// AddTypeI folds n Type I path completions in, saturating.
+func (s *NestedStore) AddTypeI(k TypeIKey, n uint64) { s.c.TypeI[k] = SatAdd(s.c.TypeI[k], n) }
+
+// AddTypeII folds n Type II path completions in, saturating.
 func (s *NestedStore) AddTypeII(k TypeIIKey, n uint64) { s.c.TypeII[k] = SatAdd(s.c.TypeII[k], n) }
-func (s *NestedStore) AddCall(k CallKey, n uint64)     { s.c.Calls[k] = SatAdd(s.c.Calls[k], n) }
+
+// AddCall folds n call-site transitions in, saturating.
+func (s *NestedStore) AddCall(k CallKey, n uint64) { s.c.Calls[k] = SatAdd(s.c.Calls[k], n) }
 
 // DenseBLLimit bounds the per-function dense Ball-Larus array; functions
 // with more static paths fall back to a map so pathological path counts
@@ -170,6 +188,8 @@ func NewFlatStore(info *Info) *FlatStore {
 	return s
 }
 
+// IncBL counts one completion of fn's Ball-Larus path, in the dense
+// array when the function has one, the sparse overflow map otherwise.
 func (s *FlatStore) IncBL(fn int, path int64) {
 	s.cached = nil
 	if d := s.dense[fn]; d != nil && path >= 0 && path < int64(len(d)) {
@@ -184,26 +204,31 @@ func (s *FlatStore) IncBL(fn int, path int64) {
 	m[path]++
 }
 
+// IncLoop counts one loop-crossing overlapping path.
 func (s *FlatStore) IncLoop(k LoopKey) {
 	s.cached = nil
 	s.loop[k]++
 }
 
+// IncTypeI counts one Type I (call-site entry) interprocedural path.
 func (s *FlatStore) IncTypeI(k TypeIKey) {
 	s.cached = nil
 	s.typeI[k]++
 }
 
+// IncTypeII counts one Type II (return suffix) interprocedural path.
 func (s *FlatStore) IncTypeII(k TypeIIKey) {
 	s.cached = nil
 	s.typeII[k]++
 }
 
+// IncCall counts one observed call-site transition.
 func (s *FlatStore) IncCall(k CallKey) {
 	s.cached = nil
 	s.calls[k]++
 }
 
+// AddBL folds n completions of fn's Ball-Larus path in, saturating.
 func (s *FlatStore) AddBL(fn int, path int64, n uint64) {
 	s.cached = nil
 	if d := s.dense[fn]; d != nil && path >= 0 && path < int64(len(d)) {
@@ -218,21 +243,25 @@ func (s *FlatStore) AddBL(fn int, path int64, n uint64) {
 	m[path] = SatAdd(m[path], n)
 }
 
+// AddLoop folds n loop-path completions in, saturating.
 func (s *FlatStore) AddLoop(k LoopKey, n uint64) {
 	s.cached = nil
 	s.loop[k] = SatAdd(s.loop[k], n)
 }
 
+// AddTypeI folds n Type I path completions in, saturating.
 func (s *FlatStore) AddTypeI(k TypeIKey, n uint64) {
 	s.cached = nil
 	s.typeI[k] = SatAdd(s.typeI[k], n)
 }
 
+// AddTypeII folds n Type II path completions in, saturating.
 func (s *FlatStore) AddTypeII(k TypeIIKey, n uint64) {
 	s.cached = nil
 	s.typeII[k] = SatAdd(s.typeII[k], n)
 }
 
+// AddCall folds n call-site transitions in, saturating.
 func (s *FlatStore) AddCall(k CallKey, n uint64) {
 	s.cached = nil
 	s.calls[k] = SatAdd(s.calls[k], n)

@@ -84,7 +84,43 @@ type LoadReport struct {
 	LatencyMaxMs  float64 `json:"latency_max_ms"`
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
 
+	// Stages holds one row per server-side stage histogram, keyed by the
+	// stable metric name (HistogramMetricNames), folded from the daemon's
+	// /metrics snapshot at the end of the run.
+	Stages map[string]StageStats `json:"stages,omitempty"`
+
 	Metrics *MetricsSnapshot `json:"server_metrics,omitempty"`
+}
+
+// StageStats is one per-stage row of a load report: the count and the
+// estimated quantiles of the stage's server-side histogram. Latency stages
+// are in milliseconds, snapshot_bytes in bytes.
+type StageStats struct {
+	// Count is the histogram's observation count.
+	Count uint64 `json:"count"`
+	// Mean is the exact mean of all observations.
+	Mean float64 `json:"mean"`
+	// P50/P95/P99 are quantile estimates from the bucket boundaries.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// stageStats folds the snapshot's histograms into per-stage report rows.
+func stageStats(m *MetricsSnapshot) map[string]StageStats {
+	out := make(map[string]StageStats, len(HistogramMetricNames))
+	for _, name := range HistogramMetricNames {
+		h, ok := m.StageHistogram(name)
+		if !ok || h.Count == 0 {
+			continue
+		}
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		out[name] = StageStats{Count: h.Count, Mean: mean, P50: h.P50, P95: h.P95, P99: h.P99}
+	}
+	return out
 }
 
 // RunLoad hammers the daemon: Concurrency workers each submit jobs (cycling
@@ -151,6 +187,7 @@ feed:
 
 	if m, err := fetchMetrics(ctx, cfg); err == nil {
 		rep.Metrics = m
+		rep.Stages = stageStats(m)
 	}
 	if err := ctx.Err(); err != nil {
 		return rep, err

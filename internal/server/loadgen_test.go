@@ -37,4 +37,19 @@ func TestRunLoad(t *testing.T) {
 	if rep.Metrics.ShardsExecuted != 16 {
 		t.Fatalf("shards executed = %d, want 16", rep.Metrics.ShardsExecuted)
 	}
+	// Every latency-stage histogram reaches the per-stage report rows;
+	// snapshot_bytes stays absent because the load run never fetches a
+	// profile body.
+	for _, name := range []string{MetricQueueWaitMs, MetricShardExecuteMs, MetricMergeMs, MetricEstimateMs} {
+		st, ok := rep.Stages[name]
+		if !ok || st.Count == 0 {
+			t.Fatalf("stage %q missing from report: %+v", name, rep.Stages)
+		}
+		if st.P50 < 0 || st.P95 < st.P50 || st.P99 < st.P95 {
+			t.Fatalf("stage %q quantiles out of order: %+v", name, st)
+		}
+	}
+	if st := rep.Stages[MetricShardExecuteMs]; st.Count != 16 {
+		t.Fatalf("shard_execute_ms count = %d, want 16", st.Count)
+	}
 }

@@ -28,6 +28,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"pathprof/internal/estimate"
 	"pathprof/internal/instrument"
 	"pathprof/internal/merge"
+	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/workload"
@@ -68,6 +70,11 @@ type Config struct {
 	// Pool is the worker pool shard executions draw from (nil = the
 	// process-wide shared pool).
 	Pool *pipeline.Pool
+	// Logger receives the daemon's structured job/shard transition logs
+	// (nil = the process-wide obs.Logger()). Tests install an
+	// obs.CaptureHandler-backed logger here to assert the documented
+	// events and their order.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +158,11 @@ type JobStatus struct {
 type job struct {
 	id  string
 	req JobRequest
+	// span is the root of the job's trace tree (stage taxonomy in
+	// trace.go); queueSpan is its queue child, open from accept until a
+	// runner dequeues the job.
+	span      *obs.Span
+	queueSpan *obs.Span
 
 	mu         sync.Mutex
 	state      string
@@ -197,6 +209,7 @@ type Server struct {
 	mux     *http.ServeMux
 	queue   chan *job
 	metrics Metrics
+	log     *slog.Logger
 
 	jobsMu sync.RWMutex
 	jobs   map[string]*job
@@ -223,9 +236,15 @@ type Server struct {
 // New builds a Server. Call Start to launch its job runners.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	lg := cfg.Logger
+	if lg == nil {
+		lg = obs.Logger()
+	}
 	s := &Server{
 		cfg:       cfg,
 		queue:     make(chan *job, cfg.QueueCap),
+		metrics:   newMetrics(),
+		log:       lg,
 		jobs:      map[string]*job{},
 		pipes:     map[string]*pipeEntry{},
 		fleet:     map[fleetKey]*merge.Snapshot{},
@@ -236,6 +255,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleJobProfile)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/profiles/{benchmark}", s.handleFleetProfile)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -343,6 +363,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobsMu.Lock()
 	s.nextID++
 	j := &job{id: fmt.Sprintf("j-%d", s.nextID), req: req, state: "queued", done: make(chan struct{})}
+	j.span = obs.NewSpan(StageJob)
+	j.span.SetAttr("job_id", j.id)
+	j.queueSpan = j.span.Child(StageQueue)
 	s.jobs[j.id] = j
 	s.jobsMu.Unlock()
 
@@ -352,6 +375,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- j:
 		s.metrics.jobsAccepted.Add(1)
+		s.log.Info("job.accepted", "job_id", j.id, "benchmark", req.Benchmark,
+			"k", req.K, "shards", req.Shards)
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id})
 	default:
 		s.jobWG.Done()
@@ -359,6 +384,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(s.jobs, j.id)
 		s.jobsMu.Unlock()
 		s.metrics.jobsRejected.Add(1)
+		s.log.Warn("job.rejected", "benchmark", req.Benchmark, "reason", "queue_full")
 		writeError(w, http.StatusTooManyRequests, "job queue is full")
 	}
 }
@@ -392,7 +418,9 @@ func (s *Server) handleJobProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	snap.Encode(w) //nolint:errcheck // client went away
+	cw := &countingWriter{w: w}
+	snap.Encode(cw) //nolint:errcheck // client went away
+	s.metrics.snapshotBytes.Observe(float64(cw.n))
 }
 
 func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
@@ -429,7 +457,9 @@ func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	snap.Encode(w) //nolint:errcheck // client went away
+	cw := &countingWriter{w: w}
+	snap.Encode(cw) //nolint:errcheck // client went away
+	s.metrics.snapshotBytes.Observe(float64(cw.n))
 }
 
 // pipelineFor builds (at most once per program) the pipeline of a job's
@@ -474,14 +504,21 @@ func (s *Server) pool() *pipeline.Pool {
 // runJob executes one job end to end: resolve the program's pipeline, fan
 // the shards out over the worker pool, merge the shard snapshots, estimate
 // flows over the merged profile, and fold the snapshot into the fleet
-// profile of the job's benchmark.
+// profile of the job's benchmark. Every stage transition is recorded three
+// ways — a span on the job's trace tree, an observation in the stage's
+// /metrics histogram, and a structured log event — per DESIGN.md §12.
 func (s *Server) runJob(j *job) {
 	s.metrics.jobsInFlight.Add(1)
 	defer s.metrics.jobsInFlight.Add(-1)
+	j.queueSpan.End()
+	queueWait := j.queueSpan.Duration()
+	s.metrics.queueWaitMs.Observe(float64(queueWait) / float64(time.Millisecond))
 	j.mu.Lock()
 	j.state = "running"
 	j.mu.Unlock()
+	s.log.Info("job.start", "job_id", j.id, "queue_wait_ms", queueWait.Milliseconds())
 	defer close(j.done)
+	defer j.span.End()
 
 	ctx, cancel := context.WithTimeout(s.runCtx, s.cfg.JobTimeout)
 	defer cancel()
@@ -492,9 +529,12 @@ func (s *Server) runJob(j *job) {
 		j.errors = append(j.errors, ShardError{Shard: -1, Error: msg})
 		j.mu.Unlock()
 		s.metrics.jobsFailed.Add(1)
+		s.log.Warn("job.failed", "job_id", j.id, "error", msg)
 	}
 
+	resolveSpan := j.span.Child(StageResolve)
 	p, err := s.pipelineFor(j.req)
+	resolveSpan.End()
 	if err != nil {
 		fail(err.Error())
 		return
@@ -508,7 +548,9 @@ func (s *Server) runJob(j *job) {
 	// Fan the shards out; each holds one pool slot while executing. Shard
 	// errors carry the shard index both structurally (ShardError.Shard)
 	// and in the wrapped error text, so a step-limit blowup in shard 7 of
-	// 32 is attributable at a glance.
+	// 32 is attributable at a glance. The shard span covers pool wait +
+	// execution; its execute child covers only the instrumented run, and
+	// only the latter feeds the shard_execute_ms histogram.
 	type shardOut struct {
 		snap  *merge.Snapshot
 		steps int64
@@ -520,9 +562,15 @@ func (s *Server) runJob(j *job) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			shardSpan := j.span.Child(StageShard)
+			shardSpan.SetAttr("shard", strconv.Itoa(i))
+			defer shardSpan.End()
 			perr := s.pool().DoCtx(ctx, func() {
+				execSpan := shardSpan.Child(StageExecute)
 				run, rerr := p.ExecuteStore(pipeline.EngineVM, cfg, j.req.Seed+uint64(i), nil,
 					profile.NewStore(s.cfg.Store, p.Info), s.cfg.MaxSteps)
+				execSpan.End()
+				s.metrics.shardExecuteMs.Observe(float64(execSpan.Duration()) / float64(time.Millisecond))
 				s.metrics.shardsRun.Add(1)
 				if rerr != nil {
 					outs[i].err = fmt.Errorf("shard %d: %w", i, rerr)
@@ -533,6 +581,11 @@ func (s *Server) runJob(j *job) {
 			})
 			if perr != nil {
 				outs[i].err = fmt.Errorf("shard %d: %w", i, perr)
+			}
+			if outs[i].err != nil {
+				s.log.Warn("job.shard.failed", "job_id", j.id, "shard", i, "error", outs[i].err.Error())
+			} else {
+				s.log.Debug("job.shard.done", "job_id", j.id, "shard", i, "steps", outs[i].steps)
 			}
 			j.mu.Lock()
 			j.shardsDone++
@@ -559,24 +612,31 @@ func (s *Server) runJob(j *job) {
 		j.errors = append(j.errors, shardErrs...)
 		j.mu.Unlock()
 		s.metrics.jobsFailed.Add(1)
+		s.log.Warn("job.failed", "job_id", j.id, "shard_errors", len(shardErrs))
 		return
 	}
 
-	mergeStart := time.Now()
+	mergeSpan := j.span.Child(StageMerge)
 	snap, err := merge.MergeAll(snaps...)
-	mergeNs := time.Since(mergeStart).Nanoseconds()
+	mergeSpan.End()
+	mergeNs := mergeSpan.Duration().Nanoseconds()
 	if err != nil {
 		fail("merging shard snapshots: " + err.Error())
 		return
 	}
 	s.metrics.merges.Add(1)
-	s.metrics.mergeNs.Add(mergeNs)
+	s.metrics.mergeMs.Observe(float64(mergeNs) / float64(time.Millisecond))
+	s.log.Debug("job.merge", "job_id", j.id, "snapshots", len(snaps), "mass", snap.Mass())
 
+	estSpan := j.span.Child(StageEstimate)
 	pe, err := core.FromPipeline(p).EstimateMode(core.RunFromCounters(k, snap.Counters), estimate.Paper)
+	estSpan.End()
+	s.metrics.estimateMs.Observe(float64(estSpan.Duration()) / float64(time.Millisecond))
 	if err != nil {
 		fail("estimating flows: " + err.Error())
 		return
 	}
+	s.log.Debug("job.estimate", "job_id", j.id, "k", k)
 	vars, exact := pe.Counts()
 	res := &JobResult{
 		Funcs: snap.NumFuncs, MaxDegree: p.Info.MaxDegree(), K: k,
@@ -602,4 +662,7 @@ func (s *Server) runJob(j *job) {
 	j.snap = snap
 	j.mu.Unlock()
 	s.metrics.jobsCompleted.Add(1)
+	j.span.End()
+	s.log.Info("job.done", "job_id", j.id,
+		"steps", steps, "mass", snap.Mass(), "duration_ms", j.span.Duration().Milliseconds())
 }

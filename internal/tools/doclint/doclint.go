@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CheckDir parses every non-test .go file in dir and returns one
+// "file:line: identifier is exported but undocumented" complaint per
+// exported declaration lacking a doc comment, sorted by position. A missing
+// package comment is reported once against the package's first file.
+func CheckDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		out = append(out, checkPkg(fset, pkg)...)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// checkPkg walks one parsed package. Files are visited in sorted-name order
+// so diagnostics are deterministic.
+func checkPkg(fset *token.FileSet, pkg *ast.Package) []string {
+	var out []string
+	names := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hasPkgDoc := false
+	for _, name := range names {
+		if pkg.Files[name].Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc && len(names) > 0 {
+		out = append(out, fmt.Sprintf("%s: package %s has no package comment",
+			filepath.ToSlash(names[0]), pkg.Name))
+	}
+	for _, name := range names {
+		out = append(out, checkFile(fset, pkg.Files[name])...)
+	}
+	return out
+}
+
+// checkFile reports every undocumented exported declaration in one file.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	complain := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s is undocumented",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if recv := receiverName(d); recv != "" {
+				if !ast.IsExported(recv) {
+					continue // methods on unexported types are internal API
+				}
+				complain(d.Pos(), "method", recv+"."+d.Name.Name)
+			} else {
+				complain(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			out = append(out, checkGenDecl(fset, d)...)
+		}
+	}
+	return out
+}
+
+// checkGenDecl handles type/const/var declarations: a doc comment may sit
+// on the declaration group or on the individual spec; either satisfies the
+// lint for every name the spec introduces.
+func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) []string {
+	var out []string
+	complain := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s is undocumented",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+				complain(sp.Pos(), "type", sp.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || sp.Doc != nil {
+				continue
+			}
+			for _, n := range sp.Names {
+				if n.IsExported() {
+					complain(n.Pos(), kindWord(d.Tok), n.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName extracts the receiver's base type name ("" for functions).
+func receiverName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// kindWord names a const/var token for diagnostics.
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = `package fixture
+
+// Documented is fine.
+type Documented struct{}
+
+// Method is fine.
+func (Documented) Method() {}
+
+func (Documented) Naked() {}
+
+type Undocumented int
+
+// grouped consts: the group comment covers both names.
+const (
+	A = 1
+	B = 2
+)
+
+var Loose = 3
+
+func unexported() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {} // method on unexported type: not surface
+`
+
+func writeFixture(t *testing.T, name, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCheckDirFindsUndocumented(t *testing.T) {
+	dir := writeFixture(t, "fixture.go", fixture)
+	got, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(got, "\n")
+	for _, want := range []string{
+		"exported method Documented.Naked is undocumented",
+		"exported type Undocumented is undocumented",
+		"exported var Loose is undocumented",
+		"has no package comment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing complaint %q in:\n%s", want, joined)
+		}
+	}
+	for _, silent := range []string{"Documented.Method", "const A", "const B", "hidden.Exported", "unexported"} {
+		if strings.Contains(joined, silent) {
+			t.Errorf("false positive on %q:\n%s", silent, joined)
+		}
+	}
+	// Grouped consts without any comment DO get flagged.
+	if len(got) != 4 {
+		t.Errorf("got %d complaints, want 4:\n%s", len(got), joined)
+	}
+}
+
+func TestCheckDirCleanPackage(t *testing.T) {
+	dir := writeFixture(t, "clean.go", `// Package clean is fully documented.
+package clean
+
+// V is documented.
+var V = 1
+`)
+	got, err := CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("complaints on a clean package: %v", got)
+	}
+}
+
+// TestLintedPackagesStayClean pins the enforced surface: the packages the
+// CI docs-lint step runs doclint over must stay fully documented.
+func TestLintedPackagesStayClean(t *testing.T) {
+	for _, dir := range []string{"../../obs", "../../server", "../../merge", "../../profile"} {
+		got, err := CheckDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("%s: %d undocumented exported identifiers:\n%s",
+				dir, len(got), strings.Join(got, "\n"))
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+
+	"pathprof/internal/obs"
+	"pathprof/internal/server"
+)
+
+// sectionRe matches a numbered DESIGN.md section heading ("## 12. ...").
+var sectionRe = regexp.MustCompile(`(?m)^## (\d+)\.`)
+
+// Section extracts the body of numbered section num from a DESIGN.md-style
+// document (from its "## num." heading to the next "## " heading or EOF).
+func Section(md string, num int) (string, error) {
+	matches := sectionRe.FindAllStringSubmatchIndex(md, -1)
+	for i, m := range matches {
+		if md[m[2]:m[3]] == fmt.Sprint(num) {
+			end := len(md)
+			if i+1 < len(matches) {
+				end = matches[i+1][0]
+			}
+			return md[m[0]:end], nil
+		}
+	}
+	return "", fmt.Errorf("no section %d", num)
+}
+
+// tableNameRe matches a table row whose first cell is a single backticked
+// token: "| `name` | ...".
+var tableNameRe = regexp.MustCompile("(?m)^\\|\\s*`([^`]+)`\\s*\\|")
+
+// TableNames returns every backticked first-column token of every markdown
+// table row in text, in order of appearance.
+func TableNames(text string) []string {
+	var out []string
+	for _, m := range tableNameRe.FindAllStringSubmatch(text, -1) {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// SnapshotHistogramTags returns the JSON tags of server.MetricsSnapshot's
+// histogram-valued fields — the code-side truth the documented metric names
+// must match.
+func SnapshotHistogramTags() []string {
+	var out []string
+	rt := reflect.TypeOf(server.MetricsSnapshot{})
+	ht := reflect.TypeOf(obs.HistogramSnapshot{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.Type != ht {
+			continue
+		}
+		tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		if tag != "" {
+			out = append(out, tag)
+		}
+	}
+	return out
+}
+
+// CheckDesign cross-references DESIGN.md's §12 tables against the code:
+// the documented stage names must equal server.SpanStages and the
+// documented metric names must equal both server.HistogramMetricNames and
+// MetricsSnapshot's histogram JSON tags — all verbatim, in both directions,
+// so a rename on either side fails the build.
+func CheckDesign(md string) []string {
+	sec, err := Section(md, 12)
+	if err != nil {
+		return []string{"DESIGN.md: " + err.Error()}
+	}
+	var out []string
+	documented := TableNames(sec)
+	stages := toSet(server.SpanStages)
+	metrics := toSet(server.HistogramMetricNames)
+	tags := toSet(SnapshotHistogramTags())
+
+	for name := range metrics {
+		if !tags[name] {
+			out = append(out, fmt.Sprintf(
+				"server.HistogramMetricNames has %q but MetricsSnapshot has no such histogram JSON tag", name))
+		}
+	}
+	for name := range tags {
+		if !metrics[name] {
+			out = append(out, fmt.Sprintf(
+				"MetricsSnapshot histogram tag %q missing from server.HistogramMetricNames", name))
+		}
+	}
+
+	seen := toSet(documented)
+	for _, name := range server.SpanStages {
+		if !seen[name] {
+			out = append(out, fmt.Sprintf("DESIGN.md §12: span stage %q is undocumented", name))
+		}
+	}
+	for _, name := range server.HistogramMetricNames {
+		if !seen[name] {
+			out = append(out, fmt.Sprintf("DESIGN.md §12: metric %q is undocumented", name))
+		}
+	}
+	for _, name := range documented {
+		if !stages[name] && !metrics[name] {
+			out = append(out, fmt.Sprintf(
+				"DESIGN.md §12 documents %q but the code exports no such stage or metric", name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// toSet builds a membership set from a slice.
+func toSet(names []string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// linkRe matches inline markdown links; images share the syntax and are
+// checked the same way.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// CheckLinks verifies every relative link target in the given markdown
+// files resolves to an existing file or directory. External (scheme-ful)
+// and pure-fragment links are skipped; fragments on relative links are
+// stripped before the existence check.
+func CheckLinks(files []string) []string {
+	var out []string
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", file, err))
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				out = append(out, fmt.Sprintf("%s: broken link %q (%s does not exist)",
+					file, m[1], resolved))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathprof/internal/server"
+)
+
+// goodDesign synthesizes a §12 documenting exactly the exported names.
+func goodDesign() string {
+	var b strings.Builder
+	b.WriteString("## 11. Other\n\ntext\n\n## 12. Observability\n\n")
+	b.WriteString("| stage | meaning |\n|---|---|\n")
+	for _, s := range server.SpanStages {
+		fmt.Fprintf(&b, "| `%s` | ... |\n", s)
+	}
+	b.WriteString("\n| metric | unit |\n|---|---|\n")
+	for _, m := range server.HistogramMetricNames {
+		fmt.Fprintf(&b, "| `%s` | ms |\n", m)
+	}
+	b.WriteString("\n## 13. Next\n")
+	return b.String()
+}
+
+func TestCheckDesignAccepts(t *testing.T) {
+	if got := CheckDesign(goodDesign()); len(got) != 0 {
+		t.Fatalf("complaints on a faithful design doc:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+func TestCheckDesignCatchesDrift(t *testing.T) {
+	missing := strings.Replace(goodDesign(), "| `merge_ms` | ms |\n", "", 1)
+	got := CheckDesign(missing)
+	if len(got) != 1 || !strings.Contains(got[0], `metric "merge_ms" is undocumented`) {
+		t.Fatalf("dropped metric not caught: %v", got)
+	}
+
+	stale := strings.Replace(goodDesign(), "## 13. Next",
+		"| `old_stage_name` | gone |\n\n## 13. Next", 1)
+	got = CheckDesign(stale)
+	if len(got) != 1 || !strings.Contains(got[0], `"old_stage_name"`) {
+		t.Fatalf("stale documented name not caught: %v", got)
+	}
+
+	if got := CheckDesign("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 12") {
+		t.Fatalf("missing section not caught: %v", got)
+	}
+}
+
+func TestSnapshotHistogramTagsMatchExportedNames(t *testing.T) {
+	tags := SnapshotHistogramTags()
+	if len(tags) != len(server.HistogramMetricNames) {
+		t.Fatalf("MetricsSnapshot has %d histogram fields, HistogramMetricNames lists %d",
+			len(tags), len(server.HistogramMetricNames))
+	}
+	want := map[string]bool{}
+	for _, n := range server.HistogramMetricNames {
+		want[n] = true
+	}
+	for _, tag := range tags {
+		if !want[tag] {
+			t.Errorf("histogram JSON tag %q not in HistogramMetricNames", tag)
+		}
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "docs", "OPS.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := filepath.Join(dir, "README.md")
+	content := "[ops](docs/OPS.md) [sec](docs/OPS.md#queue) [ext](https://example.com/x) [frag](#local) [gone](docs/MISSING.md)"
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := CheckLinks([]string{md})
+	if len(got) != 1 || !strings.Contains(got[0], "docs/MISSING.md") {
+		t.Fatalf("want exactly the one broken link flagged, got: %v", got)
+	}
+	if got := CheckLinks([]string{filepath.Join(dir, "NOPE.md")}); len(got) != 1 {
+		t.Fatalf("unreadable file not flagged: %v", got)
+	}
+}
+
+// TestRepoDocsPass pins the real documentation set: DESIGN.md §12 must
+// match the exported names and no checked document may carry a broken
+// relative link.
+func TestRepoDocsPass(t *testing.T) {
+	raw, err := os.ReadFile("../../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CheckDesign(string(raw)); len(got) != 0 {
+		t.Errorf("DESIGN.md drift:\n%s", strings.Join(got, "\n"))
+	}
+	files := []string{"../../../README.md", "../../../DESIGN.md", "../../../EXPERIMENTS.md", "../../../ROADMAP.md"}
+	docs, _ := filepath.Glob("../../../docs/*.md")
+	files = append(files, docs...)
+	if got := CheckLinks(files); len(got) != 0 {
+		t.Errorf("broken links:\n%s", strings.Join(got, "\n"))
+	}
+}

@@ -1,0 +1,52 @@
+// Command docscheck keeps the documentation and the code from drifting
+// apart. It fails the build when:
+//
+//   - a span stage or histogram metric name documented in DESIGN.md §12
+//     differs from what internal/server exports (server.SpanStages,
+//     server.HistogramMetricNames, and MetricsSnapshot's histogram JSON
+//     tags — checked verbatim, in both directions), or
+//   - any relative markdown link in the checked documents points at a file
+//     that does not exist.
+//
+// CI runs it from the repository root as part of the docs-lint job:
+//
+//	go run ./internal/tools/docscheck
+//
+// Flags: -design overrides the DESIGN.md path; positional arguments
+// override the default linked-document set (README.md, DESIGN.md,
+// EXPERIMENTS.md, ROADMAP.md, docs/*.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func main() {
+	design := flag.String("design", "DESIGN.md", "path to the design document")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*design)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	complaints := CheckDesign(string(raw))
+
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"README.md", *design, "EXPERIMENTS.md", "ROADMAP.md"}
+		docs, _ := filepath.Glob("docs/*.md")
+		files = append(files, docs...)
+	}
+	complaints = append(complaints, CheckLinks(files)...)
+
+	for _, c := range complaints {
+		fmt.Println(c)
+	}
+	if len(complaints) > 0 {
+		os.Exit(1)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"pathprof/internal/cfg"
 	"pathprof/internal/instrument"
 	"pathprof/internal/ir"
+	"pathprof/internal/obs"
 	"pathprof/internal/olpath"
 	"pathprof/internal/overhead"
 	"pathprof/internal/profile"
@@ -200,15 +201,21 @@ type Program struct {
 // Compile lowers prog (and plan's probes, when non-nil) to bytecode.
 func Compile(prog *ir.Program, plan *instrument.Plan) (*Program, error) {
 	p := &Program{IR: prog, Plan: plan, main: -1}
+	insns := 0
 	for idx, fn := range prog.Funcs {
 		cf, err := compileFunc(prog, plan, idx, fn)
 		if err != nil {
 			return nil, err
 		}
 		p.funcs = append(p.funcs, cf)
+		insns += len(cf.code)
 		if fn.Name == "main" {
 			p.main = idx
 		}
+	}
+	if obs.DebugEnabled() {
+		obs.Logger().Debug("vm.compile",
+			"funcs", len(prog.Funcs), "insns", insns, "instrumented", plan != nil)
 	}
 	return p, nil
 }

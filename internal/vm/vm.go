@@ -7,6 +7,7 @@ import (
 
 	"pathprof/internal/interp"
 	"pathprof/internal/ir"
+	"pathprof/internal/obs"
 	"pathprof/internal/overhead"
 	"pathprof/internal/profile"
 )
@@ -45,9 +46,9 @@ type frame struct {
 	lastID int64
 
 	// Overlap trackers.
-	loops    []trk
-	loopBase []int64
-	entry    trk
+	loops       []trk
+	loopBase    []int64
+	entry       trk
 	entryCaller int
 	entrySite   int
 	entryPrefix int64
@@ -401,6 +402,11 @@ func (m *Machine) Run(store profile.CounterStore) error {
 			m.frames = m.frames[:n]
 			if n == 0 {
 				m.putFrame(fr)
+				if obs.DebugEnabled() {
+					obs.Logger().Debug("vm.run",
+						"steps", m.Steps, "base_ops", m.BaseOps,
+						"probe_ops", m.BLOps+m.LoopOps+m.InterOps)
+				}
 				return nil
 			}
 			caller := m.frames[n-1]
