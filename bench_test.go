@@ -353,7 +353,7 @@ func benchmarkCounterStore(b *testing.B, kind profile.StoreKind) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := interp.New(prog, wb.Seed)
-		rt := plan.Attach(m, profile.NewStore(kind, info))
+		rt := plan.Attach(m, profile.NewStore(kind, info, 2))
 		if err := m.Run(); err != nil {
 			b.Fatal(err)
 		}
@@ -403,7 +403,7 @@ func BenchmarkEngineRun(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", eng, st), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					run, err := p.ExecuteStore(eng, cfg, wb.Seed, nil, profile.NewStore(st, p.Info), 0)
+					run, err := p.ExecuteStore(eng, cfg, wb.Seed, nil, profile.NewStore(st, p.Info, 2), 0)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pathprof -src prog.pl [-seed N] [-k K] [-mode paper|extended] [actions]
+//	pathprof -src prog.pl [-seed N] [-k K] [-iters N] [-mode paper|extended] [actions]
 //
 // Actions (any combination):
 //
@@ -39,6 +39,7 @@ import (
 	"pathprof/internal/core"
 	"pathprof/internal/estimate"
 	"pathprof/internal/instrument"
+	"pathprof/internal/limits"
 	"pathprof/internal/merge"
 	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
@@ -62,7 +63,7 @@ func mergeProfiles(out string, files []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		snaps = append(snaps, merge.New(run.K, run.Counters))
+		snaps = append(snaps, merge.New(run.K, run.Iters, run.Counters))
 	}
 	merged, err := merge.MergeAll(snaps...)
 	if err != nil {
@@ -72,7 +73,7 @@ func mergeProfiles(out string, files []string) error {
 	if err != nil {
 		return err
 	}
-	if err := core.SaveRun(f, core.RunFromCounters(merged.K, merged.Counters)); err != nil {
+	if err := core.SaveRun(f, core.RunFromCounters(merged.K, merged.Iters, merged.Counters)); err != nil {
 		f.Close()
 		return err
 	}
@@ -96,6 +97,7 @@ func run() error {
 		srcPath  = flag.String("src", "", "source file to profile (required)")
 		seed     = flag.Uint64("seed", 1, "deterministic RNG seed for the run")
 		k        = flag.Int("k", -1, "degree of overlap (-1 = Ball-Larus only)")
+		iters    = flag.Int("iters", 2, "overlapping-path window width in loop iterations (2 = classic)")
 		modeName = flag.String("mode", "paper", "estimation constraint mode: paper or extended")
 		hot      = flag.Int("hot", 0, "print the N hottest BL paths")
 		doEst    = flag.Bool("estimate", false, "print interesting-path bound estimates")
@@ -122,6 +124,12 @@ func run() error {
 	if *srcPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-src is required")
+	}
+	if err := limits.K(*k); err != nil {
+		return err
+	}
+	if err := limits.Iters(*iters); err != nil {
+		return err
 	}
 	store, ok := profile.ParseStoreKind(*storeNm)
 	if !ok {
@@ -180,7 +188,7 @@ func run() error {
 		if idx < 0 {
 			return fmt.Errorf("no function %q", *dumpInst)
 		}
-		text, err := instrument.DescribePlan(s.Info, instrument.Config{K: *k, Loops: *k >= 0, Interproc: *k >= 0}, idx)
+		text, err := instrument.DescribePlan(s.Info, instrument.Config{K: *k, Loops: *k >= 0, Interproc: *k >= 0, Iters: *iters}, idx)
 		if err != nil {
 			return err
 		}
@@ -204,16 +212,21 @@ func run() error {
 	} else if *hot > 0 || *doEst || *pairs >= 0 || *ovh || *saveProf != "" {
 		profSpan := root.Child("profile")
 		profSpan.SetAttr("k", fmt.Sprint(*k))
+		profSpan.SetAttr("iters", fmt.Sprint(*iters))
 		if *k < 0 {
 			runRes, err = s.ProfileBL(*seed)
 		} else {
-			runRes, err = s.ProfileOL(*seed, *k)
+			runRes, err = s.ProfileOLIters(*seed, *k, *iters)
 		}
 		profSpan.End()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("profiled at k=%d: %d blocks executed\n", runRes.K, runRes.Steps)
+		if runRes.Iters > 2 {
+			fmt.Printf("profiled at k=%d iters=%d: %d blocks executed\n", runRes.K, runRes.Iters, runRes.Steps)
+		} else {
+			fmt.Printf("profiled at k=%d: %d blocks executed\n", runRes.K, runRes.Steps)
+		}
 	}
 	if *saveProf != "" && runRes != nil {
 		f, err := os.Create(*saveProf)

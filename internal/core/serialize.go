@@ -9,16 +9,23 @@ import (
 	"pathprof/internal/profile"
 )
 
-// SaveRun persists a run — its degree and counters — so estimation can
-// happen offline or in another process. The degree travels with the data
-// because counter route-encodings are only meaningful relative to the
-// degree-k extension numbering they were collected under.
+// SaveRun persists a run — its degree, window width, and counters — so
+// estimation can happen offline or in another process. The degree travels
+// with the data because counter route-encodings are only meaningful
+// relative to the degree-k extension numbering they were collected under;
+// the window width (iters) for the same reason, and it is omitted at the
+// classic two-iteration setting so those runs keep their exact historical
+// bytes.
 func SaveRun(w io.Writer, run *Run) error {
 	bw := bufio.NewWriter(w)
 	hdr := struct {
 		Format string `json:"format"`
 		K      int    `json:"k"`
+		Iters  int    `json:"iters,omitempty"`
 	}{Format: "pathprof-run", K: run.K}
+	if run.Iters > 2 {
+		hdr.Iters = run.Iters
+	}
 	if err := json.NewEncoder(bw).Encode(hdr); err != nil {
 		return err
 	}
@@ -38,6 +45,7 @@ func LoadRun(r io.Reader) (*Run, error) {
 	var hdr struct {
 		Format string `json:"format"`
 		K      int    `json:"k"`
+		Iters  int    `json:"iters,omitempty"`
 	}
 	if err := json.Unmarshal(line, &hdr); err != nil {
 		return nil, fmt.Errorf("core: parsing run header: %w", err)
@@ -49,5 +57,5 @@ func LoadRun(r io.Reader) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	return RunFromCounters(hdr.K, c), nil
+	return RunFromCounters(hdr.K, hdr.Iters, c), nil
 }

@@ -28,6 +28,8 @@ func (r *LoopResult) Var(i, j int) int { return i*r.Li.LP.Count() + j }
 func Loop(fi *profile.FuncInfo, li *profile.LoopInfo, blProf map[int64]uint64,
 	loopCounters map[profile.LoopKey]uint64, k int, mode Mode) (*LoopResult, error) {
 
+	loopCounters = foldFirstCrossing(loopCounters)
+
 	n := li.LP.Count()
 	lf, err := bl.ComputeLoopFlow(fi.DAG, li.LP, blProf)
 	if err != nil {
@@ -75,6 +77,32 @@ func Loop(fi *profile.FuncInfo, li *profile.LoopInfo, blProf map[int64]uint64,
 		return nil, err
 	}
 	return &LoopResult{Estimate: Estimate{Res: res, N: n * n}, Li: li}, nil
+}
+
+// foldFirstCrossing projects multi-iteration loop counters (iters > 2,
+// keys with more than one crossing) onto their first crossing. Every
+// closed window's first crossing is exactly one backedge crossing, and
+// every crossing opens exactly one window, so the projection reproduces
+// the two-iteration profile exactly — the estimators' equalities are
+// therefore invariant in the profiled window width. Classic profiles pass
+// through untouched.
+func foldFirstCrossing(counters map[profile.LoopKey]uint64) map[profile.LoopKey]uint64 {
+	widened := false
+	for k := range counters {
+		if k.NumCrossings() > 1 {
+			widened = true
+			break
+		}
+	}
+	if !widened {
+		return counters
+	}
+	out := make(map[profile.LoopKey]uint64, len(counters))
+	for k, n := range counters {
+		fk := k.FirstCrossing()
+		out[fk] = profile.SatAdd(out[fk], n)
+	}
+	return out
 }
 
 func addRowGroups(p *bounds.Problem, lf *bl.LoopFlow, n int, eq bool) {

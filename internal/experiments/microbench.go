@@ -31,6 +31,9 @@ type BenchResult struct {
 	// the collection default).
 	Engine string `json:"engine"`
 	Store  string `json:"store"`
+	// Iters is the profiled window width of "run" cells (0 where the axis
+	// is immaterial, e.g. merge and sweep cells).
+	Iters int `json:"iters,omitempty"`
 	// Iterations is how many times the cell ran; the per-op figures
 	// average over them.
 	Iterations  int     `json:"iterations"`
@@ -96,14 +99,35 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 	for _, eng := range engines {
 		for _, st := range stores {
 			res, err := measure("run", wb.Name, eng.String(), st.String(), iters, func() error {
-				_, err := p.ExecuteStore(eng, cfg, wb.Seed, nil, profile.NewStore(st, p.Info), 0)
+				_, err := p.ExecuteStore(eng, cfg, wb.Seed, nil, profile.NewStore(st, p.Info, 2), 0)
 				return err
 			})
 			if err != nil {
 				return nil, err
 			}
+			res.Iters = 2
 			out = append(out, res)
 		}
+	}
+	// A widened-window cell on the fastest configuration (fused-probe VM,
+	// arena store) isolates the marginal cost of the iters axis against the
+	// grid's iters=2 vm/arena row.
+	{
+		wcfg := cfg
+		wcfg.Iters = 4
+		if _, err := p.Code(wcfg); err != nil {
+			return nil, err
+		}
+		res, err := measure("run", wb.Name, pipeline.EngineVM.String(), profile.StoreArena.String(), iters, func() error {
+			_, err := p.ExecuteStore(pipeline.EngineVM, wcfg, wb.Seed, nil,
+				profile.NewStore(profile.StoreArena, p.Info, 4), 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Iters = 4
+		out = append(out, res)
 	}
 	pool := pipeline.NewPool(1)
 	for _, eng := range engines {
@@ -127,11 +151,11 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 	snaps := make([]*merge.Snapshot, mergeShards)
 	for i := range snaps {
 		r, err := p.ExecuteStore(pipeline.EngineVM, cfg, wb.Seed+uint64(i), nil,
-			profile.NewStore(profile.StoreNested, p.Info), 0)
+			profile.NewStore(profile.StoreNested, p.Info, 2), 0)
 		if err != nil {
 			return nil, err
 		}
-		snaps[i] = merge.New(k, r.Counters)
+		snaps[i] = merge.New(k, 2, r.Counters)
 	}
 	res, err := measure("merge", wb.Name, pipeline.EngineVM.String(), "snapshot", iters, func() error {
 		_, err := merge.MergeAll(snaps...)
@@ -144,7 +168,7 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 	for _, st := range stores {
 		st := st
 		res, err := measure("merge", wb.Name, pipeline.EngineVM.String(), st.String(), iters, func() error {
-			dst := profile.NewStore(st, p.Info)
+			dst := profile.NewStore(st, p.Info, 2)
 			for _, s := range snaps {
 				if err := merge.IntoStore(dst, s); err != nil {
 					return err

@@ -27,6 +27,11 @@ type Config struct {
 	Loops bool
 	// Interproc enables Type I / Type II interprocedural profiling.
 	Interproc bool
+	// Iters is the multi-iteration window width for loop overlapping
+	// paths: each profiled path spans up to Iters consecutive iterations.
+	// 0 (the zero value) and 2 both select the paper's two-iteration
+	// setting; values are clamped to [2, olpath.MaxIters]. See EffIters.
+	Iters int
 	// Selection restricts overlapping-path probes to chosen loops and
 	// call sites (nil = everything). Ball-Larus probes are unaffected.
 	Selection *profile.Selection
@@ -39,6 +44,19 @@ type Config struct {
 	// with a prior run's BL profile so the hottest edges escape
 	// instrumentation (the two-phase placement Ball-Larus describe).
 	ChordProfile *profile.Counters
+}
+
+// EffIters returns the effective multi-iteration window width: Iters
+// clamped to [2, olpath.MaxIters], with everything below 2 (including the
+// zero value) meaning the classic two-iteration setting.
+func (c Config) EffIters() int {
+	if c.Iters < 2 {
+		return 2
+	}
+	if c.Iters > olpath.MaxIters {
+		return olpath.MaxIters
+	}
+	return c.Iters
 }
 
 // Runtime is the instrumented-run listener. Register it on a machine (via
@@ -92,9 +110,11 @@ type suffixState struct {
 type frProbe struct {
 	plan *funcPlan
 	w    *bl.Walker
-	// loopTr[i] tracks loop i's extension; loopBase[i] is the base path.
-	loopTr   []*olpath.Tracker
-	loopBase []int64
+	// loopTr[i] tracks loop i's extension; rings[i] holds loop i's open
+	// multi-iteration windows (at iters=2 a ring degenerates to the
+	// classic single base-path register).
+	loopTr []*olpath.Tracker
+	rings  []olpath.Ring
 	// entryTr tracks the Type I extension until the first path completes.
 	entryTr  *olpath.Tracker
 	entryKey pendingCall
@@ -243,9 +263,11 @@ func (rt *Runtime) OnEnter(fr *interp.Frame) {
 	}
 	if fp.loopExts != nil {
 		ps.loopTr = make([]*olpath.Tracker, len(fp.loopExts))
-		ps.loopBase = make([]int64, len(fp.loopExts))
+		ps.rings = make([]olpath.Ring, len(fp.loopExts))
+		iters := rt.Cfg.EffIters()
 		for i, x := range fp.loopExts {
 			ps.loopTr[i] = olpath.NewTracker(x)
+			ps.rings[i].Reset(iters)
 		}
 	}
 	if fp.entryExt != nil && rt.pending != nil {
@@ -326,10 +348,10 @@ func (rt *Runtime) OnEdge(fr *interp.Frame, from, to int) {
 			}
 			tr := ps.loopTr[li.Index]
 			if tr.Active {
-				rt.flushLoop(ps, li, tr, true)
+				rt.crossLoop(ps, li, tr, false, true)
 			}
 			tr.Activate()
-			ps.loopBase[li.Index] = inst.PathID
+			ps.rings[li.Index].Open(inst.PathID)
 			rt.LoopOps += 3 * overhead.RegOp // ro = r + y; r = x; ol = 0
 		}
 	}
@@ -356,7 +378,7 @@ func (rt *Runtime) loopEdge(ps *frProbe, e cfg.Edge, isBackedge bool) {
 			// loop's tails.
 			rt.LoopOps += overhead.GuardOp
 			if tr.Active {
-				rt.flushLoop(ps, li, tr, isTailOf(li, e.From))
+				rt.crossLoop(ps, li, tr, true, isTailOf(li, e.From))
 			}
 		case inFrom && inTo:
 			if isBackedge {
@@ -399,17 +421,30 @@ func isTailOf(li *profile.LoopInfo, v cfg.NodeID) bool {
 	return false
 }
 
-// flushLoop finalizes one loop extension into a counter.
-func (rt *Runtime) flushLoop(ps *frProbe, li *profile.LoopInfo, tr *olpath.Tracker, full bool) {
-	if tr.Broken {
-		full = false
-	}
+// crossLoop finalizes one backedge/exit crossing of loop li: the tracker's
+// route is appended to every open window of the loop's ring, and the
+// windows the crossing closes become counter increments. On the loop's own
+// backedge (exit=false) only full-width windows close, and the still-open
+// windows pay one register append each; on a loop exit (exit=true) every
+// window closes, truncated or not. fullIter reports that the crossed
+// iteration ran header to tail; an interrupted (Broken) crossing is kept
+// but never full.
+func (rt *Runtime) crossLoop(ps *frProbe, li *profile.LoopInfo, tr *olpath.Tracker, exit, fullIter bool) {
+	full := fullIter && !tr.Broken
 	ext := tr.Finalize()
-	rt.store.IncLoop(profile.LoopKey{
-		Func: ps.plan.fi.Index, Loop: li.Index,
-		Base: ps.loopBase[li.Index], Ext: ext, Full: full,
-	})
-	rt.LoopOps += overhead.CounterOp
+	ring := &ps.rings[li.Index]
+	var ws []olpath.Window
+	if exit {
+		ws = ring.FlushAll(ext, full)
+	} else {
+		open := ring.Len()
+		ws = ring.Cross(ext, full)
+		rt.LoopOps += int64(open-len(ws)) * overhead.RegOp
+	}
+	for _, w := range ws {
+		rt.store.IncLoop(profile.LoopKeyOf(ps.plan.fi.Index, li.Index, w))
+		rt.LoopOps += overhead.CounterOp
+	}
 }
 
 // extStep advances an interprocedural extension tracker over edge e with

@@ -1,0 +1,45 @@
+// Package limits centralizes the bounds validation every user-facing
+// surface — the pathprof CLI flags and the pathprofd job requests — applies
+// to profiling parameters, so the accepted ranges and the error wording
+// cannot drift between the two. All validators share one message format:
+//
+//	<name> must be in [lo,hi], got <v>
+package limits
+
+import (
+	"fmt"
+
+	"pathprof/internal/olpath"
+)
+
+const (
+	// MinK / MaxK bound the overlap degree; -1 means Ball-Larus only.
+	MinK = -1
+	MaxK = 64
+	// MinIters / MaxIters bound the multi-iteration window width; 2 is
+	// the classic two-iteration setting and the widest width is fixed by
+	// the runtime's ring capacity.
+	MinIters = 2
+	MaxIters = olpath.MaxIters
+)
+
+// inRange is the one range check (and the one error format) every
+// validator uses.
+func inRange(name string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("%s must be in [%d,%d], got %d", name, lo, hi, v)
+	}
+	return nil
+}
+
+// K validates an overlap degree (-1 = Ball-Larus only). Degrees above the
+// program's maximum useful degree are legal — they clamp per region — so
+// the ceiling here only guards against nonsense input.
+func K(v int) error { return inRange("k", v, MinK, MaxK) }
+
+// Iters validates a multi-iteration window width.
+func Iters(v int) error { return inRange("iters", v, MinIters, MaxIters) }
+
+// Shards validates a per-job shard count against the caller's configured
+// maximum (the daemon's Config.MaxShards).
+func Shards(v, max int) error { return inRange("shards", v, 1, max) }

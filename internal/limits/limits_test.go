@@ -1,0 +1,60 @@
+package limits_test
+
+import (
+	"testing"
+
+	"pathprof/internal/limits"
+	"pathprof/internal/olpath"
+)
+
+func TestK(t *testing.T) {
+	for _, v := range []int{-1, 0, 1, 64} {
+		if err := limits.K(v); err != nil {
+			t.Errorf("K(%d) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []int{-2, 65, 1 << 20} {
+		if err := limits.K(v); err == nil {
+			t.Errorf("K(%d) accepted, want error", v)
+		}
+	}
+	if got, want := limits.K(-5).Error(), "k must be in [-1,64], got -5"; got != want {
+		t.Errorf("K(-5) message = %q, want %q", got, want)
+	}
+}
+
+func TestIters(t *testing.T) {
+	if limits.MaxIters != olpath.MaxIters {
+		t.Fatalf("MaxIters = %d, want the runtime ring capacity %d", limits.MaxIters, olpath.MaxIters)
+	}
+	for v := limits.MinIters; v <= limits.MaxIters; v++ {
+		if err := limits.Iters(v); err != nil {
+			t.Errorf("Iters(%d) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []int{0, 1, -3, limits.MaxIters + 1} {
+		if err := limits.Iters(v); err == nil {
+			t.Errorf("Iters(%d) accepted, want error", v)
+		}
+	}
+	if got, want := limits.Iters(9).Error(), "iters must be in [2,4], got 9"; got != want {
+		t.Errorf("Iters(9) message = %q, want %q", got, want)
+	}
+}
+
+func TestShards(t *testing.T) {
+	for _, v := range []int{1, 32, 64} {
+		if err := limits.Shards(v, 64); err != nil {
+			t.Errorf("Shards(%d, 64) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []int{0, -2, 65} {
+		if err := limits.Shards(v, 64); err == nil {
+			t.Errorf("Shards(%d, 64) accepted, want error", v)
+		}
+	}
+	// The message format matches the daemon's historical wording exactly.
+	if got, want := limits.Shards(10_000, 64).Error(), "shards must be in [1,64], got 10000"; got != want {
+		t.Errorf("Shards message = %q, want %q", got, want)
+	}
+}

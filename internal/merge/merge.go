@@ -13,9 +13,11 @@
 //
 // Compatibility is checked, not assumed: counter route encodings are only
 // meaningful relative to the degree-k extension numbering they were
-// collected under, and function indices are only meaningful relative to one
-// program. Merge therefore refuses snapshots whose degree or function count
-// differ (ErrIncompatible) instead of silently aggregating garbage.
+// collected under, multi-iteration loop keys only relative to the window
+// width (iters) they were profiled at, and function indices only relative
+// to one program. Merge therefore refuses snapshots whose degree, window
+// width, or function count differ (ErrIncompatible) instead of silently
+// aggregating garbage.
 //
 // What merging preserves, mathematically: every counter family is a pure
 // sum over run events, so counter tables are additive, and with them every
@@ -40,7 +42,7 @@ import (
 )
 
 // ErrIncompatible reports a refused merge: the snapshots disagree on the
-// profiled degree or the program shape.
+// profiled degree, the multi-iteration window width, or the program shape.
 var ErrIncompatible = errors.New("merge: incompatible snapshots")
 
 // Snapshot is one run's (or one already-merged fleet's) counters together
@@ -49,6 +51,9 @@ type Snapshot struct {
 	// K is the degree of overlap the counters were collected at
 	// (-1 = Ball-Larus only).
 	K int
+	// Iters is the multi-iteration window width the loop counters were
+	// collected at (2 = the classic two-iteration setting).
+	Iters int
 	// NumFuncs is the profiled program's function count; function indices
 	// in the counter keys are relative to it.
 	NumFuncs int
@@ -57,17 +62,27 @@ type Snapshot struct {
 	Counters *profile.Counters
 }
 
-// New wraps already-collected counters in a snapshot. The counters are
-// referenced, not copied: callers that keep mutating the source (e.g. a live
-// store) should Clone first.
-func New(k int, c *profile.Counters) *Snapshot {
-	return &Snapshot{K: k, NumFuncs: len(c.BL), Counters: c}
+// New wraps already-collected counters in a snapshot profiled at degree k
+// with iters-iteration windows (values below 2 mean the classic
+// two-iteration setting). The counters are referenced, not copied: callers
+// that keep mutating the source (e.g. a live store) should Clone first.
+func New(k, iters int, c *profile.Counters) *Snapshot {
+	return &Snapshot{K: k, Iters: normIters(iters), NumFuncs: len(c.BL), Counters: c}
 }
 
-// Empty returns the identity snapshot for (k, numFuncs): merging it into
-// anything, or anything into it, is a no-op in the merge algebra.
-func Empty(k, numFuncs int) *Snapshot {
-	return &Snapshot{K: k, NumFuncs: numFuncs, Counters: profile.NewCounters(numFuncs)}
+// Empty returns the identity snapshot for (k, iters, numFuncs): merging it
+// into anything, or anything into it, is a no-op in the merge algebra.
+func Empty(k, iters, numFuncs int) *Snapshot {
+	return &Snapshot{K: k, Iters: normIters(iters), NumFuncs: numFuncs, Counters: profile.NewCounters(numFuncs)}
+}
+
+// normIters maps every below-minimum window width (including the zero
+// value) to the classic two-iteration setting.
+func normIters(iters int) int {
+	if iters < 2 {
+		return 2
+	}
+	return iters
 }
 
 // Clone deep-copies the snapshot, so the copy can be merged into without
@@ -75,7 +90,7 @@ func Empty(k, numFuncs int) *Snapshot {
 func (s *Snapshot) Clone() *Snapshot {
 	c := profile.NewCounters(s.NumFuncs)
 	addCounters(c, s.Counters)
-	return &Snapshot{K: s.K, NumFuncs: s.NumFuncs, Counters: c}
+	return &Snapshot{K: s.K, Iters: s.Iters, NumFuncs: s.NumFuncs, Counters: c}
 }
 
 // Compatible reports whether src can merge into s, with a diagnostic error
@@ -83,6 +98,9 @@ func (s *Snapshot) Clone() *Snapshot {
 func (s *Snapshot) Compatible(src *Snapshot) error {
 	if s.K != src.K {
 		return fmt.Errorf("%w: degree k=%d vs k=%d", ErrIncompatible, s.K, src.K)
+	}
+	if normIters(s.Iters) != normIters(src.Iters) {
+		return fmt.Errorf("%w: window width iters=%d vs iters=%d", ErrIncompatible, normIters(s.Iters), normIters(src.Iters))
 	}
 	if s.NumFuncs != src.NumFuncs {
 		return fmt.Errorf("%w: %d vs %d functions", ErrIncompatible, s.NumFuncs, src.NumFuncs)
@@ -115,7 +133,7 @@ func MergeAll(snaps ...*Snapshot) (*Snapshot, error) {
 	if obs.DebugEnabled() {
 		start = time.Now()
 	}
-	out := Empty(snaps[0].K, snaps[0].NumFuncs)
+	out := Empty(snaps[0].K, snaps[0].Iters, snaps[0].NumFuncs)
 	for _, s := range snaps {
 		if err := out.Merge(s); err != nil {
 			return nil, err
@@ -211,10 +229,13 @@ func (s *Snapshot) Mass() uint64 {
 
 // snapshotHeader identifies the wire format.
 type snapshotHeader struct {
-	Format   string `json:"format"`
-	Version  int    `json:"version"`
-	K        int    `json:"k"`
-	NumFuncs int    `json:"numFuncs"`
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	K       int    `json:"k"`
+	// Iters is omitted (0) for the classic two-iteration width, so
+	// two-iteration snapshots keep their exact historical bytes.
+	Iters    int `json:"iters,omitempty"`
+	NumFuncs int `json:"numFuncs"`
 }
 
 const (
@@ -230,6 +251,9 @@ const (
 func (s *Snapshot) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	hdr := snapshotHeader{Format: snapFormat, Version: snapVersion, K: s.K, NumFuncs: s.NumFuncs}
+	if it := normIters(s.Iters); it != 2 {
+		hdr.Iters = it
+	}
 	if err := json.NewEncoder(bw).Encode(hdr); err != nil {
 		return err
 	}
@@ -263,5 +287,5 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if len(c.BL) != hdr.NumFuncs {
 		return nil, fmt.Errorf("merge: snapshot header says %d functions, counters carry %d", hdr.NumFuncs, len(c.BL))
 	}
-	return &Snapshot{K: hdr.K, NumFuncs: hdr.NumFuncs, Counters: c}, nil
+	return &Snapshot{K: hdr.K, Iters: normIters(hdr.Iters), NumFuncs: hdr.NumFuncs, Counters: c}, nil
 }

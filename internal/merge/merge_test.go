@@ -47,11 +47,11 @@ func mergePipeline(t *testing.T) *pipeline.Pipeline {
 func snapshotAt(t *testing.T, p *pipeline.Pipeline, seed uint64, kind profile.StoreKind) *Snapshot {
 	t.Helper()
 	cfg := instrument.Config{K: mergeK, Loops: true, Interproc: true}
-	run, err := p.ExecuteStore(pipeline.EngineVM, cfg, seed, nil, profile.NewStore(kind, p.Info), 0)
+	run, err := p.ExecuteStore(pipeline.EngineVM, cfg, seed, nil, profile.NewStore(kind, p.Info, 2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(mergeK, run.Counters)
+	return New(mergeK, 2, run.Counters)
 }
 
 func encoded(t *testing.T, s *Snapshot) []byte {
@@ -106,7 +106,7 @@ func TestMergeIdentity(t *testing.T) {
 	p := mergePipeline(t)
 	a := snapshotAt(t, p, 1, profile.StoreFlat)
 	want := encoded(t, a)
-	id := Empty(a.K, a.NumFuncs)
+	id := Empty(a.K, a.Iters, a.NumFuncs)
 	if got := encoded(t, mustMergeAll(t, id, a)); !bytes.Equal(got, want) {
 		t.Fatal("empty+a differs from a")
 	}
@@ -132,13 +132,13 @@ func TestMergeMixedStores(t *testing.T) {
 	}
 	want := encoded(t, mustMergeAll(t, snaps...))
 	for _, kind := range []profile.StoreKind{profile.StoreNested, profile.StoreFlat, profile.StoreArena} {
-		dst := profile.NewStore(kind, p.Info)
+		dst := profile.NewStore(kind, p.Info, 2)
 		for _, s := range snaps {
 			if err := IntoStore(dst, s); err != nil {
 				t.Fatalf("IntoStore(%s): %v", kind, err)
 			}
 		}
-		got := encoded(t, New(mergeK, dst.Counters()))
+		got := encoded(t, New(mergeK, 2, dst.Counters()))
 		if !bytes.Equal(got, want) {
 			t.Fatalf("accumulating in %s store diverges from MergeAll", kind)
 		}
@@ -151,7 +151,7 @@ func TestMergeSaturates(t *testing.T) {
 		c := profile.NewCounters(1)
 		c.BL[0][0] = bl
 		c.Loop[profile.LoopKey{Func: 0, Loop: 0, Base: 0, Ext: 1, Full: true}] = loop
-		return New(0, c)
+		return New(0, 2, c)
 	}
 	a, b, c := mk(near, 7), mk(10, near), mk(100, 100)
 
@@ -182,18 +182,61 @@ func TestMergeSaturates(t *testing.T) {
 }
 
 func TestMergeIncompatible(t *testing.T) {
-	a := Empty(1, 3)
-	if err := a.Merge(Empty(2, 3)); !errors.Is(err, ErrIncompatible) {
+	a := Empty(1, 2, 3)
+	if err := a.Merge(Empty(2, 2, 3)); !errors.Is(err, ErrIncompatible) {
 		t.Fatalf("k mismatch: err = %v, want ErrIncompatible", err)
 	}
-	if err := a.Merge(Empty(1, 4)); !errors.Is(err, ErrIncompatible) {
+	if err := a.Merge(Empty(1, 2, 4)); !errors.Is(err, ErrIncompatible) {
 		t.Fatalf("numFuncs mismatch: err = %v, want ErrIncompatible", err)
+	}
+	if err := a.Merge(Empty(1, 3, 3)); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("iters mismatch: err = %v, want ErrIncompatible", err)
+	}
+	// Width 0 normalizes to the classic 2, so pre-iters snapshots stay
+	// mergeable with explicit-width-2 ones.
+	if err := a.Merge(Empty(1, 0, 3)); err != nil {
+		t.Fatalf("iters 0 vs 2: err = %v, want nil", err)
 	}
 	if _, err := MergeAll(); err == nil {
 		t.Fatal("MergeAll() of nothing must error")
 	}
-	if _, err := MergeAll(Empty(1, 3), Empty(0, 3)); !errors.Is(err, ErrIncompatible) {
+	if _, err := MergeAll(Empty(1, 2, 3), Empty(0, 2, 3)); !errors.Is(err, ErrIncompatible) {
 		t.Fatalf("MergeAll mismatch: err = %v, want ErrIncompatible", err)
+	}
+}
+
+// TestSnapshotEncodeWidened pins the wire format across the key width axis:
+// a snapshot holding multi-crossing loop keys must round-trip byte-stably
+// with its width intact, and a width-2 snapshot's header must omit the
+// iters field entirely — byte-identical to the pre-iters encoding.
+func TestSnapshotEncodeWidened(t *testing.T) {
+	c := profile.NewCounters(2)
+	c.BL[0][3] = 9
+	wk := profile.LoopKey{Func: 0, Loop: 0, Base: 4, Ext: 1, Full: true}
+	wk.SetCrossing(1, 2, true)
+	wk.SetCrossing(2, 0, false)
+	c.Loop[wk] = 5
+	c.Loop[profile.LoopKey{Func: 1, Loop: 0, Base: 4, Ext: 1, Full: true}] = 3
+	s := New(2, 4, c)
+	raw := encoded(t, s)
+	rt, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Iters != 4 {
+		t.Fatalf("round-trip width %d, want 4", rt.Iters)
+	}
+	if got := rt.Counters.Loop[wk]; got != 5 {
+		t.Fatalf("widened key count %d after round trip, want 5", got)
+	}
+	if !bytes.Equal(encoded(t, rt), raw) {
+		t.Fatal("widened decode+encode is not byte-stable")
+	}
+
+	classic := encoded(t, Empty(1, 2, 1))
+	header := classic[:bytes.IndexByte(classic, '\n')]
+	if bytes.Contains(header, []byte("iters")) {
+		t.Fatalf("width-2 header %q mentions iters; must match the pre-iters format", header)
 	}
 }
 
@@ -221,7 +264,7 @@ func TestSnapshotEncodeDecode(t *testing.T) {
 
 func TestIntoStoreRefusesNonBulk(t *testing.T) {
 	var plain minimalStore
-	if err := IntoStore(&plain, Empty(0, 1)); err == nil {
+	if err := IntoStore(&plain, Empty(0, 2, 1)); err == nil {
 		t.Fatal("non-BulkStore must be refused")
 	}
 }
@@ -247,12 +290,12 @@ func TestMergeBoundsMonotone(t *testing.T) {
 		snapshotAt(t, p, 23, profile.StoreNested),
 	}
 	merged := mustMergeAll(t, parts...)
-	pe, err := s.EstimateMode(core.RunFromCounters(mergeK, merged.Counters), estimate.Paper)
+	pe, err := s.EstimateMode(core.RunFromCounters(mergeK, 2, merged.Counters), estimate.Paper)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, part := range parts {
-		pp, err := s.EstimateMode(core.RunFromCounters(mergeK, part.Counters), estimate.Paper)
+		pp, err := s.EstimateMode(core.RunFromCounters(mergeK, 2, part.Counters), estimate.Paper)
 		if err != nil {
 			t.Fatal(err)
 		}

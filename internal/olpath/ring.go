@@ -1,0 +1,120 @@
+package olpath
+
+// MaxIters is the widest supported multi-iteration profiling window: a
+// profiled overlapping path may span up to MaxIters consecutive iterations
+// of a loop (iters = 2 is the paper's two-iteration setting). The bound is
+// what lets every layer — runtime rings, counter keys, arena slot layouts,
+// trace chains — use fixed-width storage instead of per-key allocation.
+const MaxIters = 4
+
+// Window is one in-flight (or just-closed) multi-iteration observation of a
+// loop: the Ball-Larus path id that ended at the loop's backedge when the
+// window opened (Base), followed by the route encoding and completeness bit
+// of each subsequent backedge/exit crossing observed so far. A window closes
+// with N == iters-1 crossings when it survives the full span, or earlier
+// (truncated) when the loop exits first; N >= 1 always, because the crossing
+// that closes a window is also appended to it.
+type Window struct {
+	// Base is the BL path id of the iteration that opened the window.
+	Base int64
+	// N counts the crossings recorded in Routes/Fulls.
+	N int
+	// Routes holds the per-crossing route encodings (tracker Finalize
+	// values), oldest first.
+	Routes [MaxIters - 1]int64
+	// Fulls holds the per-crossing completeness bits: crossing i is full
+	// when the overlapped component was a complete iteration (own backedge
+	// reached, or exit through an iteration tail, with no interruption).
+	Fulls [MaxIters - 1]bool
+}
+
+// Ring is the per-loop sliding-window state generalizing the single
+// base-path register of two-iteration profiling: at iters = n it keeps the
+// n-1 most recent backedge crossings open as Windows, so every crossing's
+// route lands in every window it overlaps. Allocation-free: both the open
+// set and the closed-window scratch space are fixed arrays sized by
+// MaxIters.
+//
+// Protocol (mirroring the instrumented runtimes):
+//
+//   - on the loop's own backedge, Cross(route, full) appends the completed
+//     crossing to every open window and returns those that reached full
+//     width, then Open(base) starts the new iteration's window;
+//   - on a loop exit, FlushAll(route, full) appends the final crossing to
+//     every open window and returns them all, truncated or not.
+//
+// At iters = 2 the ring holds at most one window and every crossing closes
+// it, reproducing the two-iteration behavior exactly.
+type Ring struct {
+	iters int
+	n     int
+	win   [MaxIters - 1]Window
+	out   [MaxIters - 1]Window
+}
+
+// Reset empties the ring and sets its width; iters below 2 is treated as 2.
+func (r *Ring) Reset(iters int) {
+	if iters < 2 {
+		iters = 2
+	}
+	if iters > MaxIters {
+		iters = MaxIters
+	}
+	r.iters = iters
+	r.n = 0
+}
+
+// Iters returns the ring's configured window width.
+func (r *Ring) Iters() int { return r.iters }
+
+// Len returns the number of open windows.
+func (r *Ring) Len() int { return r.n }
+
+// Open starts a window whose base iteration ended with BL path id base.
+// Callers must Cross or FlushAll first on a crossing, so the ring never
+// holds more than iters-1 open windows.
+func (r *Ring) Open(base int64) {
+	r.win[r.n] = Window{Base: base}
+	r.n++
+}
+
+// Cross appends a completed backedge crossing to every open window and
+// returns the windows that reached full width (iters-1 crossings), oldest
+// first. The returned slice aliases the ring's scratch array and is only
+// valid until the next Cross or FlushAll.
+func (r *Ring) Cross(route int64, full bool) []Window {
+	closed, kept := 0, 0
+	for i := 0; i < r.n; i++ {
+		w := r.win[i]
+		w.Routes[w.N] = route
+		w.Fulls[w.N] = full
+		w.N++
+		if w.N >= r.iters-1 {
+			r.out[closed] = w
+			closed++
+		} else {
+			r.win[kept] = w
+			kept++
+		}
+	}
+	r.n = kept
+	return r.out[:closed]
+}
+
+// FlushAll appends a final (loop-exit) crossing to every open window and
+// returns them all, oldest first; windows that had not yet reached full
+// width come back truncated (N < iters-1). The returned slice aliases the
+// ring's scratch array and is only valid until the next Cross or FlushAll.
+func (r *Ring) FlushAll(route int64, full bool) []Window {
+	closed := 0
+	for i := 0; i < r.n; i++ {
+		w := r.win[i]
+		w.Routes[w.N] = route
+		w.Fulls[w.N] = full
+		w.N++
+		r.out[closed] = w
+		closed++
+	}
+	r.n = 0
+	return r.out[:closed]
+}

@@ -1,0 +1,134 @@
+package olpath
+
+import (
+	"testing"
+
+	"pathprof/internal/cfg"
+)
+
+func collect(ws []Window) []Window { return append([]Window(nil), ws...) }
+
+// TestRingItersTwo proves the degenerate ring reproduces the single
+// base-register behavior: one open window, closed by every crossing.
+func TestRingItersTwo(t *testing.T) {
+	var r Ring
+	r.Reset(2)
+	r.Open(10)
+	closed := collect(r.Cross(3, true))
+	if len(closed) != 1 {
+		t.Fatalf("iters=2 backedge crossing closed %d windows, want 1", len(closed))
+	}
+	w := closed[0]
+	if w.Base != 10 || w.N != 1 || w.Routes[0] != 3 || !w.Fulls[0] {
+		t.Fatalf("window = %+v, want base 10, one full crossing with route 3", w)
+	}
+	r.Open(11)
+	closed = collect(r.FlushAll(0, false))
+	if len(closed) != 1 || closed[0].Base != 11 || closed[0].N != 1 || closed[0].Fulls[0] {
+		t.Fatalf("exit flush = %+v, want one truncated-style window with base 11", closed)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after FlushAll: %d", r.Len())
+	}
+}
+
+// TestRingSlidingWindows drives an iters=4 ring through a warm stream of
+// backedge crossings and checks the steady state: one window closes per
+// crossing, each carrying the three most recent routes oldest-first.
+func TestRingSlidingWindows(t *testing.T) {
+	var r Ring
+	r.Reset(4)
+	bases := []int64{100, 101, 102, 103, 104}
+	routes := []int64{1, 2, 3, 4}
+	var all []Window
+	r.Open(bases[0])
+	for i, rt := range routes {
+		all = append(all, collect(r.Cross(rt, true))...)
+		r.Open(bases[i+1])
+	}
+	// Crossings 1 and 2 close nothing (windows still filling); crossings 3
+	// and 4 each close the then-oldest window at full width.
+	if len(all) != 2 {
+		t.Fatalf("closed %d windows, want 2: %+v", len(all), all)
+	}
+	w := all[0]
+	if w.Base != 100 || w.N != 3 || w.Routes != [MaxIters - 1]int64{1, 2, 3} {
+		t.Fatalf("first closed window = %+v", w)
+	}
+	w = all[1]
+	if w.Base != 101 || w.N != 3 || w.Routes != [MaxIters - 1]int64{2, 3, 4} {
+		t.Fatalf("second closed window = %+v", w)
+	}
+	// Exit: the three still-open windows flush truncated, oldest first.
+	rest := collect(r.FlushAll(9, false))
+	if len(rest) != 3 {
+		t.Fatalf("FlushAll closed %d windows, want 3", len(rest))
+	}
+	wantN := []int{3, 2, 1}
+	for i, w := range rest {
+		if w.Base != bases[i+2] || w.N != wantN[i] || w.Routes[w.N-1] != 9 || w.Fulls[w.N-1] {
+			t.Fatalf("flushed window %d = %+v, want base %d, %d crossings ending in route 9 (not full)",
+				i, w, bases[i+2], wantN[i])
+		}
+	}
+}
+
+// TestRingBrokenCrossingKeptNotFull pins the MarkBroken contract at the ring
+// level: a broken crossing is appended to every open window with its route
+// kept and its completeness bit false, and neighboring crossings keep their
+// own bits.
+func TestRingBrokenCrossingKeptNotFull(t *testing.T) {
+	var r Ring
+	r.Reset(4)
+	r.Open(1)
+	if got := r.Cross(10, true); len(got) != 0 {
+		t.Fatalf("early crossing closed %d windows", len(got))
+	}
+	r.Open(2)
+	if got := r.Cross(11, false); len(got) != 0 { // broken crossing: kept, not full
+		t.Fatalf("early crossing closed %d windows", len(got))
+	}
+	r.Open(3)
+	closed := collect(r.Cross(12, true))
+	if len(closed) != 1 {
+		t.Fatalf("closed %d windows, want 1", len(closed))
+	}
+	w := closed[0]
+	if w.Routes != [MaxIters - 1]int64{10, 11, 12} ||
+		w.Fulls != [MaxIters - 1]bool{true, false, true} {
+		t.Fatalf("window = %+v: broken crossing must keep route 11 with full=false only", w)
+	}
+}
+
+// TestTrackerMarkBrokenScope pins the tracker side of the contract: Broken
+// freezes accumulation for the current crossing only, Finalize still returns
+// the pre-interruption route, and the next Activate starts clean.
+func TestTrackerMarkBrokenScope(t *testing.T) {
+	d := mustDAG(t, cfg.PaperCalleeCFG())
+	x, err := NewExt(d, d.G.Entry(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(x)
+	tr.Activate()
+	tr.MarkBroken()
+	if !tr.Frozen || !tr.Broken {
+		t.Fatal("MarkBroken on an active tracker must freeze and mark it")
+	}
+	if got := tr.Finalize(); got != 0 {
+		t.Fatalf("Finalize after immediate break = %d, want the kept (empty) route 0", got)
+	}
+	if tr.Broken || tr.Frozen || tr.Active {
+		t.Fatal("Finalize must fully reset the tracker")
+	}
+	tr.Activate()
+	if tr.Broken {
+		t.Fatal("Activate must clear Broken: the interruption scopes to one crossing")
+	}
+	tr.MarkBroken()
+	tr.Finalize()
+	tr.MarkBroken() // inactive: must stay a no-op
+	if tr.Broken || tr.Frozen {
+		t.Fatal("MarkBroken on an inactive tracker must be a no-op")
+	}
+}

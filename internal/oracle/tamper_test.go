@@ -53,7 +53,7 @@ func TestBatteryDetectsCounterCorruption(t *testing.T) {
 	c := tamperedChecker(t)
 	// Drop one BL increment from a single cell: the counter invariant
 	// must fire for that cell.
-	victim := cell{k: c.cfg.Ks[0], kind: c.cfg.Stores[0]}
+	victim := cell{k: c.cfg.Ks[0], iters: c.cfg.Iters[0], kind: c.cfg.Stores[0]}
 	f, id := firstBLKey(c.counters[victim])
 	if f < 0 {
 		t.Fatal("no BL counters to corrupt")
@@ -77,7 +77,7 @@ func TestBatteryDetectsStoreDivergence(t *testing.T) {
 	c := tamperedChecker(t)
 	// Corrupt only the flat-store cell at one degree: store equivalence
 	// must fire.
-	victim := cell{k: c.cfg.Ks[0], kind: profile.StoreFlat}
+	victim := cell{k: c.cfg.Ks[0], iters: c.cfg.Iters[0], kind: profile.StoreFlat}
 	f, id := firstBLKey(c.counters[victim])
 	if f < 0 {
 		t.Fatal("no BL counters to corrupt")
@@ -96,7 +96,7 @@ func TestBatteryDetectsSerializationDrift(t *testing.T) {
 	c := tamperedChecker(t)
 	// Corrupt the serialized bytes of one cell: both the cross-store
 	// byte comparison and the round-trip must fire.
-	victim := cell{k: c.cfg.Ks[0], kind: profile.StoreFlat}
+	victim := cell{k: c.cfg.Ks[0], iters: c.cfg.Iters[0], kind: profile.StoreFlat}
 	raw := append([]byte(nil), c.serialized[victim]...)
 	raw[len(raw)/2] ^= 0xff
 	c.serialized[victim] = raw
@@ -110,7 +110,7 @@ func TestBatteryDetectsParallelDivergence(t *testing.T) {
 	c := tamperedChecker(t)
 	// Corrupt the sequential baseline of one cell: the parallel re-run
 	// (which is healthy) must mismatch it.
-	victim := cell{k: c.cfg.Ks[0], kind: c.cfg.Stores[0]}
+	victim := cell{k: c.cfg.Ks[0], iters: c.cfg.Iters[0], kind: c.cfg.Stores[0]}
 	c.serialized[victim] = []byte("corrupted baseline")
 	if err := c.checkParallel(); err != nil {
 		t.Fatal(err)
@@ -123,6 +123,72 @@ func TestBatteryDetectsParallelDivergence(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("parallel divergence went undetected: %v", c.res.Violations)
+	}
+}
+
+// iterCorruptionSource is a handcrafted program whose main loop runs many
+// consecutive iterations, guaranteeing the widened (iters > 2) cells hold
+// multi-crossing loop keys to corrupt.
+const iterCorruptionSource = `func main() {
+	var s = 0;
+	for (var i = 0; i < 9; i = i + 1) {
+		if (rand(2) == 0) {
+			s = s + i;
+		} else {
+			s = s - 1;
+		}
+	}
+	print(s);
+}
+`
+
+// TestBatteryDetectsIterCorruption proves the multi-iteration invariants
+// have teeth: corrupting a multi-crossing key in a widened cell must fire
+// both the per-width counter check (against the trace-derived chain
+// expectations) and the first-crossing fold check.
+func TestBatteryDetectsIterCorruption(t *testing.T) {
+	p, err := pipeline.Compile(iterCorruptionSource, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &checker{p: p, seed: 7, cfg: Config{}.withDefaults(), res: &Result{}}
+	if err := c.ground(); err != nil {
+		t.Fatal(err)
+	}
+	if c.res.Skipped {
+		t.Fatal("handcrafted loop program must not skip")
+	}
+	if err := c.sweep(); err != nil {
+		t.Fatal(err)
+	}
+	victim := cell{k: c.cfg.Ks[len(c.cfg.Ks)-1], iters: 3, kind: c.cfg.Stores[0]}
+	var key profile.LoopKey
+	found := false
+	for lk := range c.counters[victim].Loop {
+		if lk.NumCrossings() > 1 {
+			key, found = lk, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no multi-crossing loop key in the iters=3 cell to corrupt")
+	}
+	c.counters[victim].Loop[key] += 5
+	if err := c.checkCounters(); err != nil {
+		t.Fatal(err)
+	}
+	var gotLoop, gotFold bool
+	for _, v := range c.res.Violations {
+		switch v.Invariant {
+		case "counters/loop":
+			gotLoop = true
+		case "counters/fold":
+			gotFold = true
+		}
+	}
+	if !gotLoop || !gotFold {
+		t.Fatalf("iters corruption detection: counters/loop=%v counters/fold=%v among %v",
+			gotLoop, gotFold, c.res.Violations)
 	}
 }
 

@@ -90,7 +90,7 @@ type Pipeline struct {
 // cache by pointer identity: distinct selections (or chord weightings) are
 // distinct plans, and the common nil means "everything"/"uniform".
 type planKey struct {
-	k                         int
+	k, iters                  int
 	loops, interproc, chordBL bool
 	selection                 *profile.Selection
 	chordProfile              *profile.Counters
@@ -99,6 +99,7 @@ type planKey struct {
 func keyOf(cfg instrument.Config) planKey {
 	return planKey{
 		k:            cfg.K,
+		iters:        cfg.EffIters(),
 		loops:        cfg.Loops,
 		interproc:    cfg.Interproc,
 		chordBL:      cfg.ChordBL,
@@ -155,9 +156,11 @@ func (p *Pipeline) Pool() *Pool {
 	return Shared()
 }
 
-// NewStore allocates a counter store of the pipeline's configured kind.
-func (p *Pipeline) NewStore() profile.CounterStore {
-	return profile.NewStore(p.opts.Store, p.Info)
+// NewStore allocates a counter store of the pipeline's configured kind,
+// sized for iters-iteration loop windows (only the arena layout is
+// sensitive to the width; see profile.NewStore).
+func (p *Pipeline) NewStore(iters int) profile.CounterStore {
+	return profile.NewStore(p.opts.Store, p.Info, iters)
 }
 
 // Plan returns the instrumentation plan for cfg, building it at most once
@@ -238,6 +241,9 @@ func (p *Pipeline) CachedCodes() int {
 type Run struct {
 	// K is the profiled degree (-1 = Ball-Larus only).
 	K int
+	// Iters is the multi-iteration window width the loop counters were
+	// collected at (2 = the classic two-iteration setting).
+	Iters int
 	// Selection is the structure selection the run used (nil = all).
 	Selection *profile.Selection
 	// Counters holds every collected counter.
@@ -256,7 +262,7 @@ type Run struct {
 // for concurrent callers: the plan and static artifacts are shared, machine
 // and counter store are per-run.
 func (p *Pipeline) Execute(cfg instrument.Config, seed uint64, out io.Writer) (*Run, error) {
-	return p.ExecuteStore(p.opts.Engine, cfg, seed, out, p.NewStore(), 0)
+	return p.ExecuteStore(p.opts.Engine, cfg, seed, out, p.NewStore(cfg.EffIters()), 0)
 }
 
 // ExecuteStore is Execute with the engine, counter store, and step limit
@@ -286,6 +292,7 @@ func (p *Pipeline) ExecuteStore(eng Engine, cfg instrument.Config, seed uint64, 
 		}
 		return &Run{
 			K:         cfg.K,
+			Iters:     cfg.EffIters(),
 			Selection: cfg.Selection,
 			Counters:  store.Counters(),
 			Overhead:  m.Report(),
@@ -320,6 +327,7 @@ func (p *Pipeline) ExecuteStore(eng Engine, cfg instrument.Config, seed uint64, 
 	}
 	return &Run{
 		K:         cfg.K,
+		Iters:     cfg.EffIters(),
 		Selection: cfg.Selection,
 		Counters:  rt.Counters(),
 		Overhead:  rt.Report(m.BaseOps),

@@ -1,5 +1,7 @@
 package profile
 
+import "pathprof/internal/olpath"
+
 // ArenaStore is the dense-arena counter store backing the fused-probe
 // engine: per overlap region (loop, Type I entry, Type II suffix) it
 // precomputes a contiguous counter slice indexed by a perfect (base, route)
@@ -26,12 +28,60 @@ package profile
 // counts cannot blow up memory.
 const ArenaSlotLimit = 1 << 16
 
-// loopArena is the dense counter block of one (func, loop) region:
-// slot = (base*routes + ext)*2 + full.
+// loopArena is the dense counter block of one (func, loop) region. At
+// iters = n a full-width key carries m = n-1 crossings and maps to
+//
+//	slot = ((base*routes + e_0)*routes + ... + e_{m-1})<<m | fullbits
+//
+// with crossing i's completeness bit at position i of fullbits. At the
+// two-iteration default this is exactly the historical
+// (base*routes + ext)*2 + full layout. Truncated windows (fewer than m
+// crossings, possible only at iters > 2) take the overflow map.
 type loopArena struct {
+	iters  int   // window width the slot layout is built for
 	total  int64 // base-path dimension (caller's BL path count)
 	routes int64 // route dimension (max-degree extension routes)
 	slots  []uint64
+}
+
+// slot maps a full-width key into the arena's dense index; ok is false when
+// the key needs the overflow map (truncated width or out-of-range
+// coordinates).
+func (a *loopArena) slot(k LoopKey) (slot int64, ok bool) {
+	m := a.iters - 1
+	if k.NumCrossings() != m || k.Base < 0 || k.Base >= a.total {
+		return 0, false
+	}
+	slot = k.Base
+	var fulls int64
+	for i := 0; i < m; i++ {
+		route, full := k.Crossing(i)
+		if route < 0 || route >= a.routes {
+			return 0, false
+		}
+		slot = slot*a.routes + route
+		if full {
+			fulls |= 1 << i
+		}
+	}
+	return slot<<m | fulls, true
+}
+
+// key decodes a dense slot index back into the counter key it encodes.
+func (a *loopArena) key(fn, loop int, slot int64) LoopKey {
+	m := a.iters - 1
+	fulls := slot & (1<<m - 1)
+	rest := slot >> m
+	var routes [3]int64
+	for i := m - 1; i >= 0; i-- {
+		routes[i] = rest % a.routes
+		rest /= a.routes
+	}
+	k := LoopKey{Func: fn, Loop: loop, Base: rest}
+	for i := 0; i < m; i++ {
+		k.SetCrossing(i, routes[i], fulls>>i&1 == 1)
+	}
+	return k
 }
 
 // tupleArena is the dense counter block of one call site's Type I or
@@ -66,10 +116,17 @@ type ArenaStore struct {
 	cached *Counters
 }
 
-// NewArenaStore sizes every region arena from info's static census. It
-// never fails: a region that cannot be densely sized simply starts in
-// overflow.
-func NewArenaStore(info *Info) *ArenaStore {
+// NewArenaStore sizes every region arena from info's static census for a
+// run profiling iters-iteration windows (iters outside [2, olpath.MaxIters]
+// is clamped). It never fails: a region that cannot be densely sized simply
+// starts in overflow.
+func NewArenaStore(info *Info, iters int) *ArenaStore {
+	if iters < 2 {
+		iters = 2
+	}
+	if iters > olpath.MaxIters {
+		iters = olpath.MaxIters
+	}
 	n := len(info.Funcs)
 	s := &ArenaStore{
 		info:     info,
@@ -91,18 +148,31 @@ func NewArenaStore(info *Info) *ArenaStore {
 		}
 
 		s.loops[f] = make([]*loopArena, len(fi.Loops))
+		m := iters - 1
 		for l, li := range fi.Loops {
 			x, err := li.Ext(li.MaxDeg)
 			if err != nil {
 				continue
 			}
 			routes := x.Routes()
-			if total <= 0 || routes <= 0 || total*routes*2 > ArenaSlotLimit {
+			if total <= 0 || total > ArenaSlotLimit || routes <= 0 || routes > ArenaSlotLimit {
+				continue
+			}
+			// Dense size: total * routes^m * 2^m, checked stepwise so the
+			// product cannot overflow before the limit comparison.
+			slots := total
+			for i := 0; i < m && slots >= 0; i++ {
+				slots *= routes
+				if slots > ArenaSlotLimit {
+					slots = -1
+				}
+			}
+			if slots < 0 || slots<<m > ArenaSlotLimit {
 				continue
 			}
 			s.loops[f][l] = &loopArena{
-				total: total, routes: routes,
-				slots: make([]uint64, total*routes*2),
+				iters: iters, total: total, routes: routes,
+				slots: make([]uint64, slots<<m),
 			}
 		}
 
@@ -160,14 +230,11 @@ func (s *ArenaStore) IncBL(fn int, path int64) {
 func (s *ArenaStore) IncLoop(k LoopKey) {
 	s.cached = nil
 	if k.Func >= 0 && k.Func < len(s.loops) && k.Loop >= 0 && k.Loop < len(s.loops[k.Func]) {
-		if a := s.loops[k.Func][k.Loop]; a != nil &&
-			k.Base >= 0 && k.Base < a.total && k.Ext >= 0 && k.Ext < a.routes {
-			slot := (k.Base*a.routes + k.Ext) * 2
-			if k.Full {
-				slot++
+		if a := s.loops[k.Func][k.Loop]; a != nil {
+			if slot, ok := a.slot(k); ok {
+				a.slots[slot]++
+				return
 			}
-			a.slots[slot]++
-			return
 		}
 	}
 	s.loopOv[k]++
@@ -231,14 +298,11 @@ func (s *ArenaStore) AddBL(fn int, path int64, n uint64) {
 func (s *ArenaStore) AddLoop(k LoopKey, n uint64) {
 	s.cached = nil
 	if k.Func >= 0 && k.Func < len(s.loops) && k.Loop >= 0 && k.Loop < len(s.loops[k.Func]) {
-		if a := s.loops[k.Func][k.Loop]; a != nil &&
-			k.Base >= 0 && k.Base < a.total && k.Ext >= 0 && k.Ext < a.routes {
-			slot := (k.Base*a.routes + k.Ext) * 2
-			if k.Full {
-				slot++
+		if a := s.loops[k.Func][k.Loop]; a != nil {
+			if slot, ok := a.slot(k); ok {
+				a.slots[slot] = SatAdd(a.slots[slot], n)
+				return
 			}
-			a.slots[slot] = SatAdd(a.slots[slot], n)
-			return
 		}
 	}
 	s.loopOv[k] = SatAdd(s.loopOv[k], n)
@@ -310,16 +374,8 @@ func (s *ArenaStore) Counters() *Counters {
 				if n == 0 {
 					continue
 				}
-				pair := int64(slot) / 2
-				c.Loop[LoopKey{
-					Func: f, Loop: l,
-					Base: pair / a.routes, Ext: pair % a.routes,
-					Full: slot%2 == 1,
-				}] = SatAdd(c.Loop[LoopKey{
-					Func: f, Loop: l,
-					Base: pair / a.routes, Ext: pair % a.routes,
-					Full: slot%2 == 1,
-				}], n)
+				k := a.key(f, l, int64(slot))
+				c.Loop[k] = SatAdd(c.Loop[k], n)
 			}
 		}
 	}

@@ -52,7 +52,7 @@ func main() {
 // huge, wrong callee) that must route through overflow.
 func TestArenaStoreMatchesNested(t *testing.T) {
 	info := analyzeSrc(t, arenaSrc)
-	a := profile.NewArenaStore(info)
+	a := profile.NewArenaStore(info, 2)
 	n := profile.NewNestedStore(len(info.Funcs))
 
 	keysLoop := []profile.LoopKey{
@@ -107,7 +107,7 @@ func TestArenaStoreMatchesNested(t *testing.T) {
 // refresh the cached Counters.
 func TestArenaStoreMemoInvalidation(t *testing.T) {
 	info := analyzeSrc(t, arenaSrc)
-	s := profile.NewArenaStore(info)
+	s := profile.NewArenaStore(info, 2)
 	lk := profile.LoopKey{Func: 0, Loop: 0, Base: 0, Ext: 0, Full: true}
 	s.IncLoop(lk)
 	if got := s.Counters().Loop[lk]; got != 1 {

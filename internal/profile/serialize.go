@@ -73,7 +73,10 @@ func ReadCounters(r io.Reader) (*Counters, error) {
 			}
 			c.BL[rec.Func][rec.Path] += rec.N
 		case "loop":
-			c.Loop[LoopKey{Func: rec.Func, Loop: rec.Loop, Base: rec.Base, Ext: rec.Ext, Full: rec.Full}] += rec.N
+			c.Loop[LoopKey{
+				Func: rec.Func, Loop: rec.Loop, Base: rec.Base, Ext: rec.Ext, Full: rec.Full,
+				Ext2: rec.Ext2, Full2: rec.Full2, Ext3: rec.Ext3, Full3: rec.Full3,
+			}] += rec.N
 		case "t1":
 			c.TypeI[TypeIKey{Caller: rec.Caller, Site: rec.Site, Callee: rec.Callee, Prefix: rec.Prefix, Ext: rec.Ext}] += rec.N
 		case "t2":

@@ -88,13 +88,18 @@ type BulkStore interface {
 	AddCall(k CallKey, n uint64)
 }
 
-// NewStore builds a store of the requested kind for info's program.
-func NewStore(kind StoreKind, info *Info) CounterStore {
+// NewStore builds a store of the requested kind for info's program,
+// profiled with iters-iteration windows (2 is the classic two-iteration
+// setting; values below 2 are treated as 2). Only the arena layout is
+// sensitive to iters — its dense loop slots are sized for full-width
+// multi-iteration keys — but every caller threads the axis through so a
+// store always matches the run it collects.
+func NewStore(kind StoreKind, info *Info, iters int) CounterStore {
 	switch kind {
 	case StoreFlat:
 		return NewFlatStore(info)
 	case StoreArena:
-		return NewArenaStore(info)
+		return NewArenaStore(info, iters)
 	default:
 		return NewNestedStore(len(info.Funcs))
 	}

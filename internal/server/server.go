@@ -7,12 +7,13 @@
 //
 // API:
 //
-//	POST /v1/jobs                  submit {benchmark|source, seed, k, shards};
-//	                               202 {id} | 429 when the queue is full |
-//	                               503 while draining
+//	POST /v1/jobs                  submit {benchmark|source, seed, k, iters,
+//	                               shards}; 202 {id} | 429 when the queue is
+//	                               full | 503 while draining
 //	GET  /v1/jobs/{id}             job status, shard errors, result + estimate
 //	GET  /v1/jobs/{id}/profile     the job's merged counter snapshot
-//	GET  /v1/profiles/{benchmark}  the fleet-wide merged snapshot (?k=N)
+//	GET  /v1/profiles/{benchmark}  the fleet-wide merged snapshot (?k=N,
+//	                               ?iters=N when several cells exist)
 //	GET  /metrics                  expvar-style counters (see MetricsSnapshot)
 //	GET  /healthz                  "ok", or "draining" during shutdown
 //
@@ -33,12 +34,14 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"pathprof/internal/core"
 	"pathprof/internal/estimate"
 	"pathprof/internal/instrument"
+	"pathprof/internal/limits"
 	"pathprof/internal/merge"
 	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
@@ -107,6 +110,10 @@ type JobRequest struct {
 	// K is the requested degree of overlap (-1 = Ball-Larus only). It is
 	// clamped to the program's maximum useful degree.
 	K int `json:"k"`
+	// Iters is the multi-iteration window width (default 2, the classic
+	// two-iteration overlapping-path setting). Snapshots only merge — per
+	// job and fleet-wide — within one width.
+	Iters int `json:"iters,omitempty"`
 	// Shards is the number of independent runs to fan out and merge
 	// (default 1).
 	Shards int `json:"shards"`
@@ -127,6 +134,8 @@ type JobResult struct {
 	MaxDegree int `json:"maxDegree"`
 	// K is the effective profiled degree after clamping.
 	K int `json:"k"`
+	// Iters is the profiled multi-iteration window width.
+	Iters int `json:"iters"`
 	// Steps totals executed blocks across every shard.
 	Steps int64 `json:"steps"`
 	// Mass is the merged snapshot's total counter mass.
@@ -148,6 +157,7 @@ type JobStatus struct {
 	State      string       `json:"state"` // queued | running | done | failed
 	Benchmark  string       `json:"benchmark,omitempty"`
 	K          int          `json:"k"`
+	Iters      int          `json:"iters"`
 	Shards     int          `json:"shards"`
 	ShardsDone int          `json:"shardsDone"`
 	Errors     []ShardError `json:"errors,omitempty"`
@@ -178,7 +188,7 @@ func (j *job) status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.id, State: j.state, Benchmark: j.req.Benchmark,
-		K: j.req.K, Shards: j.req.Shards, ShardsDone: j.shardsDone,
+		K: j.req.K, Iters: j.req.Iters, Shards: j.req.Shards, ShardsDone: j.shardsDone,
 		Errors: append([]ShardError(nil), j.errors...),
 	}
 	if j.result != nil {
@@ -189,10 +199,11 @@ func (j *job) status() JobStatus {
 }
 
 // fleetKey identifies one fleet-wide merged profile: snapshots only merge
-// within a (benchmark, degree) cell.
+// within a (benchmark, degree, window width) cell.
 type fleetKey struct {
 	bench string
 	k     int
+	iters int
 }
 
 // pipeEntry is a singleflight slot for one program's pipeline.
@@ -343,14 +354,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Shards == 0 {
 		req.Shards = 1
 	}
-	if req.Shards < 1 || req.Shards > s.cfg.MaxShards {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("shards must be in [1,%d], got %d", s.cfg.MaxShards, req.Shards))
-		return
+	if req.Iters == 0 {
+		req.Iters = 2
 	}
-	if req.K < -1 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be >= -1, got %d", req.K))
-		return
+	for _, err := range []error{
+		limits.Shards(req.Shards, s.cfg.MaxShards),
+		limits.K(req.K),
+		limits.Iters(req.Iters),
+	} {
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
 
 	s.drainMu.RLock()
@@ -376,7 +391,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- j:
 		s.metrics.jobsAccepted.Add(1)
 		s.log.Info("job.accepted", "job_id", j.id, "benchmark", req.Benchmark,
-			"k", req.K, "shards", req.Shards)
+			"k", req.K, "iters", req.Iters, "shards", req.Shards)
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id})
 	default:
 		s.jobWG.Done()
@@ -427,35 +442,64 @@ func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
 	bench := r.PathValue("benchmark")
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
-	var ks []int
+	var cells []fleetKey
 	for key := range s.fleet {
 		if key.bench == bench {
-			ks = append(ks, key.k)
+			cells = append(cells, key)
 		}
 	}
-	if len(ks) == 0 {
+	if len(cells) == 0 {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no fleet profile for %q", bench))
 		return
 	}
-	sort.Ints(ks)
-	k := ks[0]
-	if kq := r.URL.Query().Get("k"); kq != "" {
-		v, err := strconv.Atoi(kq)
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].k != cells[j].k {
+			return cells[i].k < cells[j].k
+		}
+		return cells[i].iters < cells[j].iters
+	})
+	// The query may pin either axis; whatever remains ambiguous after
+	// filtering is a 409, an empty remainder a 404.
+	for _, axis := range []struct {
+		name string
+		get  func(fleetKey) int
+	}{
+		{"k", func(c fleetKey) int { return c.k }},
+		{"iters", func(c fleetKey) int { return c.iters }},
+	} {
+		q := r.URL.Query().Get(axis.name)
+		if q == "" {
+			continue
+		}
+		v, err := strconv.Atoi(q)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "malformed k")
+			writeError(w, http.StatusBadRequest, "malformed "+axis.name)
 			return
 		}
-		k = v
-	} else if len(ks) > 1 {
+		kept := cells[:0]
+		for _, c := range cells {
+			if axis.get(c) == v {
+				kept = append(kept, c)
+			}
+		}
+		cells = kept
+	}
+	if len(cells) == 0 {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("no fleet profile for %q matching the query", bench))
+		return
+	}
+	if len(cells) > 1 {
+		names := make([]string, len(cells))
+		for i, c := range cells {
+			names[i] = fmt.Sprintf("(k=%d,iters=%d)", c.k, c.iters)
+		}
 		writeError(w, http.StatusConflict,
-			fmt.Sprintf("fleet profiles exist at degrees %v; select one with ?k=", ks))
+			fmt.Sprintf("fleet profiles exist at cells %s; select one with ?k= and ?iters=",
+				strings.Join(names, " ")))
 		return
 	}
-	snap, ok := s.fleet[fleetKey{bench: bench, k: k}]
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no fleet profile for %q at k=%d", bench, k))
-		return
-	}
+	snap := s.fleet[cells[0]]
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	cw := &countingWriter{w: w}
 	snap.Encode(cw) //nolint:errcheck // client went away
@@ -543,7 +587,8 @@ func (s *Server) runJob(j *job) {
 	if max := p.Info.MaxDegree(); k > max {
 		k = max
 	}
-	cfg := instrument.Config{K: k, Loops: k >= 0, Interproc: k >= 0}
+	iters := j.req.Iters
+	cfg := instrument.Config{K: k, Loops: k >= 0, Interproc: k >= 0, Iters: iters}
 
 	// Fan the shards out; each holds one pool slot while executing. Shard
 	// errors carry the shard index both structurally (ShardError.Shard)
@@ -568,7 +613,7 @@ func (s *Server) runJob(j *job) {
 			perr := s.pool().DoCtx(ctx, func() {
 				execSpan := shardSpan.Child(StageExecute)
 				run, rerr := p.ExecuteStore(pipeline.EngineVM, cfg, j.req.Seed+uint64(i), nil,
-					profile.NewStore(s.cfg.Store, p.Info), s.cfg.MaxSteps)
+					profile.NewStore(s.cfg.Store, p.Info, iters), s.cfg.MaxSteps)
 				execSpan.End()
 				s.metrics.shardExecuteMs.Observe(float64(execSpan.Duration()) / float64(time.Millisecond))
 				s.metrics.shardsRun.Add(1)
@@ -576,7 +621,7 @@ func (s *Server) runJob(j *job) {
 					outs[i].err = fmt.Errorf("shard %d: %w", i, rerr)
 					return
 				}
-				outs[i].snap = merge.New(k, run.Counters)
+				outs[i].snap = merge.New(k, iters, run.Counters)
 				outs[i].steps = run.Steps
 			})
 			if perr != nil {
@@ -629,7 +674,7 @@ func (s *Server) runJob(j *job) {
 	s.log.Debug("job.merge", "job_id", j.id, "snapshots", len(snaps), "mass", snap.Mass())
 
 	estSpan := j.span.Child(StageEstimate)
-	pe, err := core.FromPipeline(p).EstimateMode(core.RunFromCounters(k, snap.Counters), estimate.Paper)
+	pe, err := core.FromPipeline(p).EstimateMode(core.RunFromCounters(k, iters, snap.Counters), estimate.Paper)
 	estSpan.End()
 	s.metrics.estimateMs.Observe(float64(estSpan.Duration()) / float64(time.Millisecond))
 	if err != nil {
@@ -639,7 +684,7 @@ func (s *Server) runJob(j *job) {
 	s.log.Debug("job.estimate", "job_id", j.id, "k", k)
 	vars, exact := pe.Counts()
 	res := &JobResult{
-		Funcs: snap.NumFuncs, MaxDegree: p.Info.MaxDegree(), K: k,
+		Funcs: snap.NumFuncs, MaxDegree: p.Info.MaxDegree(), K: k, Iters: iters,
 		Steps: steps, Mass: snap.Mass(), MergeNs: mergeNs,
 		Definite: pe.Definite(), Potential: pe.Potential(),
 		Vars: vars, Exact: exact, Skipped: pe.Skipped,
@@ -647,11 +692,11 @@ func (s *Server) runJob(j *job) {
 
 	if j.req.Benchmark != "" {
 		s.fleetMu.Lock()
-		key := fleetKey{bench: j.req.Benchmark, k: k}
+		key := fleetKey{bench: j.req.Benchmark, k: k, iters: iters}
 		if f := s.fleet[key]; f == nil {
 			s.fleet[key] = snap.Clone()
 		} else {
-			f.Merge(snap) //nolint:errcheck // same benchmark+k is compatible by construction
+			f.Merge(snap) //nolint:errcheck // same benchmark+k+iters cell is compatible by construction
 		}
 		s.fleetMu.Unlock()
 	}

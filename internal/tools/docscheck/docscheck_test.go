@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"pathprof/internal/limits"
 	"pathprof/internal/server"
 )
 
@@ -22,7 +23,13 @@ func goodDesign() string {
 	for _, m := range server.HistogramMetricNames {
 		fmt.Fprintf(&b, "| `%s` | ms |\n", m)
 	}
-	b.WriteString("\n## 13. Next\n")
+	b.WriteString("\n## 13. Multi-iteration\n\nWidths in `")
+	fmt.Fprintf(&b, "[%d,%d]", limits.MinIters, limits.MaxIters)
+	b.WriteString("` up to `olpath.MaxIters`; widened key fields:")
+	for _, f := range WidenedLoopKeyFields() {
+		fmt.Fprintf(&b, " `%s`", f)
+	}
+	b.WriteString(".\n")
 	return b.String()
 }
 
@@ -39,8 +46,8 @@ func TestCheckDesignCatchesDrift(t *testing.T) {
 		t.Fatalf("dropped metric not caught: %v", got)
 	}
 
-	stale := strings.Replace(goodDesign(), "## 13. Next",
-		"| `old_stage_name` | gone |\n\n## 13. Next", 1)
+	stale := strings.Replace(goodDesign(), "## 13. Multi-iteration",
+		"| `old_stage_name` | gone |\n\n## 13. Multi-iteration", 1)
 	got = CheckDesign(stale)
 	if len(got) != 1 || !strings.Contains(got[0], `"old_stage_name"`) {
 		t.Fatalf("stale documented name not caught: %v", got)
@@ -48,6 +55,42 @@ func TestCheckDesignCatchesDrift(t *testing.T) {
 
 	if got := CheckDesign("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 12") {
 		t.Fatalf("missing section not caught: %v", got)
+	}
+}
+
+func TestCheckItersAccepts(t *testing.T) {
+	if got := CheckIters(goodDesign()); len(got) != 0 {
+		t.Fatalf("complaints on a faithful §13:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+func TestCheckItersCatchesDrift(t *testing.T) {
+	// Dropping a widened key field, the validated range, or the ring
+	// constant must each produce exactly one complaint naming the loss.
+	for token, want := range map[string]string{
+		"`Full3`": `field "Full3" is undocumented`,
+		fmt.Sprintf("`[%d,%d]`", limits.MinIters, limits.MaxIters): "window-width range",
+		"`olpath.MaxIters`": "ring-capacity constant",
+	} {
+		broken := strings.Replace(goodDesign(), token, "redacted", 1)
+		got := CheckIters(broken)
+		if len(got) != 1 || !strings.Contains(got[0], want) {
+			t.Errorf("dropping %s: want one complaint containing %q, got %v", token, want, got)
+		}
+	}
+	if got := CheckIters("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 13") {
+		t.Fatalf("missing section not caught: %v", got)
+	}
+}
+
+func TestWidenedLoopKeyFields(t *testing.T) {
+	// The reflection walk must surface the offset-by-one route fields and
+	// their completeness bits — the §13 check has no teeth without them.
+	got := strings.Join(WidenedLoopKeyFields(), " ")
+	for _, f := range []string{"Ext2", "Full2", "Ext3", "Full3"} {
+		if !strings.Contains(got, f) {
+			t.Errorf("WidenedLoopKeyFields() = %q, missing %s", got, f)
+		}
 	}
 }
 
@@ -100,6 +143,9 @@ func TestRepoDocsPass(t *testing.T) {
 	}
 	if got := CheckDesign(string(raw)); len(got) != 0 {
 		t.Errorf("DESIGN.md drift:\n%s", strings.Join(got, "\n"))
+	}
+	if got := CheckIters(string(raw)); len(got) != 0 {
+		t.Errorf("DESIGN.md §13 drift:\n%s", strings.Join(got, "\n"))
 	}
 	files := []string{"../../../README.md", "../../../DESIGN.md", "../../../EXPERIMENTS.md", "../../../ROADMAP.md"}
 	docs, _ := filepath.Glob("../../../docs/*.md")

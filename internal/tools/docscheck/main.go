@@ -4,7 +4,10 @@
 //   - a span stage or histogram metric name documented in DESIGN.md §12
 //     differs from what internal/server exports (server.SpanStages,
 //     server.HistogramMetricNames, and MetricsSnapshot's histogram JSON
-//     tags — checked verbatim, in both directions), or
+//     tags — checked verbatim, in both directions),
+//   - DESIGN.md §13 stops documenting the multi-iteration surface (the
+//     widened profile.LoopKey fields, the window-width range internal/limits
+//     enforces, or the olpath.MaxIters ring capacity), or
 //   - any relative markdown link in the checked documents points at a file
 //     that does not exist.
 //
@@ -34,6 +37,7 @@ func main() {
 		os.Exit(2)
 	}
 	complaints := CheckDesign(string(raw))
+	complaints = append(complaints, CheckIters(string(raw))...)
 
 	files := flag.Args()
 	if len(files) == 0 {

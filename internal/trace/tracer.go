@@ -11,6 +11,7 @@ import (
 	"pathprof/internal/bl"
 	"pathprof/internal/cfg"
 	"pathprof/internal/interp"
+	"pathprof/internal/olpath"
 	"pathprof/internal/profile"
 )
 
@@ -20,6 +21,23 @@ import (
 type LoopAdjKey struct {
 	Func, Loop int
 	A, B       int64
+}
+
+// LoopChainKey records one maximal multi-iteration window observed on loop
+// (Func, Loop): the window opened when BL path Base completed at one of the
+// loop's backedges, and then collected the descriptors Succ[0..N-1] of its
+// next N backedge/exit crossings. A crossing's descriptor is the first BL
+// path that completed after the crossing began — the path whose loop
+// occurrence fully determines the route and completeness the instrumented
+// runtime registers for that crossing (the same per-path analysis the
+// two-iteration derivation applies to adjacency successors). Chains are
+// recorded at the maximum width (olpath.MaxIters-1 descriptors); expected
+// counters at any iters in [2, olpath.MaxIters] derive by prefix-slicing.
+type LoopChainKey struct {
+	Func, Loop int
+	Base       int64
+	N          int
+	Succ       [olpath.MaxIters - 1]int64
 }
 
 // T1AdjKey records a Type I crossing: at call Site of Caller (prefix
@@ -80,6 +98,10 @@ type Tracer struct {
 	LoopAdj map[LoopAdjKey]uint64
 	T1      map[T1AdjKey]uint64
 	T2      map[T2AdjKey]uint64
+	// LoopChain holds the maximal-width multi-iteration window chains
+	// (see LoopChainKey); multi-iteration expected counters derive from
+	// these.
+	LoopChain map[LoopChainKey]uint64
 	// Calls counts calls per (caller, site, callee).
 	Calls map[profile.CallKey]uint64
 	// Attr is the Table 1 attribution tally.
@@ -116,6 +138,35 @@ type pendLoop struct {
 	rec *instRec
 }
 
+// chainWin is one open multi-iteration window of the tracer, mirroring the
+// runtime's olpath.Window but holding crossing descriptors (BL path ids)
+// instead of resolved routes.
+type chainWin struct {
+	base int64
+	n    int
+	succ [olpath.MaxIters - 1]int64
+}
+
+// loopTraceState is one loop's per-frame chain-recording state.
+type loopTraceState struct {
+	// open are the loop's open windows, oldest first (at most
+	// olpath.MaxIters-1, like the runtime's ring).
+	open []chainWin
+	// awaiting marks a crossing in progress: the loop's tracker activated
+	// at a backedge completion and has not yet crossed again or exited.
+	awaiting bool
+	// desc/haveDesc capture the in-progress crossing's descriptor — the
+	// first path that completed after activation (a path ending at another
+	// loop's backedge inside the body; it breaks and freezes the tracker,
+	// so later paths cannot influence the crossing's route).
+	desc     int64
+	haveDesc bool
+	// pendExit marks windows flushed at a loop exit before any path
+	// completed since activation: their final descriptor is the path in
+	// flight at the exit edge, adopted when it completes.
+	pendExit bool
+}
+
 type frState struct {
 	fi  *profile.FuncInfo
 	w   *bl.Walker
@@ -129,6 +180,8 @@ type frState struct {
 	// pendII are Type II crossings awaiting the enclosing path's
 	// completion.
 	pendII []pendT2
+	// loopSt is the per-loop multi-iteration chain state.
+	loopSt []loopTraceState
 	// lastID is the id of the frame's final (exit) instance.
 	lastID int64
 }
@@ -139,6 +192,7 @@ func NewTracer(info *profile.Info, m *interp.Machine) *Tracer {
 		Info:      info,
 		BL:        make([]map[int64]uint64, len(info.Funcs)),
 		LoopAdj:   map[LoopAdjKey]uint64{},
+		LoopChain: map[LoopChainKey]uint64{},
 		T1:        map[T1AdjKey]uint64{},
 		T2:        map[T2AdjKey]uint64{},
 		Calls:     map[profile.CallKey]uint64{},
@@ -190,6 +244,9 @@ func (t *Tracer) OnEnter(fr *interp.Frame) {
 		cur:   &instRec{},
 		first: t.pendingEnter,
 	}
+	if len(fi.Loops) > 0 {
+		fs.loopSt = make([]loopTraceState, len(fi.Loops))
+	}
 	t.pendingEnter = nil
 	fr.Data[t.idx] = fs
 	if t.WPP != nil {
@@ -200,6 +257,25 @@ func (t *Tracer) OnEnter(fr *interp.Frame) {
 // OnEdge implements interp.Listener.
 func (t *Tracer) OnEdge(fr *interp.Frame, from, to int) {
 	fs := t.state(fr)
+	// Loop exit edges flush the runtime's windows before the walker
+	// consumes the edge; the chains close with the crossing's descriptor —
+	// already captured, or pending until the in-flight path completes.
+	for i := range fs.loopSt {
+		li := fs.fi.Loops[i]
+		if !li.Loop.Contains(cfg.NodeID(from)) || li.Loop.Contains(cfg.NodeID(to)) {
+			continue
+		}
+		st := &fs.loopSt[i]
+		if !st.awaiting {
+			continue
+		}
+		if st.haveDesc {
+			t.closeChains(fs, i, st, st.desc)
+		} else {
+			st.pendExit = true
+		}
+		st.awaiting, st.haveDesc = false, false
+	}
 	inst, err := fs.w.Step(cfg.NodeID(to))
 	if err != nil {
 		t.setErr(err)
@@ -292,6 +368,37 @@ func (t *Tracer) completed(fs *frState, inst *bl.Instance) {
 	}
 	fs.pendII = fs.pendII[:0]
 
+	// Multi-iteration chain recording. A pending exit flush resolves
+	// first (its descriptor is this path); then a completion at a loop's
+	// own backedge closes that loop's in-progress crossing and opens a new
+	// window; and for every other loop awaiting a descriptor, this path —
+	// the first to complete since activation — is it.
+	var beLoop *profile.LoopInfo
+	if !inst.AtExit && len(fs.loopSt) > 0 {
+		beLoop = fi.LoopOfBackedge[inst.EndBackedge]
+	}
+	for i := range fs.loopSt {
+		st := &fs.loopSt[i]
+		if st.pendExit {
+			t.closeChains(fs, i, st, inst.PathID)
+			st.pendExit = false
+		}
+		switch {
+		case beLoop != nil && beLoop.Index == i:
+			if st.awaiting {
+				d := inst.PathID
+				if st.haveDesc {
+					d = st.desc
+				}
+				t.advanceChains(fs, i, st, d)
+			}
+			st.open = append(st.open, chainWin{base: inst.PathID})
+			st.awaiting, st.haveDesc = true, false
+		case st.awaiting && !st.haveDesc:
+			st.desc, st.haveDesc = inst.PathID, true
+		}
+	}
+
 	// Loop pairing with the previous backedge-terminated instance.
 	if pb := fs.pendBase; pb != nil {
 		t.LoopAdj[LoopAdjKey{Func: fi.Index, Loop: pb.li.Index, A: pb.id, B: inst.PathID}]++
@@ -311,6 +418,35 @@ func (t *Tracer) completed(fs *frState, inst *bl.Instance) {
 		fs.pendBase = &pendLoop{li: li, id: inst.PathID, rec: fs.cur}
 	}
 	// Exit instances are tallied by OnExit (main) or OnReturn (callees).
+}
+
+// closeChains appends the final crossing descriptor d to every open window
+// of loop and records them all as chains (truncated or not) — the tracer's
+// analogue of the runtime ring's FlushAll.
+func (t *Tracer) closeChains(fs *frState, loop int, st *loopTraceState, d int64) {
+	for _, w := range st.open {
+		w.succ[w.n] = d
+		w.n++
+		t.LoopChain[LoopChainKey{Func: fs.fi.Index, Loop: loop, Base: w.base, N: w.n, Succ: w.succ}]++
+	}
+	st.open = st.open[:0]
+}
+
+// advanceChains appends crossing descriptor d to every open window of loop
+// and records those reaching the maximum width — the tracer's analogue of
+// the runtime ring's Cross.
+func (t *Tracer) advanceChains(fs *frState, loop int, st *loopTraceState, d int64) {
+	kept := st.open[:0]
+	for _, w := range st.open {
+		w.succ[w.n] = d
+		w.n++
+		if w.n >= olpath.MaxIters-1 {
+			t.LoopChain[LoopChainKey{Func: fs.fi.Index, Loop: loop, Base: w.base, N: w.n, Succ: w.succ}]++
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	st.open = kept
 }
 
 // pairForms reports whether the adjacency (pb.id ! next) constitutes an

@@ -176,6 +176,7 @@ type compiledFunc struct {
 	code     []inst
 
 	numLoops   int
+	iters      int   // multi-iteration window width (plan Cfg.EffIters())
 	loopFreeze []int // per loop: preds threshold (ext degree + 1)
 	loopRoot   []int // per loop: preds at activation (root depth)
 
@@ -295,6 +296,7 @@ func compileFunc(prog *ir.Program, plan *instrument.Plan, idx int, fn *ir.Func) 
 	cf.code = c.code
 
 	if plan != nil {
+		cf.iters = plan.Cfg.EffIters()
 		if c.loopExts != nil {
 			cf.numLoops = len(c.loopExts)
 			cf.loopFreeze = make([]int, cf.numLoops)

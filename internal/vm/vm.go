@@ -8,6 +8,7 @@ import (
 	"pathprof/internal/interp"
 	"pathprof/internal/ir"
 	"pathprof/internal/obs"
+	"pathprof/internal/olpath"
 	"pathprof/internal/overhead"
 	"pathprof/internal/profile"
 )
@@ -45,9 +46,11 @@ type frame struct {
 	r      int64
 	lastID int64
 
-	// Overlap trackers.
+	// Overlap trackers; rings[i] holds loop i's open multi-iteration
+	// windows (at iters=2 a ring degenerates to the classic single
+	// base-path register).
 	loops       []trk
-	loopBase    []int64
+	rings       []olpath.Ring
 	entry       trk
 	entryCaller int
 	entrySite   int
@@ -182,13 +185,13 @@ func (m *Machine) getFrame(cf *compiledFunc, depth int) *frame {
 		for i := range fr.loops {
 			fr.loops[i] = trk{}
 		}
-		fr.loopBase = fr.loopBase[:cf.numLoops]
-		for i := range fr.loopBase {
-			fr.loopBase[i] = 0
-		}
+		fr.rings = fr.rings[:cf.numLoops]
 	} else {
 		fr.loops = make([]trk, cf.numLoops)
-		fr.loopBase = make([]int64, cf.numLoops)
+		fr.rings = make([]olpath.Ring, cf.numLoops)
+	}
+	for i := range fr.rings {
+		fr.rings[i].Reset(cf.iters)
 	}
 	fr.suffixes = fr.suffixes[:0]
 	return fr
@@ -457,7 +460,7 @@ func (m *Machine) runProbe(fr *frame, p *edgeProbe) {
 		switch la.kind {
 		case laExit:
 			if t.active {
-				m.flushLoop(fr, int(la.loop), la.full)
+				m.crossLoop(fr, int(la.loop), true, la.full)
 			}
 		case laBroken:
 			if t.active {
@@ -505,14 +508,14 @@ func (m *Machine) runProbe(fr *frame, p *edgeProbe) {
 	if p.beLoop >= 0 {
 		lt := &fr.loops[p.beLoop]
 		if lt.active {
-			m.flushLoop(fr, int(p.beLoop), true)
+			m.crossLoop(fr, int(p.beLoop), false, true)
 		}
 		lt.active = true
 		lt.frozen = fr.fn.loopRoot[p.beLoop] >= fr.fn.loopFreeze[p.beLoop]
 		lt.broken = false
 		lt.accum = 0
 		lt.preds = fr.fn.loopRoot[p.beLoop]
-		fr.loopBase[p.beLoop] = id
+		fr.rings[p.beLoop].Open(id)
 		m.LoopOps += 3 * overhead.RegOp // ro = r + y; r = x; ol = 0
 	}
 }
@@ -542,19 +545,30 @@ func (m *Machine) extStep(t *trk, a *extAct, freeze int) {
 	}
 }
 
-// flushLoop finalizes one loop extension into a counter.
-func (m *Machine) flushLoop(fr *frame, loop int, full bool) {
+// crossLoop finalizes one backedge/exit crossing of one loop, mirroring the
+// tree engine's crossLoop: the tracker's route is appended to every open
+// window of the loop's ring, closed windows become counter increments, and
+// — on the loop's own backedge (exit=false) — still-open windows pay one
+// register append each. An interrupted (broken) crossing is kept but never
+// full.
+func (m *Machine) crossLoop(fr *frame, loop int, exit, fullIter bool) {
 	t := &fr.loops[loop]
-	if t.broken {
-		full = false
-	}
+	full := fullIter && !t.broken
 	ext := t.accum
 	*t = trk{}
-	m.store.IncLoop(profile.LoopKey{
-		Func: fr.fn.idx, Loop: loop,
-		Base: fr.loopBase[loop], Ext: ext, Full: full,
-	})
-	m.LoopOps += overhead.CounterOp
+	ring := &fr.rings[loop]
+	var ws []olpath.Window
+	if exit {
+		ws = ring.FlushAll(ext, full)
+	} else {
+		open := ring.Len()
+		ws = ring.Cross(ext, full)
+		m.LoopOps += int64(open-len(ws)) * overhead.RegOp
+	}
+	for _, w := range ws {
+		m.store.IncLoop(profile.LoopKeyOf(fr.fn.idx, loop, w))
+		m.LoopOps += overhead.CounterOp
+	}
 }
 
 // completePath handles a finished Ball-Larus path instance: the BL counter,
