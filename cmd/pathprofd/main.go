@@ -3,6 +3,15 @@
 // serves merged per-job and fleet-wide profiles. See internal/server for the
 // API; cmd/profload is the matching load generator.
 //
+// -mode selects the deployment role (DESIGN.md §14, docs/OPERATIONS.md):
+//
+//	standalone   one self-contained daemon (the default)
+//	worker       a cluster serving node: executes sub-jobs, holds the fleet
+//	             cells a coordinator installs on it, never self-folds
+//	coordinator  the cluster front door: consistent-hash-shards fleet cells
+//	             across the -workers ring, fans job chunks out with
+//	             least-loaded dispatch and retry, owns the authoritative fold
+//
 // SIGTERM/SIGINT triggers a graceful drain: new jobs are refused with 503,
 // every already-accepted job completes and folds into its fleet profile, and
 // only then does the listener shut down.
@@ -25,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"pathprof/internal/cluster"
 	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
@@ -48,12 +58,17 @@ func parseLevel(s string) (slog.Level, bool) {
 
 func main() {
 	addr := flag.String("addr", "localhost:7422", "listen address")
+	mode := flag.String("mode", "standalone", "deployment role: standalone|worker|coordinator")
+	workers := flag.String("workers", "", "comma-separated worker base URLs (coordinator mode; more can join via POST /v1/cluster/join)")
 	queueCap := flag.Int("queue", 256, "job queue capacity (full queue rejects with 429)")
 	runners := flag.Int("runners", 0, "concurrent job executors (0 = GOMAXPROCS)")
 	storeNm := flag.String("store", "flat", "counter store layout: nested|flat|arena")
 	parallel := flag.Int("parallel", 0, "shard worker pool size (0 = GOMAXPROCS)")
 	maxSteps := flag.Int64("max-steps", 0, "per-shard VM step limit (0 = engine default)")
 	maxShards := flag.Int("max-shards", 64, "largest accepted per-job shard count")
+	chunkShards := flag.Int("chunk-shards", 1, "shards per dispatched sub-job (coordinator mode)")
+	maxAttempts := flag.Int("max-attempts", 4, "dispatch attempts per chunk before the job fails (coordinator mode)")
+	attemptTimeout := flag.Duration("attempt-timeout", 30*time.Second, "per-dispatch-attempt budget (coordinator mode)")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job wall-clock budget")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-HTTP-request handler budget")
 	drainWait := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
@@ -75,16 +90,54 @@ func main() {
 	obs.SetLogger(lg) // pipeline/vm/merge debug events flow to the same stream
 	pipeline.SetParallelism(*parallel)
 
-	srv := server.New(server.Config{
-		QueueCap:   *queueCap,
-		Runners:    *runners,
-		MaxShards:  *maxShards,
-		Store:      store,
-		MaxSteps:   *maxSteps,
-		JobTimeout: *jobTimeout,
-		Logger:     lg,
-	})
-	srv.Start()
+	// All three roles expose the same job API; they differ in who executes
+	// and who folds.
+	var (
+		handler http.Handler
+		drain   func(context.Context) error
+		closeFn func()
+	)
+	switch *mode {
+	case "standalone", "worker":
+		srv := server.New(server.Config{
+			QueueCap:  *queueCap,
+			Runners:   *runners,
+			MaxShards: *maxShards,
+			Store:     store,
+			MaxSteps:  *maxSteps,
+			// A worker's fleet cells are installed by its coordinator;
+			// self-folding sub-job results would double-count them.
+			FleetIngestOnly: *mode == "worker",
+			JobTimeout:      *jobTimeout,
+			Logger:          lg,
+		})
+		srv.Start()
+		handler, drain, closeFn = srv.Handler(), srv.Drain, srv.Close
+	case "coordinator":
+		var members []string
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(strings.TrimRight(w, "/")); w != "" {
+				members = append(members, w)
+			}
+		}
+		coord := cluster.New(cluster.Config{
+			Workers:        members,
+			QueueCap:       *queueCap,
+			Runners:        *runners,
+			MaxShards:      *maxShards,
+			ChunkShards:    *chunkShards,
+			MaxAttempts:    *maxAttempts,
+			AttemptTimeout: *attemptTimeout,
+			JobTimeout:     *jobTimeout,
+			Logger:         lg,
+		})
+		coord.Start()
+		handler, drain, closeFn = coord.Handler(), coord.Drain, coord.Close
+		lg.Info("cluster.members", "workers", coord.Workers())
+	default:
+		fmt.Fprintf(os.Stderr, "pathprofd: unknown mode %q (want standalone|worker|coordinator)\n", *mode)
+		os.Exit(2)
+	}
 
 	if *debugAddr != "" {
 		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux()}
@@ -99,7 +152,7 @@ func main() {
 
 	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      http.TimeoutHandler(srv.Handler(), *reqTimeout, "request timed out\n"),
+		Handler:      http.TimeoutHandler(handler, *reqTimeout, "request timed out\n"),
 		ReadTimeout:  *reqTimeout,
 		WriteTimeout: 2 * *reqTimeout,
 	}
@@ -108,7 +161,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	lg.Info("listening", "addr", *addr, "store", store.String(), "queue", *queueCap)
+	lg.Info("listening", "addr", *addr, "mode", *mode, "store", store.String(), "queue", *queueCap)
 
 	select {
 	case err := <-errc:
@@ -120,7 +173,7 @@ func main() {
 	lg.Info("draining", "timeout", drainWait.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
-	if err := srv.Drain(dctx); err != nil {
+	if err := drain(dctx); err != nil {
 		lg.Warn("drain.incomplete", "error", err.Error())
 	} else {
 		lg.Info("drained")
@@ -128,5 +181,5 @@ func main() {
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		lg.Warn("http.shutdown.failed", "error", err.Error())
 	}
-	srv.Close()
+	closeFn()
 }

@@ -1,12 +1,23 @@
 // Command profload is the fleet-style load generator for pathprofd: it
 // hammers a running daemon with profiling jobs over the bundled workload
-// benchmarks, retries 429 backpressure bounces, and writes a throughput +
+// benchmarks, retries 429 backpressure bounces (with jittered backoff, so
+// concurrent submitters do not retry in lockstep), and writes a throughput +
 // latency-percentile report (BENCH_server.json by convention).
 //
 // Typical two-terminal session:
 //
 //	pathprofd -addr localhost:7422
 //	profload -addr http://localhost:7422 -n 64 -c 16 -out BENCH_server.json
+//
+// The same invocation drives a whole cluster — point -addr at a
+// coordinator-mode pathprofd and the sweep fans out across its worker ring
+// (the coordinator serves the identical job API; see DESIGN.md §14):
+//
+//	pathprofd -mode worker -addr localhost:7431
+//	pathprofd -mode worker -addr localhost:7432
+//	pathprofd -mode coordinator -addr localhost:7422 \
+//	    -workers http://localhost:7431,http://localhost:7432
+//	profload -addr http://localhost:7422 -n 64 -c 16
 package main
 
 import (
@@ -30,6 +41,7 @@ func main() {
 	c := flag.Int("c", 8, "concurrent submitters (offered concurrent-job load)")
 	shards := flag.Int("shards", 4, "shards per job")
 	k := flag.Int("k", 1, "degree of overlap per job")
+	iters := flag.Int("iters", 0, "multi-iteration window width per job (0 = classic two-iteration)")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark names (default: all)")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-job submit-to-done budget")
 	out := flag.String("out", "BENCH_server.json", "report path (- for stdout only)")
@@ -37,7 +49,7 @@ func main() {
 
 	cfg := server.LoadConfig{
 		BaseURL: strings.TrimRight(*addr, "/"), Jobs: *n, Concurrency: *c,
-		Shards: *shards, K: *k, JobTimeout: *jobTimeout,
+		Shards: *shards, K: *k, Iters: *iters, JobTimeout: *jobTimeout,
 	}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"pathprof/internal/merge"
+	"pathprof/internal/server"
+)
+
+// ShardError blames a failed shard chunk on exactly the worker and shard
+// range that produced it. The error text is the structural contract the
+// fault-injection tests pin: "worker %s: shard %d: <cause>", with the cause
+// reachable through errors.Is/As via Unwrap — a truncated snapshot, an
+// incompatible fold, a timeout, or an exhausted retry budget all surface
+// here instead of being dropped from the fold.
+type ShardError struct {
+	// Worker is the base URL of the worker the final attempt ran on.
+	Worker string
+	// Shard is the first shard index of the failed chunk (job-relative).
+	Shard int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the structural blame line.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("worker %s: shard %d: %v", e.Worker, e.Shard, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ErrAttemptsExhausted reports a chunk that failed on every allowed dispatch
+// attempt; the last attempt's cause is wrapped alongside it.
+var ErrAttemptsExhausted = errors.New("cluster: dispatch attempts exhausted")
+
+// backoff computes the bounded, jittered retry delay for attempt n (0-based):
+// exponential from base, capped, then multiplied by a random factor in
+// [0.5, 1.5). The jitter matters under fault storms — deterministic lockstep
+// backoff makes every concurrent retrier hammer the worker at the same
+// instants, re-creating the very burst that got them 429'd.
+func backoff(rng *rand.Rand, n int, base, cap time.Duration) time.Duration {
+	d := base << uint(n)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return time.Duration((0.5 + rng.Float64()) * float64(d))
+}
+
+// workerClient is the coordinator's HTTP client for one worker daemon. It
+// carries the per-worker load gauge least-loaded dispatch reads and its own
+// jitter source (rand.Rand is not safe for concurrent use, so the client
+// serializes access).
+type workerClient struct {
+	base string
+	cli  *http.Client
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	inFlight int
+}
+
+func newWorkerClient(base string, cli *http.Client, seed int64) *workerClient {
+	if cli == nil {
+		cli = http.DefaultClient
+	}
+	return &workerClient{base: base, cli: cli, rng: rand.New(rand.NewSource(seed))}
+}
+
+// load returns the worker's current in-flight chunk count.
+func (w *workerClient) load() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inFlight
+}
+
+func (w *workerClient) addLoad(d int) {
+	w.mu.Lock()
+	w.inFlight += d
+	w.mu.Unlock()
+}
+
+// sleep backs off attempt n, honoring ctx cancellation.
+func (w *workerClient) sleep(ctx context.Context, n int, base, cap time.Duration) error {
+	w.mu.Lock()
+	d := backoff(w.rng, n, base, cap)
+	w.mu.Unlock()
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// submit POSTs a sub-job, retrying 429 backpressure bounces with jittered
+// backoff until accepted or ctx expires. Any other non-202 status is an
+// immediate error (the chunk may still be retried on another worker by the
+// dispatcher above).
+func (w *workerClient) submit(ctx context.Context, req server.JobRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := w.cli.Do(hreq)
+		if err != nil {
+			return "", err
+		}
+		var out map[string]string
+		json.NewDecoder(resp.Body).Decode(&out) //nolint:errcheck // error bodies may be empty
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			if out["id"] == "" {
+				return "", fmt.Errorf("submit: 202 without a job id")
+			}
+			return out["id"], nil
+		case http.StatusTooManyRequests:
+			if err := w.sleep(ctx, attempt, 2*time.Millisecond, 100*time.Millisecond); err != nil {
+				return "", fmt.Errorf("submit: %w after %d backpressure bounces", err, attempt+1)
+			}
+		default:
+			return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, out["error"])
+		}
+	}
+}
+
+// poll waits for the sub-job to settle and returns its final status. A
+// failed sub-job is an error carrying the worker-side shard errors, so the
+// blame chain reads coordinator chunk -> worker shard.
+func (w *workerClient) poll(ctx context.Context, id string) (*server.JobStatus, error) {
+	for {
+		raw, err := w.get(ctx, "/v1/jobs/"+id)
+		if err != nil {
+			return nil, fmt.Errorf("poll %s: %w", id, err)
+		}
+		var st server.JobStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return nil, fmt.Errorf("poll %s: %w", id, err)
+		}
+		switch st.State {
+		case "done":
+			return &st, nil
+		case "failed":
+			return nil, fmt.Errorf("sub-job %s failed: %v", id, st.Errors)
+		}
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// fetchProfile GETs and decodes a sub-job's merged snapshot. A truncated or
+// corrupted response fails the decode here — the dispatcher wraps the error
+// with worker+shard blame; nothing is silently skipped.
+func (w *workerClient) fetchProfile(ctx context.Context, id string) (*merge.Snapshot, error) {
+	raw, err := w.get(ctx, "/v1/jobs/"+id+"/profile")
+	if err != nil {
+		return nil, fmt.Errorf("fetch profile %s: %w", id, err)
+	}
+	snap, err := merge.Decode(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("decode profile %s: %w", id, err)
+	}
+	return snap, nil
+}
+
+// fetchFleet GETs one fleet cell's encoded bytes from the worker.
+func (w *workerClient) fetchFleet(ctx context.Context, bench string, k, iters int) ([]byte, error) {
+	return w.get(ctx, fmt.Sprintf("/v1/profiles/%s?k=%d&iters=%d", bench, k, iters))
+}
+
+// installFleet PUTs a fleet cell onto the worker (replace semantics on the
+// worker side), retrying 429 like submit.
+func (w *workerClient) installFleet(ctx context.Context, bench string, snap *merge.Snapshot) error {
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, w.base+"/v1/profiles/"+bench, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		resp, err := w.cli.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			return nil
+		case http.StatusTooManyRequests:
+			if err := w.sleep(ctx, attempt, 2*time.Millisecond, 100*time.Millisecond); err != nil {
+				return fmt.Errorf("install fleet %s: %w", bench, err)
+			}
+		default:
+			return fmt.Errorf("install fleet %s: status %d", bench, resp.StatusCode)
+		}
+	}
+}
+
+// deleteFleet drops one fleet cell from the worker (best-effort handoff
+// cleanup; idempotent on the worker side).
+func (w *workerClient) deleteFleet(ctx context.Context, bench string, k, iters int) error {
+	url := fmt.Sprintf("%s/v1/profiles/%s?k=%d&iters=%d", w.base, bench, k, iters)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.cli.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("delete fleet %s: status %d", bench, resp.StatusCode)
+	}
+	return nil
+}
+
+// get issues a GET and returns the body on 200, an error otherwise.
+func (w *workerClient) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.cli.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return raw, nil
+}

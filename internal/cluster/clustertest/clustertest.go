@@ -1,0 +1,170 @@
+// Package clustertest is the multi-node correctness harness for
+// internal/cluster: an in-process rig that boots N worker pathprofd servers
+// behind fault-injecting proxies plus a coordinator over them, and a
+// single-node control daemon — so any cluster topology can be checked
+// differentially, byte for byte, against the one-node answer the oracle's
+// CheckMerge invariant guarantees.
+//
+// The rig is a first-class deliverable, not test scaffolding: every fault
+// class the cluster claims to survive (worker crash mid-job, 429 storms,
+// slow/hung workers, ring membership churn mid-sweep) is injectable here,
+// and the differential check is the same for all of them — the coordinator's
+// fleet profiles must equal the control daemon's exactly.
+package clustertest
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pathprof/internal/cluster"
+	"pathprof/internal/server"
+)
+
+// Worker is one cluster member: a worker-mode pathprofd server behind its
+// fault proxy.
+type Worker struct {
+	// Srv is the worker daemon (FleetIngestOnly: it never self-folds).
+	Srv *server.Server
+	// Proxy injects faults between the coordinator and the daemon.
+	Proxy *FaultProxy
+	// TS is the listener; URL its base address.
+	TS  *httptest.Server
+	URL string
+}
+
+// Crash makes the worker unreachable immediately: in-flight connections are
+// severed and new ones refused, exactly what a process kill looks like from
+// the coordinator's side. The server object itself keeps draining in the
+// background (the rig closes it at cleanup).
+func (w *Worker) Crash() {
+	w.TS.CloseClientConnections()
+	w.TS.Listener.Close() //nolint:errcheck // double-close at cleanup is fine
+}
+
+// Rig is the in-process cluster: N fault-wrapped workers, a coordinator
+// over all of them, and the coordinator's own listener.
+type Rig struct {
+	Workers []*Worker
+	Coord   *cluster.Coordinator
+	TS      *httptest.Server
+	// Client drives the coordinator's HTTP API.
+	Client *Client
+}
+
+// Options tunes rig construction.
+type Options struct {
+	// AttemptTimeout overrides the coordinator's per-attempt budget
+	// (default 15s; fault tests shorten it so a hung worker costs ms).
+	AttemptTimeout time.Duration
+	// MaxAttempts overrides the per-chunk dispatch budget (default 4;
+	// tamper tests set 1 so a corrupted response cannot be healed by a
+	// retry landing on a healthy worker).
+	MaxAttempts int
+	// ChunkShards overrides the shards-per-dispatch granularity
+	// (default 1).
+	ChunkShards int
+	// WorkerRunners sizes each worker's runner pool (default 2).
+	WorkerRunners int
+}
+
+// quiet is a logger that drops everything — rig tests assert on behavior,
+// not log output, and a fault sweep is noisy by design.
+func quiet() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 4}))
+}
+
+// NewRig boots an n-worker cluster (workers in ingest-only mode behind
+// fault proxies, coordinator started) and registers teardown on t.
+func NewRig(t *testing.T, n int, opts Options) *Rig {
+	t.Helper()
+	if opts.AttemptTimeout <= 0 {
+		opts.AttemptTimeout = 15 * time.Second
+	}
+	if opts.WorkerRunners <= 0 {
+		opts.WorkerRunners = 2
+	}
+	r := &Rig{}
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		w := newWorker(t, opts)
+		r.Workers = append(r.Workers, w)
+		urls = append(urls, w.URL)
+	}
+	r.Coord = cluster.New(cluster.Config{
+		Workers:        urls,
+		Runners:        4,
+		ChunkShards:    opts.ChunkShards,
+		MaxAttempts:    opts.MaxAttempts,
+		AttemptTimeout: opts.AttemptTimeout,
+		// A per-request ceiling so a hung worker cannot stall the paths that
+		// run outside the attempt budget (fleet pushes, handoffs).
+		Client: &http.Client{Timeout: opts.AttemptTimeout},
+		Logger: quiet(),
+	})
+	r.Coord.Start()
+	r.TS = httptest.NewServer(r.Coord.Handler())
+	t.Cleanup(func() {
+		r.TS.Close()
+		r.Coord.Close()
+	})
+	r.Client = NewClient(t, r.TS.URL)
+	return r
+}
+
+// newWorker boots one ingest-only worker daemon behind a fresh fault proxy.
+func newWorker(t *testing.T, opts Options) *Worker {
+	t.Helper()
+	srv := server.New(server.Config{
+		Runners:         opts.WorkerRunners,
+		FleetIngestOnly: true,
+		Logger:          quiet(),
+	})
+	srv.Start()
+	proxy := NewFaultProxy(srv.Handler())
+	ts := httptest.NewServer(proxy)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return &Worker{Srv: srv, Proxy: proxy, TS: ts, URL: ts.URL}
+}
+
+// AddWorker boots one more worker and joins it to the ring (handoff
+// included), returning it.
+func (r *Rig) AddWorker(t *testing.T, opts Options) *Worker {
+	t.Helper()
+	w := newWorker(t, opts)
+	r.Workers = append(r.Workers, w)
+	if !r.Coord.AddWorker(context.Background(), w.URL) {
+		t.Fatalf("worker %s did not join", w.URL)
+	}
+	return w
+}
+
+// RemoveWorker gracefully leaves a worker from the ring (its fleet cells
+// hand off to the survivors). The worker keeps serving — leave, not crash.
+func (r *Rig) RemoveWorker(t *testing.T, w *Worker) {
+	t.Helper()
+	if !r.Coord.RemoveWorker(context.Background(), w.URL) {
+		t.Fatalf("worker %s was not a member", w.URL)
+	}
+}
+
+// NewControl boots the single-node control daemon the differential checks
+// compare against: a plain standalone pathprofd.
+func NewControl(t *testing.T) *Client {
+	t.Helper()
+	srv := server.New(server.Config{Runners: 4, Logger: quiet()})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return NewClient(t, ts.URL)
+}

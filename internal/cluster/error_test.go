@@ -1,0 +1,40 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pathprof/internal/merge"
+)
+
+// TestShardErrorStructure pins the blame-line format and the unwrap chain:
+// callers must be able to match the text structurally AND reach the cause
+// through errors.Is/As.
+func TestShardErrorStructure(t *testing.T) {
+	inner := fmt.Errorf("decode profile j-1: %w", merge.ErrIncompatible)
+	se := &ShardError{Worker: "http://w1:7422", Shard: 3, Err: inner}
+
+	want := "worker http://w1:7422: shard 3: decode profile j-1: merge: incompatible snapshots"
+	if got := se.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	if !errors.Is(se, merge.ErrIncompatible) {
+		t.Error("errors.Is cannot reach the wrapped cause")
+	}
+
+	// The terminal dispatch error nests ShardError inside the exhausted-budget
+	// wrapper; both the sentinel and the structural blame must stay reachable.
+	terminal := &ShardError{Worker: "http://w2:7422", Shard: 5,
+		Err: fmt.Errorf("%w: %w", ErrAttemptsExhausted, se)}
+	if !errors.Is(terminal, ErrAttemptsExhausted) {
+		t.Error("errors.Is cannot reach ErrAttemptsExhausted")
+	}
+	if !errors.Is(terminal, merge.ErrIncompatible) {
+		t.Error("errors.Is cannot reach the innermost cause through the chain")
+	}
+	var got *ShardError
+	if !errors.As(terminal, &got) || got.Shard != 5 {
+		t.Errorf("errors.As resolved shard %d, want the outermost blame (5)", got.Shard)
+	}
+}

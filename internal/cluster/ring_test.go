@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys1000 returns the 1000-key probe set the balance and movement
+// properties are measured over — shaped like real placement keys.
+func keys1000() []string {
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench-%03d|k=%d|iters=%d", i%250, i%4, 2+i%3)
+	}
+	return keys
+}
+
+// owners maps every key to its ring owner.
+func owners(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("ring with %d nodes owns nothing for %q", r.Len(), k)
+		}
+		out[k] = o
+	}
+	return out
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://worker-%d:7422", i)
+	}
+	return out
+}
+
+// TestRingBalance is the balance property: across 1000 keys, every member
+// of an N-node ring holds a share within a constant factor of uniform —
+// no node may hold more than twice or less than half the ideal share.
+func TestRingBalance(t *testing.T) {
+	keys := keys1000()
+	for _, n := range []int{2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			r := NewRing(0)
+			for _, node := range nodeNames(n) {
+				r.Add(node)
+			}
+			counts := map[string]int{}
+			for _, o := range owners(t, r, keys) {
+				counts[o]++
+			}
+			if len(counts) != n {
+				t.Fatalf("only %d of %d nodes own keys: %v", len(counts), n, counts)
+			}
+			ideal := float64(len(keys)) / float64(n)
+			for node, got := range counts {
+				if f := float64(got); f > 2*ideal || f < ideal/2 {
+					t.Errorf("node %s owns %d keys; ideal %.0f (bound [%.0f, %.0f])",
+						node, got, ideal, ideal/2, 2*ideal)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovementOnJoin is the consistency property for joins: when
+// the N+1th node joins, only keys that move TO the new node change owner
+// (never between existing nodes), and the moved fraction is ~1/(N+1) — at
+// most twice that, given vnode variance.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := keys1000()
+	for _, n := range []int{2, 4, 7} {
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			r := NewRing(0)
+			nodes := nodeNames(n + 1)
+			for _, node := range nodes[:n] {
+				r.Add(node)
+			}
+			before := owners(t, r, keys)
+			joined := nodes[n]
+			if !r.Add(joined) {
+				t.Fatalf("join of %s reported no-op", joined)
+			}
+			after := owners(t, r, keys)
+
+			moved := 0
+			for _, k := range keys {
+				if before[k] == after[k] {
+					continue
+				}
+				moved++
+				if after[k] != joined {
+					t.Fatalf("key %q moved %s -> %s, not to the joining node %s",
+						k, before[k], after[k], joined)
+				}
+			}
+			bound := 2 * len(keys) / (n + 1)
+			if moved == 0 || moved > bound {
+				t.Errorf("join moved %d of %d keys; want (0, %d] (~1/%d of the space)",
+					moved, len(keys), bound, n+1)
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovementOnLeave is the consistency property for leaves:
+// when a node leaves, exactly its keys remap (to survivors) and every other
+// assignment is untouched.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := keys1000()
+	for _, n := range []int{3, 5} {
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			r := NewRing(0)
+			nodes := nodeNames(n)
+			for _, node := range nodes {
+				r.Add(node)
+			}
+			before := owners(t, r, keys)
+			left := nodes[0]
+			if !r.Remove(left) {
+				t.Fatalf("leave of %s reported no-op", left)
+			}
+			after := owners(t, r, keys)
+			for _, k := range keys {
+				switch {
+				case before[k] == left:
+					if after[k] == left {
+						t.Fatalf("key %q still owned by departed node %s", k, left)
+					}
+				case before[k] != after[k]:
+					t.Fatalf("key %q moved %s -> %s though its owner never left",
+						k, before[k], after[k])
+				}
+			}
+		})
+	}
+}
+
+// TestRingDeterminism pins that ownership is a pure function of membership:
+// two rings built in different insertion orders agree on every key, so a
+// restarted coordinator places cells exactly where its predecessor did.
+func TestRingDeterminism(t *testing.T) {
+	keys := keys1000()
+	a, b := NewRing(0), NewRing(0)
+	nodes := nodeNames(5)
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	for i := len(nodes) - 1; i >= 0; i-- {
+		b.Add(nodes[i])
+	}
+	// b also churns through an unrelated member to prove history is erased.
+	b.Add("http://transient:1")
+	b.Remove("http://transient:1")
+	oa, ob := owners(t, a, keys), owners(t, b, keys)
+	for _, k := range keys {
+		if oa[k] != ob[k] {
+			t.Fatalf("key %q: owner %s under one insertion order, %s under another", k, oa[k], ob[k])
+		}
+	}
+}
+
+// TestRingEdgeCases covers the empty ring, single node, and double
+// add/remove no-ops.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+	if !r.Add("http://only:1") || r.Add("http://only:1") {
+		t.Fatal("add/re-add should report true then false")
+	}
+	for _, k := range keys1000()[:50] {
+		if o, ok := r.Owner(k); !ok || o != "http://only:1" {
+			t.Fatalf("single-node ring sent %q to %q", k, o)
+		}
+	}
+	if !r.Remove("http://only:1") || r.Remove("http://only:1") {
+		t.Fatal("remove/re-remove should report true then false")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after final remove: %v", r.Nodes())
+	}
+}

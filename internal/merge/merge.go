@@ -236,6 +236,13 @@ type snapshotHeader struct {
 	// two-iteration snapshots keep their exact historical bytes.
 	Iters    int `json:"iters,omitempty"`
 	NumFuncs int `json:"numFuncs"`
+	// Records is the integrity envelope: the exact number of counter
+	// records that follow the counters header. Without it, a snapshot
+	// truncated at a record boundary would decode "successfully" with
+	// silently missing mass — exactly the corruption a distributed fold
+	// must refuse, not absorb. Encode always writes it; Decode enforces it
+	// when present (nil tolerates pre-envelope bytes).
+	Records *int `json:"records,omitempty"`
 }
 
 const (
@@ -254,6 +261,8 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	if it := normIters(s.Iters); it != 2 {
 		hdr.Iters = it
 	}
+	n := len(s.Counters.Records())
+	hdr.Records = &n
 	if err := json.NewEncoder(bw).Encode(hdr); err != nil {
 		return err
 	}
@@ -286,6 +295,12 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	}
 	if len(c.BL) != hdr.NumFuncs {
 		return nil, fmt.Errorf("merge: snapshot header says %d functions, counters carry %d", hdr.NumFuncs, len(c.BL))
+	}
+	if hdr.Records != nil {
+		if got := len(c.Records()); got != *hdr.Records {
+			return nil, fmt.Errorf("merge: snapshot truncated or padded: header says %d records, counters carry %d",
+				*hdr.Records, got)
+		}
 	}
 	return &Snapshot{K: hdr.K, Iters: normIters(hdr.Iters), NumFuncs: hdr.NumFuncs, Counters: c}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -27,6 +28,9 @@ type LoadConfig struct {
 	// Shards/K parameterize every submitted job (defaults 4 and 1).
 	Shards int
 	K      int
+	// Iters is the multi-iteration window width per job (0 = the classic
+	// two-iteration setting).
+	Iters int
 	// Benchmarks cycles the submitted programs (default: all bundled
 	// workload benchmarks).
 	Benchmarks []string
@@ -198,6 +202,19 @@ feed:
 	return rep, nil
 }
 
+// retryDelay is the nth (0-based) 429 retry delay: exponential from base,
+// capped, then jittered by a uniform factor in [0.5, 1.5). Without the
+// jitter, every submitter bounced by the same full queue would sleep the
+// same deterministic 2ms, 4ms, 8ms... and re-offer the identical burst that
+// got it 429'd in the first place; the jitter spreads the herd out.
+func retryDelay(rng *rand.Rand, n int, base, cap time.Duration) time.Duration {
+	d := base << uint(n)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return time.Duration((0.5 + rng.Float64()) * float64(d))
+}
+
 // runOne pushes job i through the daemon and returns its submit-to-done
 // latency plus how often the queue bounced it with 429.
 func runOne(ctx context.Context, cfg LoadConfig, i int) (time.Duration, int, error) {
@@ -205,6 +222,7 @@ func runOne(ctx context.Context, cfg LoadConfig, i int) (time.Duration, int, err
 		Benchmark: cfg.Benchmarks[i%len(cfg.Benchmarks)],
 		Seed:      uint64(1000 + i*cfg.Shards), // seed ranges of sharded jobs stay disjoint
 		K:         cfg.K,
+		Iters:     cfg.Iters,
 		Shards:    cfg.Shards,
 	}
 	body, err := json.Marshal(req)
@@ -216,8 +234,9 @@ func runOne(ctx context.Context, cfg LoadConfig, i int) (time.Duration, int, err
 
 	start := time.Now()
 	rejected := 0
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(i)<<32))
 	var id string
-	for backoff := 2 * time.Millisecond; ; backoff *= 2 {
+	for attempt := 0; ; attempt++ {
 		code, resp, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/jobs", body)
 		if err != nil {
 			return 0, rejected, err
@@ -230,11 +249,8 @@ func runOne(ctx context.Context, cfg LoadConfig, i int) (time.Duration, int, err
 			return 0, rejected, fmt.Errorf("submit job %d: status %d", i, code)
 		}
 		rejected++
-		if backoff > 200*time.Millisecond {
-			backoff = 200 * time.Millisecond
-		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(retryDelay(rng, attempt, 2*time.Millisecond, 200*time.Millisecond)):
 		case <-ctx.Done():
 			return 0, rejected, ctx.Err()
 		}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -51,5 +52,54 @@ func TestRunLoad(t *testing.T) {
 	}
 	if st := rep.Stages[MetricShardExecuteMs]; st.Count != 16 {
 		t.Fatalf("shard_execute_ms count = %d, want 16", st.Count)
+	}
+}
+
+// TestRetryDelayDesynchronizes pins the 429 backoff contract: delays stay
+// inside the jitter band around the capped exponential, and concurrent
+// retriers with independent jitter streams do NOT share a schedule — the
+// lockstep herd that re-creates the burst it was throttled for is the bug
+// this guards against.
+func TestRetryDelayDesynchronizes(t *testing.T) {
+	const base, cap = 2 * time.Millisecond, 200 * time.Millisecond
+
+	// Bounds: jitter multiplies the capped exponential by [0.5, 1.5).
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 20; n++ {
+		ideal := base << uint(n)
+		if ideal > cap || ideal <= 0 {
+			ideal = cap
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := retryDelay(rng, n, base, cap)
+			if d < ideal/2 || d >= ideal+ideal/2 {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", n, d, ideal/2, ideal+ideal/2)
+			}
+		}
+	}
+
+	// Desync: simulate a herd of retriers bounced at the same instant, each
+	// with its own jitter stream. Their cumulative retry instants must not
+	// coincide — at every attempt depth the herd spreads over distinct times.
+	const herd, attempts = 8, 6
+	cumulative := make([]time.Duration, herd)
+	for n := 0; n < attempts; n++ {
+		instants := map[time.Duration]int{}
+		for w := 0; w < herd; w++ {
+			wrng := rand.New(rand.NewSource(int64(w + 1)))
+			for skip := 0; skip < n; skip++ {
+				retryDelay(wrng, skip, base, cap) // advance the stream
+			}
+			cumulative[w] += retryDelay(wrng, n, base, cap)
+			instants[cumulative[w]]++
+		}
+		for at, count := range instants {
+			if count == herd {
+				t.Fatalf("attempt %d: all %d retriers fire at the same instant %v (lockstep)", n, herd, at)
+			}
+		}
+		if len(instants) < herd/2 {
+			t.Errorf("attempt %d: herd of %d collapsed onto %d instants", n, herd, len(instants))
+		}
 	}
 }

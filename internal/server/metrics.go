@@ -53,6 +53,7 @@ type Metrics struct {
 	shardsRun     atomic.Int64
 	shardErrors   atomic.Int64
 	merges        atomic.Int64
+	fleetInstalls atomic.Int64
 
 	queueWaitMs    *obs.Histogram
 	shardExecuteMs *obs.Histogram
@@ -95,6 +96,9 @@ type MetricsSnapshot struct {
 	ShardErrors int64 `json:"shard_errors"`
 	// Merges counts shard-snapshot folds.
 	Merges int64 `json:"merges"`
+	// FleetInstalls counts PUT fleet-cell installs (coordinator pushes and
+	// ring handoffs land here).
+	FleetInstalls int64 `json:"fleet_installs"`
 
 	// QueueWaitMs is the accept-to-dequeue latency distribution, ms.
 	QueueWaitMs obs.HistogramSnapshot `json:"queue_wait_ms"`
@@ -139,6 +143,7 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 		ShardsExecuted: m.shardsRun.Load(),
 		ShardErrors:    m.shardErrors.Load(),
 		Merges:         m.merges.Load(),
+		FleetInstalls:  m.fleetInstalls.Load(),
 		QueueWaitMs:    m.queueWaitMs.Snapshot(),
 		ShardExecuteMs: m.shardExecuteMs.Snapshot(),
 		MergeMs:        m.mergeMs.Snapshot(),

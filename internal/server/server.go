@@ -78,6 +78,12 @@ type Config struct {
 	// obs.CaptureHandler-backed logger here to assert the documented
 	// events and their order.
 	Logger *slog.Logger
+	// FleetIngestOnly switches the daemon into cluster-worker mode: job
+	// results are NOT self-folded into fleet profiles, which accumulate
+	// solely through PUT /v1/profiles/{benchmark} installs from a
+	// coordinator. Without it a worker running chunked sub-jobs would hold
+	// partial fleet fragments that double-count after a handoff install.
+	FleetIngestOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +274,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleJobProfile)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/profiles/{benchmark}", s.handleFleetProfile)
+	s.mux.HandleFunc("PUT /v1/profiles/{benchmark}", s.handleFleetInstall)
+	s.mux.HandleFunc("DELETE /v1/profiles/{benchmark}", s.handleFleetDelete)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -506,6 +514,52 @@ func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
 	s.metrics.snapshotBytes.Observe(float64(cw.n))
 }
 
+// handleFleetInstall replaces one fleet cell with the snapshot in the
+// request body — the cluster coordinator's install/handoff path. The cell
+// key is (benchmark from the path, k and iters from the snapshot header);
+// install is replacement, not merge, so a re-push after a lost update is
+// self-healing rather than double-counting.
+func (s *Server) handleFleetInstall(w http.ResponseWriter, r *http.Request) {
+	bench := r.PathValue("benchmark")
+	snap, err := merge.Decode(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed snapshot: "+err.Error())
+		return
+	}
+	key := fleetKey{bench: bench, k: snap.K, iters: snap.Iters}
+	s.fleetMu.Lock()
+	s.fleet[key] = snap
+	s.fleetMu.Unlock()
+	s.metrics.fleetInstalls.Add(1)
+	s.log.Debug("fleet.install", "benchmark", bench, "k", snap.K, "iters", snap.Iters, "mass", snap.Mass())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleFleetDelete drops one fleet cell (?k= and ?iters= select it; iters
+// defaults to the classic width 2) — how a coordinator retires a cell from
+// its previous owner after a ring handoff. Deleting an absent cell is a
+// no-op 204, so retried handoffs stay idempotent.
+func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "malformed or missing k")
+		return
+	}
+	iters := 2
+	if q := r.URL.Query().Get("iters"); q != "" {
+		if iters, err = strconv.Atoi(q); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed iters")
+			return
+		}
+	}
+	key := fleetKey{bench: r.PathValue("benchmark"), k: k, iters: iters}
+	s.fleetMu.Lock()
+	delete(s.fleet, key)
+	s.fleetMu.Unlock()
+	s.log.Debug("fleet.delete", "benchmark", key.bench, "k", k, "iters", iters)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // pipelineFor builds (at most once per program) the pipeline of a job's
 // program. Benchmarks key by name; ad-hoc sources by content hash.
 func (s *Server) pipelineFor(req JobRequest) (*pipeline.Pipeline, error) {
@@ -690,7 +744,7 @@ func (s *Server) runJob(j *job) {
 		Vars: vars, Exact: exact, Skipped: pe.Skipped,
 	}
 
-	if j.req.Benchmark != "" {
+	if j.req.Benchmark != "" && !s.cfg.FleetIngestOnly {
 		s.fleetMu.Lock()
 		key := fleetKey{bench: j.req.Benchmark, k: k, iters: iters}
 		if f := s.fleet[key]; f == nil {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -355,5 +356,76 @@ func TestSharedPoolBoundsShards(t *testing.T) {
 	}
 	if st := d.await(t, out["id"]); st.State != "done" {
 		t.Fatalf("job on 1-slot pool ended %q: %v", st.State, st.Errors)
+	}
+}
+
+// TestDrainConcurrentSubmits races Drain against a herd of live submitters
+// (regression: the drain gate and the queue used to be checked in a way that
+// could strand an accepted job). The contract: every job that got a 202
+// completes, submits that arrive after the gate flips get 503, and nothing
+// is lost in between.
+func TestDrainConcurrentSubmits(t *testing.T) {
+	d := newDaemon(t, Config{QueueCap: 64, Runners: 4}, true)
+
+	const submitters = 8
+	var mu sync.Mutex
+	var accepted []string
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, out := d.post(t, JobRequest{Source: testSrc, Seed: uint64(w*1000 + i), K: 0})
+				switch code {
+				case http.StatusAccepted:
+					mu.Lock()
+					accepted = append(accepted, out["id"])
+					mu.Unlock()
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					// Refused, not lost: back off a touch and keep offering.
+					time.Sleep(time.Millisecond)
+				default:
+					t.Errorf("submitter %d: unexpected status %d", w, code)
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(30 * time.Millisecond) // let the herd get jobs in flight
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.s.Drain(ctx); err != nil {
+		t.Fatalf("drain under concurrent submits: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(accepted) == 0 {
+		t.Fatal("no job was accepted before the drain gate flipped")
+	}
+
+	// Drain returned, so every accepted job must already be settled and done.
+	for _, id := range accepted {
+		if st := d.await(t, id); st.State != "done" {
+			t.Errorf("accepted job %s ended %q after drain: %v", id, st.State, st.Errors)
+		}
+	}
+	// The gate stays closed for late arrivals.
+	if code, _ := d.post(t, JobRequest{Source: testSrc, Seed: 424242}); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: status %d, want 503", code)
+	}
+	if m := d.metrics(t); m.JobsCompleted != int64(len(accepted)) || m.QueueDepth != 0 {
+		t.Fatalf("after drain: completed=%d queue=%d, want %d accepted jobs completed and an empty queue",
+			m.JobsCompleted, m.QueueDepth, len(accepted))
 	}
 }

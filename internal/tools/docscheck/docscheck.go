@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"pathprof/internal/cluster"
 	"pathprof/internal/limits"
 	"pathprof/internal/obs"
 	"pathprof/internal/profile"
@@ -159,6 +160,47 @@ func CheckIters(md string) []string {
 	if !strings.Contains(sec, "`olpath.MaxIters`") {
 		out = append(out,
 			"DESIGN.md §13 does not name the ring-capacity constant `olpath.MaxIters`")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckCluster cross-references DESIGN.md's §14 against internal/cluster:
+// every coordinator endpoint (cluster.Endpoints) and every coordinator span
+// stage (cluster.SpanStages) must appear as a backticked table token, no
+// table may document a route or stage the code does not export, and the
+// section must name the `cluster.DefaultVnodes` ring constant. Adding an
+// endpoint, renaming a stage, or changing the placement scheme without
+// updating the design doc fails the build.
+func CheckCluster(md string) []string {
+	sec, err := Section(md, 14)
+	if err != nil {
+		return []string{"DESIGN.md: " + err.Error()}
+	}
+	var out []string
+	documented := toSet(TableNames(sec))
+	endpoints := toSet(cluster.Endpoints)
+	stages := toSet(cluster.SpanStages)
+
+	for _, name := range cluster.Endpoints {
+		if !documented[name] {
+			out = append(out, fmt.Sprintf("DESIGN.md §14: endpoint %q is undocumented", name))
+		}
+	}
+	for _, name := range cluster.SpanStages {
+		if !documented[name] {
+			out = append(out, fmt.Sprintf("DESIGN.md §14: coordinator stage %q is undocumented", name))
+		}
+	}
+	for name := range documented {
+		if !endpoints[name] && !stages[name] {
+			out = append(out, fmt.Sprintf(
+				"DESIGN.md §14 documents %q but the cluster exports no such endpoint or stage", name))
+		}
+	}
+	if !strings.Contains(sec, "`cluster.DefaultVnodes`") {
+		out = append(out,
+			"DESIGN.md §14 does not name the ring vnode constant `cluster.DefaultVnodes`")
 	}
 	sort.Strings(out)
 	return out

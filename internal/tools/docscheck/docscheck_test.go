@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"pathprof/internal/cluster"
 	"pathprof/internal/limits"
 	"pathprof/internal/server"
 )
@@ -29,7 +30,15 @@ func goodDesign() string {
 	for _, f := range WidenedLoopKeyFields() {
 		fmt.Fprintf(&b, " `%s`", f)
 	}
-	b.WriteString(".\n")
+	b.WriteString(".\n\n## 14. Cluster\n\nRing uses `cluster.DefaultVnodes` vnodes.\n\n")
+	b.WriteString("| endpoint | behavior |\n|---|---|\n")
+	for _, e := range cluster.Endpoints {
+		fmt.Fprintf(&b, "| `%s` | ... |\n", e)
+	}
+	b.WriteString("\n| stage | meaning |\n|---|---|\n")
+	for _, s := range cluster.SpanStages {
+		fmt.Fprintf(&b, "| `%s` | ... |\n", s)
+	}
 	return b.String()
 }
 
@@ -79,6 +88,42 @@ func TestCheckItersCatchesDrift(t *testing.T) {
 		}
 	}
 	if got := CheckIters("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 13") {
+		t.Fatalf("missing section not caught: %v", got)
+	}
+}
+
+func TestCheckClusterAccepts(t *testing.T) {
+	if got := CheckCluster(goodDesign()); len(got) != 0 {
+		t.Fatalf("complaints on a faithful §14:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+func TestCheckClusterCatchesDrift(t *testing.T) {
+	missing := strings.Replace(goodDesign(), "| `POST /v1/cluster/join` | ... |\n", "", 1)
+	got := CheckCluster(missing)
+	if len(got) != 1 || !strings.Contains(got[0], `endpoint "POST /v1/cluster/join" is undocumented`) {
+		t.Fatalf("dropped endpoint not caught: %v", got)
+	}
+
+	missing = strings.Replace(goodDesign(), "| `fleetpush` | ... |\n", "", 1)
+	got = CheckCluster(missing)
+	if len(got) != 1 || !strings.Contains(got[0], `stage "fleetpush" is undocumented`) {
+		t.Fatalf("dropped stage not caught: %v", got)
+	}
+
+	stale := goodDesign() + "| `DELETE /v1/everything` | gone |\n"
+	got = CheckCluster(stale)
+	if len(got) != 1 || !strings.Contains(got[0], `"DELETE /v1/everything"`) {
+		t.Fatalf("stale documented route not caught: %v", got)
+	}
+
+	unnamed := strings.Replace(goodDesign(), "`cluster.DefaultVnodes`", "some vnodes", 1)
+	got = CheckCluster(unnamed)
+	if len(got) != 1 || !strings.Contains(got[0], "cluster.DefaultVnodes") {
+		t.Fatalf("dropped vnode constant not caught: %v", got)
+	}
+
+	if got := CheckCluster("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 14") {
 		t.Fatalf("missing section not caught: %v", got)
 	}
 }
@@ -146,6 +191,9 @@ func TestRepoDocsPass(t *testing.T) {
 	}
 	if got := CheckIters(string(raw)); len(got) != 0 {
 		t.Errorf("DESIGN.md §13 drift:\n%s", strings.Join(got, "\n"))
+	}
+	if got := CheckCluster(string(raw)); len(got) != 0 {
+		t.Errorf("DESIGN.md §14 drift:\n%s", strings.Join(got, "\n"))
 	}
 	files := []string{"../../../README.md", "../../../DESIGN.md", "../../../EXPERIMENTS.md", "../../../ROADMAP.md"}
 	docs, _ := filepath.Glob("../../../docs/*.md")

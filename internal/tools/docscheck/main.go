@@ -7,7 +7,11 @@
 //     tags — checked verbatim, in both directions),
 //   - DESIGN.md §13 stops documenting the multi-iteration surface (the
 //     widened profile.LoopKey fields, the window-width range internal/limits
-//     enforces, or the olpath.MaxIters ring capacity), or
+//     enforces, or the olpath.MaxIters ring capacity),
+//   - DESIGN.md §14 drifts from the cluster surface (the coordinator
+//     endpoints in cluster.Endpoints, the coordinator span stages in
+//     cluster.SpanStages — both directions — or the cluster.DefaultVnodes
+//     ring constant), or
 //   - any relative markdown link in the checked documents points at a file
 //     that does not exist.
 //
@@ -38,6 +42,7 @@ func main() {
 	}
 	complaints := CheckDesign(string(raw))
 	complaints = append(complaints, CheckIters(string(raw))...)
+	complaints = append(complaints, CheckCluster(string(raw))...)
 
 	files := flag.Args()
 	if len(files) == 0 {
