@@ -380,9 +380,10 @@ func BenchmarkCounterStoreArena(b *testing.B) { benchmarkCounterStore(b, profile
 
 // BenchmarkEngineRun measures one full OL instrumented run (300.twolf at
 // k = max/3) on each engine x store cell, all static artifacts (plan,
-// bytecode) amortized through a shared pipeline. This is the head-to-head
-// per-run comparison of the tree-walking reference interpreter against the
-// bytecode engine with fused probe opcodes.
+// bytecode, register code) amortized through a shared pipeline. This is the
+// head-to-head per-run comparison of the tree-walking reference
+// interpreter, the bytecode engine with fused probe opcodes, and the
+// register machine with superinstruction fusion.
 func BenchmarkEngineRun(b *testing.B) {
 	wb := workload.ByName("300.twolf")
 	prog, err := wb.Compile()
@@ -398,7 +399,10 @@ func BenchmarkEngineRun(b *testing.B) {
 	if _, err := p.Code(cfg); err != nil {
 		b.Fatal(err)
 	}
-	for _, eng := range []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM} {
+	if _, err := p.RegCode(cfg); err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM, pipeline.EngineReg} {
 		for _, st := range []profile.StoreKind{profile.StoreNested, profile.StoreFlat, profile.StoreArena} {
 			b.Run(fmt.Sprintf("%s/%s", eng, st), func(b *testing.B) {
 				b.ReportAllocs()
@@ -416,6 +420,36 @@ func BenchmarkEngineRun(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRunSteady measures the register engine's pooled
+// steady-state path: one arena store and one pooled machine reused across
+// every iteration through pipeline.ExecuteSteady. This is the
+// configuration the issue's < 1 ms / 0 allocs target is stated against.
+func BenchmarkEngineRunSteady(b *testing.B) {
+	wb := workload.ByName("300.twolf")
+	prog, err := wb.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pipeline.New(prog, pipeline.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := (p.Info.MaxDegree() + 2) / 3
+	cfg := instrument.Config{K: k, Loops: true, Interproc: true}
+	store := profile.NewStore(profile.StoreArena, p.Info, 2)
+	// Warm the code cache, the machine pool, and the store's overflow maps.
+	if err := p.ExecuteSteady(cfg, wb.Seed, store); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.ExecuteSteady(cfg, wb.Seed, store); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSweepTreeVsVM measures one benchmark's full degree sweep
 // (compile, analyze, trace, then every degree -1..max) per engine on a
 // one-slot pool — the end-to-end number the issue's speedup target is
@@ -423,7 +457,7 @@ func BenchmarkEngineRun(b *testing.B) {
 func BenchmarkSweepTreeVsVM(b *testing.B) {
 	wb := workload.ByName("300.twolf")
 	pool := pipeline.NewPool(1)
-	for _, eng := range []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM} {
+	for _, eng := range []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM, pipeline.EngineReg} {
 		b.Run(eng.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

@@ -406,7 +406,7 @@ func (c *Coordinator) pipelineFor(req server.JobRequest) (*pipeline.Pipeline, er
 	}
 	c.pipesMu.Unlock()
 	e.once.Do(func() {
-		opts := pipeline.Options{Engine: pipeline.EngineVM}
+		opts := pipeline.Options{Engine: pipeline.EngineReg}
 		if req.Benchmark != "" {
 			b := workload.ByName(req.Benchmark)
 			prog, err := b.Compile()

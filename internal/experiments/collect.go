@@ -25,10 +25,10 @@ import (
 var DefaultStore = profile.StoreFlat
 
 // DefaultEngine is the execution engine benchmark collection uses (the
-// bytecode VM with fused probes; the oracle battery proves it identical to
-// the tree-walking reference). CLIs may override it before collection
-// starts.
-var DefaultEngine = pipeline.EngineVM
+// register machine with superinstruction fusion; the oracle battery proves
+// it identical to the tree-walking reference and the bytecode VM). CLIs may
+// override it before collection starts.
+var DefaultEngine = pipeline.EngineReg
 
 // KRun is the outcome of one instrumented run at a fixed degree.
 type KRun struct {

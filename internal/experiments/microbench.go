@@ -1,10 +1,10 @@
 package experiments
 
 // Microbenchmark harness behind `experiments -bench-json`: measures the
-// pipeline's per-run cost on every (engine, store) cell and the full degree
-// sweep on both engines, then emits the measurements as machine-readable
-// JSON (BENCH_pipeline.json) so CI can archive the numbers next to each
-// build.
+// pipeline's per-run cost on every (engine, store) cell, the register
+// engine's pooled steady state, and the full degree sweep on all three
+// engines, then emits the measurements as machine-readable JSON
+// (BENCH_pipeline.json) so CI can archive the numbers next to each build.
 
 import (
 	"encoding/json"
@@ -77,7 +77,7 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 	if wb == nil {
 		return nil, fmt.Errorf("experiments: no benchmark %q", benchName)
 	}
-	engines := []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM}
+	engines := []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM, pipeline.EngineReg}
 	stores := []profile.StoreKind{profile.StoreNested, profile.StoreFlat, profile.StoreArena}
 
 	prog, err := wb.Compile()
@@ -90,8 +90,12 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 	}
 	k := (p.Info.MaxDegree() + 2) / 3
 	cfg := instrument.Config{K: k, Loops: true, Interproc: true}
-	// Warm the shared artifacts (plan, bytecode) outside the timed region.
+	// Warm the shared artifacts (plan, bytecode, register code) outside the
+	// timed region.
 	if _, err := p.Code(cfg); err != nil {
+		return nil, err
+	}
+	if _, err := p.RegCode(cfg); err != nil {
 		return nil, err
 	}
 
@@ -109,17 +113,17 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 			out = append(out, res)
 		}
 	}
-	// A widened-window cell on the fastest configuration (fused-probe VM,
+	// A widened-window cell on the fastest configuration (register engine,
 	// arena store) isolates the marginal cost of the iters axis against the
-	// grid's iters=2 vm/arena row.
+	// grid's iters=2 regvm/arena row.
 	{
 		wcfg := cfg
 		wcfg.Iters = 4
-		if _, err := p.Code(wcfg); err != nil {
+		if _, err := p.RegCode(wcfg); err != nil {
 			return nil, err
 		}
-		res, err := measure("run", wb.Name, pipeline.EngineVM.String(), profile.StoreArena.String(), iters, func() error {
-			_, err := p.ExecuteStore(pipeline.EngineVM, wcfg, wb.Seed, nil,
+		res, err := measure("run", wb.Name, pipeline.EngineReg.String(), profile.StoreArena.String(), iters, func() error {
+			_, err := p.ExecuteStore(pipeline.EngineReg, wcfg, wb.Seed, nil,
 				profile.NewStore(profile.StoreArena, p.Info, 4), 0)
 			return err
 		})
@@ -127,6 +131,25 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 			return nil, err
 		}
 		res.Iters = 4
+		out = append(out, res)
+	}
+	// The steady-state cell is the register engine's zero-alloc claim in the
+	// archived numbers: one pooled machine and one arena store reused across
+	// every iteration (counters accumulate; only timing and heap traffic are
+	// read). A warm-up run outside the timed region pays the pool's one-time
+	// machine allocation and the first run's slab growth.
+	{
+		store := profile.NewStore(profile.StoreArena, p.Info, 2)
+		if err := p.ExecuteSteady(cfg, wb.Seed, store); err != nil {
+			return nil, err
+		}
+		res, err := measure("steady", wb.Name, pipeline.EngineReg.String(), profile.StoreArena.String(), iters, func() error {
+			return p.ExecuteSteady(cfg, wb.Seed, store)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Iters = 2
 		out = append(out, res)
 	}
 	pool := pipeline.NewPool(1)
@@ -150,14 +173,14 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 	const mergeShards = 8
 	snaps := make([]*merge.Snapshot, mergeShards)
 	for i := range snaps {
-		r, err := p.ExecuteStore(pipeline.EngineVM, cfg, wb.Seed+uint64(i), nil,
+		r, err := p.ExecuteStore(pipeline.EngineReg, cfg, wb.Seed+uint64(i), nil,
 			profile.NewStore(profile.StoreNested, p.Info, 2), 0)
 		if err != nil {
 			return nil, err
 		}
 		snaps[i] = merge.New(k, 2, r.Counters)
 	}
-	res, err := measure("merge", wb.Name, pipeline.EngineVM.String(), "snapshot", iters, func() error {
+	res, err := measure("merge", wb.Name, pipeline.EngineReg.String(), "snapshot", iters, func() error {
 		_, err := merge.MergeAll(snaps...)
 		return err
 	})
@@ -167,7 +190,7 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 	out = append(out, res)
 	for _, st := range stores {
 		st := st
-		res, err := measure("merge", wb.Name, pipeline.EngineVM.String(), st.String(), iters, func() error {
+		res, err := measure("merge", wb.Name, pipeline.EngineReg.String(), st.String(), iters, func() error {
 			dst := profile.NewStore(st, p.Info, 2)
 			for _, s := range snaps {
 				if err := merge.IntoStore(dst, s); err != nil {

@@ -101,6 +101,20 @@ func (r *Ring) Cross(route int64, full bool) []Window {
 	return r.out[:closed]
 }
 
+// Take is the two-iteration fast path: it empties the ring and returns the
+// single open window's base path id. At iters = 2 every crossing closes the
+// (at most one) open window, so Cross and FlushAll coincide and callers can
+// build the closed window's key directly — base plus the crossing they were
+// about to append — without materializing a Window. Only meaningful at
+// iters = 2.
+func (r *Ring) Take() (int64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	r.n = 0
+	return r.win[0].Base, true
+}
+
 // FlushAll appends a final (loop-exit) crossing to every open window and
 // returns them all, oldest first; windows that had not yet reached full
 // width come back truncated (N < iters-1). The returned slice aliases the

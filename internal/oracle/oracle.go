@@ -73,9 +73,10 @@ type Config struct {
 	// Stores are the counter-store layouts (default nested, flat, and
 	// arena).
 	Stores []profile.StoreKind
-	// Engines are the execution engines (default tree then vm: the
-	// listener-dispatched reference interpreter is the comparison
-	// baseline the fused-probe bytecode engine must match).
+	// Engines are the execution engines (default tree, vm, regvm: the
+	// listener-dispatched reference interpreter is the comparison baseline
+	// both the fused-probe bytecode engine and the register machine must
+	// match).
 	Engines []pipeline.Engine
 	// Modes are the estimation constraint modes (default Paper and
 	// Extended).
@@ -104,7 +105,7 @@ func (c Config) withDefaults() Config {
 		c.Stores = []profile.StoreKind{profile.StoreNested, profile.StoreFlat, profile.StoreArena}
 	}
 	if len(c.Engines) == 0 {
-		c.Engines = []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM}
+		c.Engines = []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM, pipeline.EngineReg}
 	}
 	if len(c.Modes) == 0 {
 		c.Modes = []estimate.Mode{estimate.Paper, estimate.Extended}

@@ -46,10 +46,10 @@ func TestOracleBattery(t *testing.T) {
 			if err := res.Err(); err != nil {
 				t.Fatalf("seed %d: %v\n--- source ---\n%s", s.GenSeed, err, randprog.SeedSource(s.GenSeed))
 			}
-			// 3 degrees x 3 widths x 3 stores x 2 engines, sequential +
+			// 3 degrees x 3 widths x 3 stores x 3 engines, sequential +
 			// parallel sweeps, plus the merge cell's 3 widths x 3 stores
 			// x 3 chunks x (split + concatenated) runs.
-			if want := 2*(3*3*3*2) + 3*3*3*2; res.Runs != want {
+			if want := 2*(3*3*3*3) + 3*3*3*2; res.Runs != want {
 				t.Fatalf("seed %d: %d instrumented runs, want %d", s.GenSeed, res.Runs, want)
 			}
 		})

@@ -24,6 +24,7 @@ import (
 	"pathprof/internal/obs"
 	"pathprof/internal/overhead"
 	"pathprof/internal/profile"
+	"pathprof/internal/regvm"
 	"pathprof/internal/trace"
 	"pathprof/internal/vm"
 )
@@ -32,9 +33,11 @@ import (
 type Engine int
 
 const (
-	// EngineVM is the bytecode engine with fused probe opcodes (the
-	// default, and the zero value).
-	EngineVM Engine = iota
+	// EngineReg is the register machine with superinstruction fusion and
+	// pooled zero-alloc run state (the default, and the zero value).
+	EngineReg Engine = iota
+	// EngineVM is the bytecode engine with fused probe opcodes.
+	EngineVM
 	// EngineTree is the tree-walking reference interpreter with
 	// listener-dispatched probes.
 	EngineTree
@@ -42,21 +45,26 @@ const (
 
 // String implements flag-friendly rendering.
 func (e Engine) String() string {
-	if e == EngineTree {
+	switch e {
+	case EngineVM:
+		return "vm"
+	case EngineTree:
 		return "tree"
 	}
-	return "vm"
+	return "regvm"
 }
 
 // ParseEngine maps a CLI flag value to an Engine.
 func ParseEngine(s string) (Engine, bool) {
 	switch s {
+	case "regvm":
+		return EngineReg, true
 	case "vm":
 		return EngineVM, true
 	case "tree":
 		return EngineTree, true
 	}
-	return EngineVM, false
+	return EngineReg, false
 }
 
 // Options configures a Pipeline.
@@ -67,7 +75,8 @@ type Options struct {
 	// value = nested maps; StoreFlat is the dense layout, StoreArena the
 	// dense-arena layout).
 	Store profile.StoreKind
-	// Engine selects the execution engine (zero value = the bytecode VM).
+	// Engine selects the execution engine (zero value = the register
+	// machine).
 	Engine Engine
 	// Pool is the worker pool sweeps draw slots from (nil = the shared
 	// process-wide pool).
@@ -81,9 +90,10 @@ type Pipeline struct {
 
 	opts Options
 
-	mu    sync.Mutex
-	plans map[planKey]*planEntry
-	codes map[planKey]*codeEntry
+	mu       sync.Mutex
+	plans    map[planKey]*planEntry
+	codes    map[planKey]*codeEntry
+	regCodes map[planKey]*regEntry
 }
 
 // planKey identifies one instrumentation plan. Selection and ChordProfile
@@ -116,11 +126,25 @@ type planEntry struct {
 	err  error
 }
 
-// codeEntry caches one configuration's compiled bytecode the same way.
+// codeEntry caches one configuration's compiled bytecode the same way,
+// plus a free pool of warmed machines whose slabs (globals, arrays, frame
+// free-list) are recycled across runs of this code.
 type codeEntry struct {
 	once sync.Once
 	code *vm.Program
 	err  error
+	pool sync.Pool
+}
+
+// regEntry caches one configuration's register code and its machine pool.
+// Pooling hangs off the code entry because a machine's slab geometry is
+// code-specific; shard fan-out over the same configuration pays the
+// machine's allocations exactly once per worker.
+type regEntry struct {
+	once sync.Once
+	code *regvm.Program
+	err  error
+	pool sync.Pool
 }
 
 // New analyzes an already-lowered program and wraps it in a Pipeline.
@@ -134,8 +158,9 @@ func New(prog *ir.Program, opts Options) (*Pipeline, error) {
 	prog.FuncByName("main")
 	return &Pipeline{
 		Prog: prog, Info: info, opts: opts,
-		plans: map[planKey]*planEntry{},
-		codes: map[planKey]*codeEntry{},
+		plans:    map[planKey]*planEntry{},
+		codes:    map[planKey]*codeEntry{},
+		regCodes: map[planKey]*regEntry{},
 	}, nil
 }
 
@@ -194,11 +219,10 @@ func errString(err error) string {
 	return err.Error()
 }
 
-// Code returns the compiled bytecode (with cfg's probes fused in) for the
-// VM engine, building it at most once per configuration — the compiled
-// program is a cached artifact alongside the plan it embeds, shared across
-// a degree sweep's runs.
-func (p *Pipeline) Code(cfg instrument.Config) (*vm.Program, error) {
+// vmCode returns the singleflight cache slot holding cfg's compiled
+// bytecode and machine pool, building the code at most once per
+// configuration.
+func (p *Pipeline) vmCode(cfg instrument.Config) (*codeEntry, error) {
 	plan, err := p.Plan(cfg)
 	if err != nil {
 		return nil, err
@@ -216,10 +240,84 @@ func (p *Pipeline) Code(cfg instrument.Config) (*vm.Program, error) {
 		e.code, e.err = vm.Compile(p.Prog, plan)
 		if obs.DebugEnabled() {
 			obs.Logger().Debug("pipeline.code",
-				"k", cfg.K, "elapsed_ms", time.Since(start).Milliseconds(), "err", errString(e.err))
+				"engine", "vm", "k", cfg.K,
+				"elapsed_ms", time.Since(start).Milliseconds(), "err", errString(e.err))
 		}
 	})
-	return e.code, e.err
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// machine checks a warmed machine out of the entry's pool (or allocates the
+// first one), reset for a run at seed. Callers return it with e.pool.Put.
+func (e *codeEntry) machine(seed uint64) *vm.Machine {
+	if m, ok := e.pool.Get().(*vm.Machine); ok {
+		m.Reset(seed)
+		return m
+	}
+	return vm.NewMachine(e.code, seed)
+}
+
+// regCode is vmCode for the register engine.
+func (p *Pipeline) regCode(cfg instrument.Config) (*regEntry, error) {
+	plan, err := p.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := keyOf(cfg)
+	p.mu.Lock()
+	e := p.regCodes[key]
+	if e == nil {
+		e = &regEntry{}
+		p.regCodes[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		e.code, e.err = regvm.Compile(p.Prog, plan)
+		if obs.DebugEnabled() {
+			obs.Logger().Debug("pipeline.code",
+				"engine", "regvm", "k", cfg.K,
+				"elapsed_ms", time.Since(start).Milliseconds(), "err", errString(e.err))
+		}
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// machine is codeEntry.machine for the register engine.
+func (e *regEntry) machine(seed uint64) *regvm.Machine {
+	if m, ok := e.pool.Get().(*regvm.Machine); ok {
+		m.Reset(seed)
+		return m
+	}
+	return regvm.NewMachine(e.code, seed)
+}
+
+// Code returns the compiled bytecode (with cfg's probes fused in) for the
+// VM engine, building it at most once per configuration — the compiled
+// program is a cached artifact alongside the plan it embeds, shared across
+// a degree sweep's runs.
+func (p *Pipeline) Code(cfg instrument.Config) (*vm.Program, error) {
+	e, err := p.vmCode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.code, nil
+}
+
+// RegCode is Code for the register engine, exposing the compiled register
+// program (and its fusion statistics) for tests and experiments.
+func (p *Pipeline) RegCode(cfg instrument.Config) (*regvm.Program, error) {
+	e, err := p.regCode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.code, nil
 }
 
 // CachedPlans reports how many plans the cache holds (for tests and
@@ -257,10 +355,11 @@ type Run struct {
 }
 
 // Execute performs one instrumented run of the program at cfg with the
-// given seed, through the cached plan (and, on the VM engine, the cached
-// bytecode). out, when non-nil, receives the program's print output. Safe
-// for concurrent callers: the plan and static artifacts are shared, machine
-// and counter store are per-run.
+// given seed, through the cached plan (and, on the register and bytecode
+// engines, the cached compiled code and a pooled machine). out, when
+// non-nil, receives the program's print output. Safe for concurrent
+// callers: the plan and static artifacts are shared, machine and counter
+// store are per-run (machines check out of a per-code pool).
 func (p *Pipeline) Execute(cfg instrument.Config, seed uint64, out io.Writer) (*Run, error) {
 	return p.ExecuteStore(p.opts.Engine, cfg, seed, out, p.NewStore(cfg.EffIters()), 0)
 }
@@ -269,12 +368,46 @@ func (p *Pipeline) Execute(cfg instrument.Config, seed uint64, out io.Writer) (*
 // (0 = the engine default) chosen per call — the entry point the
 // differential oracle sweeps its engine x store matrix through.
 func (p *Pipeline) ExecuteStore(eng Engine, cfg instrument.Config, seed uint64, out io.Writer, store profile.CounterStore, maxSteps int64) (*Run, error) {
-	if eng == EngineVM {
-		code, err := p.Code(cfg)
+	switch eng {
+	case EngineReg:
+		e, err := p.regCode(cfg)
 		if err != nil {
 			return nil, err
 		}
-		m := vm.NewMachine(code, seed)
+		m := e.machine(seed)
+		defer e.pool.Put(m)
+		if out != nil {
+			m.Out = out
+		}
+		if maxSteps > 0 {
+			m.MaxSteps = maxSteps
+		}
+		start := time.Now()
+		if err := m.Run(store); err != nil {
+			return nil, err
+		}
+		if obs.DebugEnabled() {
+			obs.Logger().Debug("pipeline.execute",
+				"engine", eng.String(), "k", cfg.K, "seed", seed,
+				"steps", m.Steps, "elapsed_ms", time.Since(start).Milliseconds())
+		}
+		return &Run{
+			K:         cfg.K,
+			Iters:     cfg.EffIters(),
+			Selection: cfg.Selection,
+			Counters:  store.Counters(),
+			Overhead:  m.Report(),
+			Steps:     m.Steps,
+			BaseOps:   m.BaseOps,
+		}, nil
+
+	case EngineVM:
+		e, err := p.vmCode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := e.machine(seed)
+		defer e.pool.Put(m)
 		if out != nil {
 			m.Out = out
 		}
@@ -334,6 +467,23 @@ func (p *Pipeline) ExecuteStore(eng Engine, cfg instrument.Config, seed uint64, 
 		Steps:     m.Steps,
 		BaseOps:   m.BaseOps,
 	}, nil
+}
+
+// ExecuteSteady performs one instrumented run on the register engine with
+// no result materialization: counters accumulate in the caller's store,
+// print output is discarded, and the machine comes from (and returns to)
+// the per-code pool, so in steady state the whole call is allocation-free.
+// This is the hot path for shard fan-out over one configuration and for
+// the steady-state benchmarks; callers read or Reset the store themselves.
+func (p *Pipeline) ExecuteSteady(cfg instrument.Config, seed uint64, store profile.CounterStore) error {
+	e, err := p.regCode(cfg)
+	if err != nil {
+		return err
+	}
+	m := e.machine(seed)
+	err = m.Run(store)
+	e.pool.Put(m)
+	return err
 }
 
 // Trace performs one ground-truth tracer run, reusing the cached Info.

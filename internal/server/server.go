@@ -576,7 +576,7 @@ func (s *Server) pipelineFor(req JobRequest) (*pipeline.Pipeline, error) {
 	}
 	s.pipesMu.Unlock()
 	e.once.Do(func() {
-		opts := pipeline.Options{Store: s.cfg.Store, Engine: pipeline.EngineVM, Pool: s.pool()}
+		opts := pipeline.Options{Store: s.cfg.Store, Engine: pipeline.EngineReg, Pool: s.pool()}
 		if req.Benchmark != "" {
 			b := workload.ByName(req.Benchmark)
 			prog, err := b.Compile()
@@ -666,7 +666,7 @@ func (s *Server) runJob(j *job) {
 			defer shardSpan.End()
 			perr := s.pool().DoCtx(ctx, func() {
 				execSpan := shardSpan.Child(StageExecute)
-				run, rerr := p.ExecuteStore(pipeline.EngineVM, cfg, j.req.Seed+uint64(i), nil,
+				run, rerr := p.ExecuteStore(pipeline.EngineReg, cfg, j.req.Seed+uint64(i), nil,
 					profile.NewStore(s.cfg.Store, p.Info, iters), s.cfg.MaxSteps)
 				execSpan.End()
 				s.metrics.shardExecuteMs.Observe(float64(execSpan.Duration()) / float64(time.Millisecond))

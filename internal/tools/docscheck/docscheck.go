@@ -13,6 +13,7 @@ import (
 	"pathprof/internal/limits"
 	"pathprof/internal/obs"
 	"pathprof/internal/profile"
+	"pathprof/internal/regvm"
 	"pathprof/internal/server"
 )
 
@@ -201,6 +202,37 @@ func CheckCluster(md string) []string {
 	if !strings.Contains(sec, "`cluster.DefaultVnodes`") {
 		out = append(out,
 			"DESIGN.md §14 does not name the ring vnode constant `cluster.DefaultVnodes`")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckEngine cross-references DESIGN.md's §15 fusion-rule table against
+// the register engine: every superinstruction mnemonic the compiler emits
+// (regvm.Superinstructions) must appear as a backticked first-column table
+// token, and the table must not document a mnemonic the engine no longer
+// exports. Adding, renaming, or dropping a fused opcode without updating
+// the design doc fails the build.
+func CheckEngine(md string) []string {
+	sec, err := Section(md, 15)
+	if err != nil {
+		return []string{"DESIGN.md: " + err.Error()}
+	}
+	var out []string
+	documented := toSet(TableNames(sec))
+	fused := regvm.Superinstructions()
+	exported := toSet(fused)
+
+	for _, name := range fused {
+		if !documented[name] {
+			out = append(out, fmt.Sprintf("DESIGN.md §15: superinstruction %q is undocumented", name))
+		}
+	}
+	for name := range documented {
+		if !exported[name] {
+			out = append(out, fmt.Sprintf(
+				"DESIGN.md §15 documents %q but the register engine emits no such superinstruction", name))
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -9,6 +9,7 @@ import (
 
 	"pathprof/internal/cluster"
 	"pathprof/internal/limits"
+	"pathprof/internal/regvm"
 	"pathprof/internal/server"
 )
 
@@ -37,6 +38,10 @@ func goodDesign() string {
 	}
 	b.WriteString("\n| stage | meaning |\n|---|---|\n")
 	for _, s := range cluster.SpanStages {
+		fmt.Fprintf(&b, "| `%s` | ... |\n", s)
+	}
+	b.WriteString("\n## 15. Register engine\n\n| mnemonic | fuses |\n|---|---|\n")
+	for _, s := range regvm.Superinstructions() {
 		fmt.Fprintf(&b, "| `%s` | ... |\n", s)
 	}
 	return b.String()
@@ -111,7 +116,8 @@ func TestCheckClusterCatchesDrift(t *testing.T) {
 		t.Fatalf("dropped stage not caught: %v", got)
 	}
 
-	stale := goodDesign() + "| `DELETE /v1/everything` | gone |\n"
+	stale := strings.Replace(goodDesign(), "## 15. Register engine",
+		"| `DELETE /v1/everything` | gone |\n\n## 15. Register engine", 1)
 	got = CheckCluster(stale)
 	if len(got) != 1 || !strings.Contains(got[0], `"DELETE /v1/everything"`) {
 		t.Fatalf("stale documented route not caught: %v", got)
@@ -124,6 +130,30 @@ func TestCheckClusterCatchesDrift(t *testing.T) {
 	}
 
 	if got := CheckCluster("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 14") {
+		t.Fatalf("missing section not caught: %v", got)
+	}
+}
+
+func TestCheckEngineAccepts(t *testing.T) {
+	if got := CheckEngine(goodDesign()); len(got) != 0 {
+		t.Fatalf("complaints on a faithful §15:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+func TestCheckEngineCatchesDrift(t *testing.T) {
+	missing := strings.Replace(goodDesign(), "| `BranchProbe` | ... |\n", "", 1)
+	got := CheckEngine(missing)
+	if len(got) != 1 || !strings.Contains(got[0], `superinstruction "BranchProbe" is undocumented`) {
+		t.Fatalf("dropped mnemonic not caught: %v", got)
+	}
+
+	stale := goodDesign() + "| `MegaFuse` | gone |\n"
+	got = CheckEngine(stale)
+	if len(got) != 1 || !strings.Contains(got[0], `"MegaFuse"`) {
+		t.Fatalf("stale documented mnemonic not caught: %v", got)
+	}
+
+	if got := CheckEngine("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 15") {
 		t.Fatalf("missing section not caught: %v", got)
 	}
 }
@@ -194,6 +224,9 @@ func TestRepoDocsPass(t *testing.T) {
 	}
 	if got := CheckCluster(string(raw)); len(got) != 0 {
 		t.Errorf("DESIGN.md §14 drift:\n%s", strings.Join(got, "\n"))
+	}
+	if got := CheckEngine(string(raw)); len(got) != 0 {
+		t.Errorf("DESIGN.md §15 drift:\n%s", strings.Join(got, "\n"))
 	}
 	files := []string{"../../../README.md", "../../../DESIGN.md", "../../../EXPERIMENTS.md", "../../../ROADMAP.md"}
 	docs, _ := filepath.Glob("../../../docs/*.md")

@@ -11,7 +11,10 @@
 //   - DESIGN.md §14 drifts from the cluster surface (the coordinator
 //     endpoints in cluster.Endpoints, the coordinator span stages in
 //     cluster.SpanStages — both directions — or the cluster.DefaultVnodes
-//     ring constant), or
+//     ring constant),
+//   - DESIGN.md §15's fusion-rule table drifts from the superinstructions
+//     the register engine emits (regvm.Superinstructions — both
+//     directions), or
 //   - any relative markdown link in the checked documents points at a file
 //     that does not exist.
 //
@@ -43,6 +46,7 @@ func main() {
 	complaints := CheckDesign(string(raw))
 	complaints = append(complaints, CheckIters(string(raw))...)
 	complaints = append(complaints, CheckCluster(string(raw))...)
+	complaints = append(complaints, CheckEngine(string(raw))...)
 
 	files := flag.Args()
 	if len(files) == 0 {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 
 	"pathprof/internal/interp"
 	"pathprof/internal/ir"
@@ -78,10 +79,11 @@ type Machine struct {
 	// identically to instrument.Runtime.
 	BLOps, LoopOps, InterOps int64
 
-	rng    uint64
-	store  profile.CounterStore
-	frames []*frame
-	free   []*frame
+	rng      uint64
+	store    profile.CounterStore
+	frames   []*frame
+	free     []*frame
+	printBuf []byte
 }
 
 // NewMachine creates a machine for p with the given deterministic RNG seed
@@ -101,6 +103,37 @@ func NewMachine(p *Program, seed uint64) *Machine {
 		m.Arrays[i] = make([]int64, a.Size)
 	}
 	return m
+}
+
+// Reset returns the machine to its just-constructed state with a fresh
+// seed, keeping every allocation — globals, array backing stores, the
+// frame free-list, and print scratch — for reuse. A Reset machine behaves
+// identically to NewMachine(p, seed); the pipeline pools machines per
+// compiled program so repeated runs skip the per-run slab allocations.
+func (m *Machine) Reset(seed uint64) {
+	for i := range m.Globals {
+		m.Globals[i] = 0
+	}
+	for _, a := range m.Arrays {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+	m.Out = io.Discard
+	m.MaxSteps = defaultMaxSteps
+	m.MaxDepth = defaultMaxDepth
+	m.Steps, m.BaseOps = 0, 0
+	m.BLOps, m.LoopOps, m.InterOps = 0, 0, 0
+	m.rng = seed*2685821657736338717 + 1442695040888963407
+	m.store = nil
+	// An errored run can leave live frames behind; recycle them.
+	for i, fr := range m.frames {
+		if fr != nil {
+			m.free = append(m.free, fr)
+			m.frames[i] = nil
+		}
+	}
+	m.frames = m.frames[:0]
 }
 
 // Rand returns the next deterministic pseudo-random value in [0, bound)
@@ -313,11 +346,19 @@ func (m *Machine) Run(store profile.CounterStore) error {
 			pc++
 
 		case opPrint:
-			vals := make([]any, len(in.args))
+			// Format into a reusable scratch buffer instead of boxing each
+			// value into a []any for Fprintln (one slice + one box per value
+			// per call on the old path). Output bytes are identical.
+			buf := m.printBuf[:0]
 			for i, a := range in.args {
-				vals[i] = m.eval(fr, a)
+				if i > 0 {
+					buf = append(buf, ' ')
+				}
+				buf = strconv.AppendInt(buf, m.eval(fr, a), 10)
 			}
-			fmt.Fprintln(m.Out, vals...)
+			buf = append(buf, '\n')
+			m.printBuf = buf
+			m.Out.Write(buf)
 			pc++
 
 		case opFuncRef:
