@@ -6,6 +6,10 @@
 // Usage:
 //
 //	pathprof -src prog.pl [-seed N] [-k K] [-iters N] [-mode paper|extended] [actions]
+//	pathprof -bench 300.twolf [same flags]
+//
+// -bench profiles a bundled benchmark (internal/workload) by name instead
+// of a source file; -seed then defaults to the benchmark's canonical seed.
 //
 // Actions (any combination):
 //
@@ -20,6 +24,18 @@
 //	-dump-instr F print function F's instrumentation plan at degree -k
 //	-dot FUNC     print FUNC's CFG in Graphviz DOT syntax
 //	-run          echo the program's own print output
+//
+// Profile-guided layout (closing the PGO loop):
+//
+//	pathprof -bench 300.twolf -k 1 -save-profile twolf.prof
+//	pathprof -bench 300.twolf -k 1 -pgo twolf.prof -overhead
+//
+// -pgo FILE derives a superblock layout plan from the counters in FILE
+// (written by -save-profile, folded by -merge, or exported by pathprofd's
+// /v1/pgo endpoint), recompiles the register code with the dominant paths
+// as fall-through spines and cold blocks out of line, and runs on that
+// code (it forces -engine pgo). Counters, estimates, and program output
+// stay byte-identical to the default layout; only the code layout moves.
 //
 // Aggregation mode (no -src; pairs with -save-profile / -load-profile):
 //
@@ -42,9 +58,11 @@ import (
 	"pathprof/internal/limits"
 	"pathprof/internal/merge"
 	"pathprof/internal/obs"
+	"pathprof/internal/pgo"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
 	"pathprof/internal/stats"
+	"pathprof/internal/workload"
 )
 
 // mergeProfiles implements -merge: fold saved profile files into one.
@@ -94,7 +112,8 @@ func main() {
 
 func run() error {
 	var (
-		srcPath  = flag.String("src", "", "source file to profile (required)")
+		srcPath  = flag.String("src", "", "source file to profile (this or -bench is required)")
+		benchNm  = flag.String("bench", "", "profile the named bundled benchmark (see internal/workload) instead of -src")
 		seed     = flag.Uint64("seed", 1, "deterministic RNG seed for the run")
 		k        = flag.Int("k", -1, "degree of overlap (-1 = Ball-Larus only)")
 		iters    = flag.Int("iters", 2, "overlapping-path window width in loop iterations (2 = classic)")
@@ -109,6 +128,7 @@ func run() error {
 		dumpInst = flag.String("dump-instr", "", "print FUNC's instrumentation plan at degree -k")
 		saveProf = flag.String("save-profile", "", "write the collected counters to FILE")
 		loadProf = flag.String("load-profile", "", "estimate from counters in FILE instead of running")
+		pgoPath  = flag.String("pgo", "", "recompile with profile-guided layout derived from the counters in FILE (forces -engine pgo)")
 		dotFunc  = flag.String("dot", "", "print the named function's CFG as DOT")
 		echo     = flag.Bool("run", false, "echo the program's print output")
 		storeNm  = flag.String("store", "nested", "counter store layout: nested, flat, or arena")
@@ -121,9 +141,12 @@ func run() error {
 	if *mergeOut != "" {
 		return mergeProfiles(*mergeOut, flag.Args())
 	}
-	if *srcPath == "" {
+	if *srcPath == "" && *benchNm == "" {
 		flag.Usage()
-		return fmt.Errorf("-src is required")
+		return fmt.Errorf("-src or -bench is required")
+	}
+	if *srcPath != "" && *benchNm != "" {
+		return fmt.Errorf("-src and -bench are mutually exclusive")
 	}
 	if err := limits.K(*k); err != nil {
 		return err
@@ -150,18 +173,62 @@ func run() error {
 		}
 	}()
 
-	src, err := os.ReadFile(*srcPath)
-	if err != nil {
-		return err
+	runSeed := *seed
+	var src string
+	if *benchNm != "" {
+		b := workload.ByName(*benchNm)
+		if b == nil {
+			return fmt.Errorf("unknown -bench %q (see internal/workload for the bundled set)", *benchNm)
+		}
+		src = b.Source
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		if !seedSet {
+			runSeed = b.Seed
+		}
+	} else {
+		raw, err := os.ReadFile(*srcPath)
+		if err != nil {
+			return err
+		}
+		src = string(raw)
 	}
+
+	var pgoProf *pgo.Profile
+	if *pgoPath != "" {
+		f, err := os.Open(*pgoPath)
+		if err != nil {
+			return err
+		}
+		pr, err := core.LoadRun(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *pgoPath, err)
+		}
+		pgoProf = &pgo.Profile{K: pr.K, Iters: pr.Iters, Counters: pr.Counters}
+		eng = pipeline.EnginePGO
+	}
+
 	compileSpan := root.Child("compile")
-	s, err := core.OpenOptions(string(src), pipeline.Options{Store: store, Engine: eng})
+	s, err := core.OpenOptions(src, pipeline.Options{Store: store, Engine: eng, PGO: pgoProf})
 	compileSpan.End()
 	if err != nil {
 		return err
 	}
 	if *echo {
 		s.Out = os.Stdout
+	}
+	if pgoProf != nil {
+		plan, err := pgo.Derive(s.Info, pgoProf)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *pgoPath, err)
+		}
+		fmt.Printf("pgo: layout from %s (profile k=%d): %d of %d functions reordered\n",
+			*pgoPath, plan.K, plan.Reordered(), len(plan.Funcs))
 	}
 
 	mode := estimate.Paper
@@ -214,9 +281,9 @@ func run() error {
 		profSpan.SetAttr("k", fmt.Sprint(*k))
 		profSpan.SetAttr("iters", fmt.Sprint(*iters))
 		if *k < 0 {
-			runRes, err = s.ProfileBL(*seed)
+			runRes, err = s.ProfileBL(runSeed)
 		} else {
-			runRes, err = s.ProfileOLIters(*seed, *k, *iters)
+			runRes, err = s.ProfileOLIters(runSeed, *k, *iters)
 		}
 		profSpan.End()
 		if err != nil {
@@ -281,7 +348,7 @@ func run() error {
 
 	if *attr || *wpp {
 		traceSpan := root.Child("trace")
-		tr, err := s.Trace(*seed)
+		tr, err := s.Trace(runSeed)
 		traceSpan.End()
 		if err != nil {
 			return err
@@ -293,7 +360,7 @@ func run() error {
 			fmt.Printf("\nflow attributable to interesting paths:\n%s", t.String())
 		}
 		if *wpp {
-			trw, err := s.TraceWPP(*seed)
+			trw, err := s.TraceWPP(runSeed)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
-package apps
+package apps_test
 
 import (
+	"pathprof/internal/apps"
 	"strings"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestRedundantInstrsDetectsInvariantExpression(t *testing.T) {
 		t.Fatalf("loop paths = %d; want 1", li.LP.Count())
 	}
 	seq := li.LP.Seqs[0]
-	red := RedundantInstrs(fi.Fn, seq, seq)
+	red := apps.RedundantInstrs(fi.Fn, seq, seq)
 	// At least the multiply is redundant; i = i+1 is not (i changes),
 	// and i < 10 is not (reads i).
 	if red < 1 {
@@ -78,7 +79,7 @@ func TestRedundantInstrsRespectsKills(t *testing.T) {
 		}
 	`)
 	seq := li.LP.Seqs[0]
-	red := RedundantInstrs(fi.Fn, seq, seq)
+	red := apps.RedundantInstrs(fi.Fn, seq, seq)
 	if red < 1 {
 		t.Fatalf("invariant array load not found redundant")
 	}
@@ -97,7 +98,7 @@ func TestRedundantInstrsRespectsKills(t *testing.T) {
 	`)
 	seq2 := li2.LP.Seqs[0]
 	// tab[i]: i changes each iteration; sink + tab[i]: sink changes too.
-	if red2 := RedundantInstrs(fi2.Fn, seq2, seq2); red2 != 0 {
+	if red2 := apps.RedundantInstrs(fi2.Fn, seq2, seq2); red2 != 0 {
 		t.Fatalf("varying-index load reported redundant (%d)", red2)
 	}
 }
@@ -123,7 +124,7 @@ func TestRedundancyKilledByStoresAndCalls(t *testing.T) {
 		}
 	`)
 	seq := li.LP.Seqs[0]
-	if red := RedundantInstrs(fi.Fn, seq, seq); red != 0 {
+	if red := apps.RedundantInstrs(fi.Fn, seq, seq); red != 0 {
 		t.Fatalf("killed expressions reported redundant (%d)", red)
 	}
 }
@@ -164,9 +165,9 @@ func TestLoopRedundancyEndToEnd(t *testing.T) {
 	var total int64
 	var report string
 	for _, le := range pe.Loops {
-		r := AnalyzeLoopRedundancy(le.Func, le.Loop, le.Res)
+		r := apps.AnalyzeLoopRedundancy(le.Func, le.Loop, le.Res)
 		total += r.ProvableSavings
-		report += FormatLoopRedundancy(r)
+		report += apps.FormatLoopRedundancy(r)
 	}
 	if total == 0 {
 		t.Fatalf("no provable redundancy found:\n%s", report)
@@ -186,7 +187,7 @@ func TestLoopRedundancyEndToEnd(t *testing.T) {
 	}
 	var blTotal int64
 	for _, le := range peBL.Loops {
-		blTotal += AnalyzeLoopRedundancy(le.Func, le.Loop, le.Res).ProvableSavings
+		blTotal += apps.AnalyzeLoopRedundancy(le.Func, le.Loop, le.Res).ProvableSavings
 	}
 	if blTotal > total {
 		t.Fatalf("BL-only proves more redundancy (%d) than OL (%d)?", blTotal, total)
@@ -240,13 +241,13 @@ func TestBranchCorrelationEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		corr, err := AnalyzeBranchCorrelation(info, caller, cs, ck.Callee, r, 10)
+		corr, err := apps.AnalyzeBranchCorrelation(info, caller, cs, ck.Callee, r, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
 		found += len(corr)
 		if len(corr) > 0 {
-			text := FormatBranchCorrelations(corr)
+			text := apps.FormatBranchCorrelations(corr)
 			if !strings.Contains(text, "always takes") {
 				t.Fatalf("bad rendering:\n%s", text)
 			}

@@ -119,6 +119,17 @@ func (c *Client) FleetProfile(bench string, k, iters int) []byte {
 	return raw
 }
 
+// PGOExport fetches one fleet cell in pathprof's saved-run format — the
+// bytes profile-guided layout consumes.
+func (c *Client) PGOExport(bench string, k, iters int) []byte {
+	c.t.Helper()
+	code, raw := c.Get(fmt.Sprintf("/v1/pgo/%s?k=%d&iters=%d", bench, k, iters))
+	if code != http.StatusOK {
+		c.t.Fatalf("pgo export %s k=%d iters=%d: status %d: %s", bench, k, iters, code, raw)
+	}
+	return raw
+}
+
 // JobSpec is one sweep entry; zero Iters means the classic width 2.
 type JobSpec struct {
 	Benchmark string

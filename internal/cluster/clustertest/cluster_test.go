@@ -80,6 +80,12 @@ func checkFleetDifferential(t *testing.T, clusterC, control *Client) {
 			t.Errorf("fleet cell %s k=%d iters=%d: cluster bytes differ from single-node control (%d vs %d bytes)",
 				cell.bench, cell.k, cell.iters, len(got), len(want))
 		}
+		gotPGO := clusterC.PGOExport(cell.bench, cell.k, cell.iters)
+		wantPGO := control.PGOExport(cell.bench, cell.k, cell.iters)
+		if !bytes.Equal(gotPGO, wantPGO) {
+			t.Errorf("pgo export %s k=%d iters=%d: cluster bytes differ from single-node control (%d vs %d bytes)",
+				cell.bench, cell.k, cell.iters, len(gotPGO), len(wantPGO))
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pathprof/internal/core"
 	"pathprof/internal/obs"
 	"pathprof/internal/server"
 )
@@ -21,6 +22,7 @@ var Endpoints = []string{
 	"GET /v1/jobs/{id}/profile",
 	"GET /v1/jobs/{id}/trace",
 	"GET /v1/profiles/{benchmark}",
+	"GET /v1/pgo/{benchmark}",
 	"GET /v1/cluster",
 	"POST /v1/cluster/join",
 	"POST /v1/cluster/leave",
@@ -35,6 +37,7 @@ func (c *Coordinator) initMux() {
 	c.mux.HandleFunc("GET /v1/jobs/{id}/profile", c.handleJobProfile)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleJobTrace)
 	c.mux.HandleFunc("GET /v1/profiles/{benchmark}", c.handleFleetProfile)
+	c.mux.HandleFunc("GET /v1/pgo/{benchmark}", c.handlePGOExport)
 	c.mux.HandleFunc("GET /v1/cluster", c.handleClusterInfo)
 	c.mux.HandleFunc("POST /v1/cluster/join", c.handleJoin)
 	c.mux.HandleFunc("POST /v1/cluster/leave", c.handleLeave)
@@ -160,66 +163,11 @@ func (c *Coordinator) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 // when the owner is stale or unreachable — reads never fail because a
 // worker died.
 func (c *Coordinator) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
-	bench := r.PathValue("benchmark")
-	c.fleetMu.Lock()
-	var cells []cellKey
-	for key := range c.fleet {
-		if key.bench == bench {
-			cells = append(cells, key)
-		}
-	}
-	c.fleetMu.Unlock()
-	if len(cells) == 0 {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no fleet profile for %q", bench))
+	key, status, msg := c.resolveCell(r, r.PathValue("benchmark"))
+	if status != 0 {
+		writeError(w, status, msg)
 		return
 	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].k != cells[j].k {
-			return cells[i].k < cells[j].k
-		}
-		return cells[i].iters < cells[j].iters
-	})
-	for _, axis := range []struct {
-		name string
-		get  func(cellKey) int
-	}{
-		{"k", func(c cellKey) int { return c.k }},
-		{"iters", func(c cellKey) int { return c.iters }},
-	} {
-		q := r.URL.Query().Get(axis.name)
-		if q == "" {
-			continue
-		}
-		v, err := strconv.Atoi(q)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "malformed "+axis.name)
-			return
-		}
-		kept := cells[:0]
-		for _, ck := range cells {
-			if axis.get(ck) == v {
-				kept = append(kept, ck)
-			}
-		}
-		cells = kept
-	}
-	if len(cells) == 0 {
-		writeError(w, http.StatusNotFound,
-			fmt.Sprintf("no fleet profile for %q matching the query", bench))
-		return
-	}
-	if len(cells) > 1 {
-		names := make([]string, len(cells))
-		for i, ck := range cells {
-			names[i] = fmt.Sprintf("(k=%d,iters=%d)", ck.k, ck.iters)
-		}
-		writeError(w, http.StatusConflict,
-			fmt.Sprintf("fleet profiles exist at cells %s; select one with ?k= and ?iters=",
-				strings.Join(names, " ")))
-		return
-	}
-
-	key := cells[0]
 	c.fleetMu.Lock()
 	cl := c.fleet[key]
 	dirty := cl.dirty
@@ -248,6 +196,85 @@ func (c *Coordinator) handleFleetProfile(w http.ResponseWriter, r *http.Request)
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	local.Encode(w) //nolint:errcheck // client went away
+}
+
+// resolveCell maps bench plus the request's optional ?k=/?iters= query to
+// the single tracked fleet cell it addresses. status 0 means success;
+// otherwise status and msg carry the HTTP error to write (400 malformed,
+// 404 empty, 409 ambiguous) — the same contract as a single pathprofd.
+func (c *Coordinator) resolveCell(r *http.Request, bench string) (cellKey, int, string) {
+	c.fleetMu.Lock()
+	var cells []cellKey
+	for key := range c.fleet {
+		if key.bench == bench {
+			cells = append(cells, key)
+		}
+	}
+	c.fleetMu.Unlock()
+	if len(cells) == 0 {
+		return cellKey{}, http.StatusNotFound, fmt.Sprintf("no fleet profile for %q", bench)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].k != cells[j].k {
+			return cells[i].k < cells[j].k
+		}
+		return cells[i].iters < cells[j].iters
+	})
+	for _, axis := range []struct {
+		name string
+		get  func(cellKey) int
+	}{
+		{"k", func(c cellKey) int { return c.k }},
+		{"iters", func(c cellKey) int { return c.iters }},
+	} {
+		q := r.URL.Query().Get(axis.name)
+		if q == "" {
+			continue
+		}
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			return cellKey{}, http.StatusBadRequest, "malformed " + axis.name
+		}
+		kept := cells[:0]
+		for _, ck := range cells {
+			if axis.get(ck) == v {
+				kept = append(kept, ck)
+			}
+		}
+		cells = kept
+	}
+	if len(cells) == 0 {
+		return cellKey{}, http.StatusNotFound,
+			fmt.Sprintf("no fleet profile for %q matching the query", bench)
+	}
+	if len(cells) > 1 {
+		names := make([]string, len(cells))
+		for i, ck := range cells {
+			names[i] = fmt.Sprintf("(k=%d,iters=%d)", ck.k, ck.iters)
+		}
+		return cellKey{}, http.StatusConflict,
+			fmt.Sprintf("fleet profiles exist at cells %s; select one with ?k= and ?iters=",
+				strings.Join(names, " "))
+	}
+	return cells[0], 0, ""
+}
+
+// handlePGOExport serves one fleet cell in pathprof's saved-run format —
+// the exact bytes `pathprof -pgo` accepts for profile-guided layout. Cell
+// addressing matches GET /v1/profiles/{benchmark}; the bytes always come
+// from the coordinator's authoritative local copy, because a layout
+// derivation wants one consistent snapshot, not the freshest owner read.
+func (c *Coordinator) handlePGOExport(w http.ResponseWriter, r *http.Request) {
+	key, status, msg := c.resolveCell(r, r.PathValue("benchmark"))
+	if status != 0 {
+		writeError(w, status, msg)
+		return
+	}
+	c.fleetMu.Lock()
+	local := c.fleet[key].snap.Clone()
+	c.fleetMu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	core.SaveRun(w, core.RunFromCounters(key.k, key.iters, local.Counters)) //nolint:errcheck // client went away
 }
 
 // ClusterInfo is the GET /v1/cluster body: the membership and where each

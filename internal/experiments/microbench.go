@@ -23,7 +23,9 @@ import (
 // BenchResult is one measured microbenchmark cell.
 type BenchResult struct {
 	// Name is the benchmark kind: "run" (one instrumented execution at
-	// k = max/3) or "sweep" (compile + analyze + trace + every degree).
+	// k = max/3), "run-pgo" (the same execution on self-trained
+	// profile-guided layout) or "sweep" (compile + analyze + trace + every
+	// degree).
 	Name string `json:"name"`
 	// Bench is the workload the cell ran.
 	Bench string `json:"bench"`
@@ -112,6 +114,25 @@ func Microbench(benchName string, iters int) ([]BenchResult, error) {
 			res.Iters = 2
 			out = append(out, res)
 		}
+	}
+	// Self-PGO cells: the register engine re-measured on profile-guided
+	// layout, trained on the cell's own (cfg, seed) run. The warming call
+	// pays the training run and the layout recompile, so the timed region
+	// measures execution on reordered code only; benchgate holds each cell
+	// against its regvm sibling above.
+	if _, err := p.PGOCode(cfg, wb.Seed); err != nil {
+		return nil, err
+	}
+	for _, st := range stores {
+		res, err := measure("run-pgo", wb.Name, pipeline.EnginePGO.String(), st.String(), iters, func() error {
+			_, err := p.ExecuteStore(pipeline.EnginePGO, cfg, wb.Seed, nil, profile.NewStore(st, p.Info, 2), 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Iters = 2
+		out = append(out, res)
 	}
 	// A widened-window cell on the fastest configuration (register engine,
 	// arena store) isolates the marginal cost of the iters axis against the

@@ -73,10 +73,11 @@ type Config struct {
 	// Stores are the counter-store layouts (default nested, flat, and
 	// arena).
 	Stores []profile.StoreKind
-	// Engines are the execution engines (default tree, vm, regvm: the
-	// listener-dispatched reference interpreter is the comparison baseline
-	// both the fused-probe bytecode engine and the register machine must
-	// match).
+	// Engines are the execution engines (default tree, vm, regvm, pgo:
+	// the listener-dispatched reference interpreter is the comparison
+	// baseline the fused-probe bytecode engine, the register machine, and
+	// the register machine under self-trained profile-guided layout must
+	// all match).
 	Engines []pipeline.Engine
 	// Modes are the estimation constraint modes (default Paper and
 	// Extended).
@@ -105,7 +106,7 @@ func (c Config) withDefaults() Config {
 		c.Stores = []profile.StoreKind{profile.StoreNested, profile.StoreFlat, profile.StoreArena}
 	}
 	if len(c.Engines) == 0 {
-		c.Engines = []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM, pipeline.EngineReg}
+		c.Engines = []pipeline.Engine{pipeline.EngineTree, pipeline.EngineVM, pipeline.EngineReg, pipeline.EnginePGO}
 	}
 	if len(c.Modes) == 0 {
 		c.Modes = []estimate.Mode{estimate.Paper, estimate.Extended}

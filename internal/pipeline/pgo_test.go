@@ -1,0 +1,124 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"pathprof/internal/instrument"
+	"pathprof/internal/pgo"
+	"pathprof/internal/pipeline"
+	"pathprof/internal/workload"
+)
+
+// TestPGOEngineMatchesReg: the PGO engine — self-training and with an
+// explicit profile — must produce byte-identical counters to the register
+// engine on the same (cfg, seed) cell; layout moves code, never results.
+func TestPGOEngineMatchesReg(t *testing.T) {
+	for _, name := range []string{"300.twolf", "130.li"} {
+		b := workload.ByName(name)
+		prog, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := pipeline.New(prog, pipeline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := instrument.Config{K: 1, Loops: true, Interproc: true}
+		ref, err := p.Execute(cfg, b.Seed, nil)
+		if err != nil {
+			t.Fatalf("%s: regvm run: %v", name, err)
+		}
+		want := serialize(t, ref.Counters)
+
+		// Self-training PGO (no Options.PGO): the layout trains on a
+		// register run at the same seed.
+		got, err := p.ExecuteStore(pipeline.EnginePGO, cfg, b.Seed, nil, p.NewStore(cfg.EffIters()), 0)
+		if err != nil {
+			t.Fatalf("%s: self-trained pgo run: %v", name, err)
+		}
+		if !bytes.Equal(serialize(t, got.Counters), want) {
+			t.Fatalf("%s: self-trained pgo counters diverge from regvm", name)
+		}
+
+		// Explicit-profile PGO: feed the reference run's own counters
+		// back in as Options.PGO.
+		p2, err := pipeline.New(prog, pipeline.Options{
+			Engine: pipeline.EnginePGO,
+			PGO:    &pgo.Profile{K: ref.K, Iters: ref.Iters, Counters: ref.Counters},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := p2.Execute(cfg, b.Seed, nil)
+		if err != nil {
+			t.Fatalf("%s: explicit-profile pgo run: %v", name, err)
+		}
+		if !bytes.Equal(serialize(t, got2.Counters), want) {
+			t.Fatalf("%s: explicit-profile pgo counters diverge from regvm", name)
+		}
+		plan, err := p2.PGOPlan(cfg, b.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Reordered() == 0 {
+			t.Fatalf("%s: explicit-profile plan reordered no functions", name)
+		}
+		if _, err := p2.PGOCode(cfg, b.Seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPGOCodeSingleflight: concurrent PGO runs of one (cfg, seed) cell
+// must share a single trained code object — the self-training run and the
+// layout compile happen once, and every caller's counters still match the
+// register engine's.
+func TestPGOCodeSingleflight(t *testing.T) {
+	b := workload.ByName("181.mcf")
+	prog, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pipeline.New(prog, pipeline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := instrument.Config{K: 1, Loops: true, Interproc: true}
+	ref, err := p.Execute(cfg, b.Seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialize(t, ref.Counters)
+
+	const callers = 8
+	codes := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run, err := p.ExecuteStore(pipeline.EnginePGO, cfg, b.Seed, nil, p.NewStore(cfg.EffIters()), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(serialize(t, run.Counters), want) {
+				t.Errorf("caller %d: pgo counters diverge from regvm", i)
+			}
+			code, err := p.PGOCode(cfg, b.Seed)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			codes[i] = code
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if codes[i] != codes[0] {
+			t.Fatalf("caller %d received a different compiled code instance", i)
+		}
+	}
+}

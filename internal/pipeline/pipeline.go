@@ -23,6 +23,7 @@ import (
 	"pathprof/internal/lang"
 	"pathprof/internal/obs"
 	"pathprof/internal/overhead"
+	"pathprof/internal/pgo"
 	"pathprof/internal/profile"
 	"pathprof/internal/regvm"
 	"pathprof/internal/trace"
@@ -41,6 +42,11 @@ const (
 	// EngineTree is the tree-walking reference interpreter with
 	// listener-dispatched probes.
 	EngineTree
+	// EnginePGO is the register machine running code recompiled with
+	// profile-guided layout (Options.PGO, or a self-training run when
+	// nil). Layout only moves code, so every observable — counters,
+	// output, error strings — stays byte-identical to EngineReg.
+	EnginePGO
 )
 
 // String implements flag-friendly rendering.
@@ -50,6 +56,8 @@ func (e Engine) String() string {
 		return "vm"
 	case EngineTree:
 		return "tree"
+	case EnginePGO:
+		return "pgo"
 	}
 	return "regvm"
 }
@@ -63,6 +71,8 @@ func ParseEngine(s string) (Engine, bool) {
 		return EngineVM, true
 	case "tree":
 		return EngineTree, true
+	case "pgo":
+		return EnginePGO, true
 	}
 	return EngineReg, false
 }
@@ -78,6 +88,10 @@ type Options struct {
 	// Engine selects the execution engine (zero value = the register
 	// machine).
 	Engine Engine
+	// PGO is the profile EnginePGO derives its layout plan from. When
+	// nil, EnginePGO self-trains: one register-engine run at the
+	// requested seed supplies the counters.
+	PGO *pgo.Profile
 	// Pool is the worker pool sweeps draw slots from (nil = the shared
 	// process-wide pool).
 	Pool *Pool
@@ -94,6 +108,7 @@ type Pipeline struct {
 	plans    map[planKey]*planEntry
 	codes    map[planKey]*codeEntry
 	regCodes map[planKey]*regEntry
+	pgoCodes map[pgoKey]*pgoEntry
 }
 
 // planKey identifies one instrumentation plan. Selection and ChordProfile
@@ -147,6 +162,28 @@ type regEntry struct {
 	pool sync.Pool
 }
 
+// pgoKey identifies one PGO compilation. With an explicit Options.PGO
+// profile the layout depends only on the configuration (seed and step
+// limit are zeroed); a self-training compilation is additionally keyed by
+// the training run's seed and step limit, so differential sweeps that
+// revisit a (cfg, seed) cell share one trained code object while distinct
+// seeds train separately.
+type pgoKey struct {
+	plan     planKey
+	seed     uint64
+	maxSteps int64
+}
+
+// pgoEntry caches one PGO compilation end to end: the derived layout
+// plan, the recompiled register code, and its machine pool.
+type pgoEntry struct {
+	once sync.Once
+	plan *pgo.Plan
+	code *regvm.Program
+	err  error
+	pool sync.Pool
+}
+
 // New analyzes an already-lowered program and wraps it in a Pipeline.
 func New(prog *ir.Program, opts Options) (*Pipeline, error) {
 	info, err := profile.Analyze(prog, opts.Limits)
@@ -161,6 +198,7 @@ func New(prog *ir.Program, opts Options) (*Pipeline, error) {
 		plans:    map[planKey]*planEntry{},
 		codes:    map[planKey]*codeEntry{},
 		regCodes: map[planKey]*regEntry{},
+		pgoCodes: map[pgoKey]*pgoEntry{},
 	}, nil
 }
 
@@ -298,6 +336,68 @@ func (e *regEntry) machine(seed uint64) *regvm.Machine {
 	return regvm.NewMachine(e.code, seed)
 }
 
+// pgoCode returns the singleflight cache slot holding cfg's PGO-layout
+// register code: the layout plan derives from Options.PGO when set,
+// otherwise from a self-training register-engine run at (seed, maxSteps).
+func (p *Pipeline) pgoCode(cfg instrument.Config, seed uint64, maxSteps int64) (*pgoEntry, error) {
+	plan, err := p.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := pgoKey{plan: keyOf(cfg)}
+	if p.opts.PGO == nil {
+		key.seed, key.maxSteps = seed, maxSteps
+	}
+	p.mu.Lock()
+	e := p.pgoCodes[key]
+	if e == nil {
+		e = &pgoEntry{}
+		p.pgoCodes[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		start := time.Now()
+		prof := p.opts.PGO
+		if prof == nil {
+			// Self-train: one register-engine run at this seed into a
+			// private nested store. A failing training run (step limit,
+			// runtime error) still trains — the partial counters derive
+			// a deterministic plan, and the PGO run then reproduces the
+			// same error byte-identically.
+			store := profile.NewStore(profile.StoreNested, p.Info, cfg.EffIters())
+			if _, err := p.ExecuteStore(EngineReg, cfg, seed, nil, store, maxSteps); err != nil && obs.DebugEnabled() {
+				obs.Logger().Debug("pipeline.pgo.train", "k", cfg.K, "seed", seed, "err", err.Error())
+			}
+			prof = &pgo.Profile{K: cfg.K, Iters: cfg.EffIters(), Counters: store.Counters()}
+		}
+		var lp *pgo.Plan
+		lp, e.err = pgo.Derive(p.Info, prof)
+		if e.err != nil {
+			return
+		}
+		e.plan = lp
+		e.code, e.err = regvm.CompileLayout(p.Prog, plan, lp.Orders())
+		if obs.DebugEnabled() {
+			obs.Logger().Debug("pipeline.code",
+				"engine", "pgo", "k", cfg.K, "reordered", lp.Reordered(),
+				"elapsed_ms", time.Since(start).Milliseconds(), "err", errString(e.err))
+		}
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// machine is regEntry.machine for the PGO-layout code.
+func (e *pgoEntry) machine(seed uint64) *regvm.Machine {
+	if m, ok := e.pool.Get().(*regvm.Machine); ok {
+		m.Reset(seed)
+		return m
+	}
+	return regvm.NewMachine(e.code, seed)
+}
+
 // Code returns the compiled bytecode (with cfg's probes fused in) for the
 // VM engine, building it at most once per configuration — the compiled
 // program is a cached artifact alongside the plan it embeds, shared across
@@ -318,6 +418,28 @@ func (p *Pipeline) RegCode(cfg instrument.Config) (*regvm.Program, error) {
 		return nil, err
 	}
 	return e.code, nil
+}
+
+// PGOCode is RegCode for the PGO engine: the register program recompiled
+// with the layout plan of Options.PGO (or of a self-training run at seed
+// with the default step limit when no profile is set). It warms the same
+// cache slot EnginePGO runs execute from.
+func (p *Pipeline) PGOCode(cfg instrument.Config, seed uint64) (*regvm.Program, error) {
+	e, err := p.pgoCode(cfg, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	return e.code, nil
+}
+
+// PGOPlan exposes the layout plan behind PGOCode for the same (cfg, seed)
+// slot — the CLI's layout summary and the determinism tests read it.
+func (p *Pipeline) PGOPlan(cfg instrument.Config, seed uint64) (*pgo.Plan, error) {
+	e, err := p.pgoCode(cfg, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	return e.plan, nil
 }
 
 // CachedPlans reports how many plans the cache holds (for tests and
@@ -371,6 +493,38 @@ func (p *Pipeline) ExecuteStore(eng Engine, cfg instrument.Config, seed uint64, 
 	switch eng {
 	case EngineReg:
 		e, err := p.regCode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := e.machine(seed)
+		defer e.pool.Put(m)
+		if out != nil {
+			m.Out = out
+		}
+		if maxSteps > 0 {
+			m.MaxSteps = maxSteps
+		}
+		start := time.Now()
+		if err := m.Run(store); err != nil {
+			return nil, err
+		}
+		if obs.DebugEnabled() {
+			obs.Logger().Debug("pipeline.execute",
+				"engine", eng.String(), "k", cfg.K, "seed", seed,
+				"steps", m.Steps, "elapsed_ms", time.Since(start).Milliseconds())
+		}
+		return &Run{
+			K:         cfg.K,
+			Iters:     cfg.EffIters(),
+			Selection: cfg.Selection,
+			Counters:  store.Counters(),
+			Overhead:  m.Report(),
+			Steps:     m.Steps,
+			BaseOps:   m.BaseOps,
+		}, nil
+
+	case EnginePGO:
+		e, err := p.pgoCode(cfg, seed, maxSteps)
 		if err != nil {
 			return nil, err
 		}

@@ -18,13 +18,34 @@ import (
 	"pathprof/internal/profile"
 )
 
-// Compile lowers prog (and plan's probes, when non-nil) to register code.
+// Compile lowers prog (and plan's probes, when non-nil) to register code
+// in the source block order.
 func Compile(prog *ir.Program, plan *instrument.Plan) (*Program, error) {
+	return CompileLayout(prog, plan, nil)
+}
+
+// CompileLayout lowers prog like Compile but emits each function's blocks
+// in the given layout order (one permutation of block ids per function,
+// entry block first — the shape pgo.Plan.Orders produces; nil keeps the
+// source order). Layout only moves code: every jump target is patched
+// through the block-pc table and fall-through elision follows the
+// emission successor, so the compiled program is semantically identical
+// to the source-order one — the oracle proves it byte-identical on
+// counters, output, and error strings.
+func CompileLayout(prog *ir.Program, plan *instrument.Plan, layout [][]int) (*Program, error) {
+	if layout != nil && len(layout) != len(prog.Funcs) {
+		return nil, fmt.Errorf("regvm: layout has %d functions, program has %d",
+			len(layout), len(prog.Funcs))
+	}
 	p := &Program{IR: prog, Plan: plan, main: -1, numGlobals: len(prog.Globals)}
 	pool := map[int64]int32{}
 	insns := 0
 	for idx, fn := range prog.Funcs {
-		c := &fnCompiler{p: p, prog: prog, plan: plan, fn: fn, pool: pool}
+		var order []int
+		if layout != nil {
+			order = layout[idx]
+		}
+		c := &fnCompiler{p: p, prog: prog, plan: plan, fn: fn, pool: pool, order: order}
 		cf, err := c.compile(idx)
 		if err != nil {
 			return nil, err
@@ -68,6 +89,26 @@ func (s *probeSeq) static() bool {
 	return len(s.acts) == 0 && s.exts < 0 && !s.backedge
 }
 
+// checkOrder rejects a layout order that is not a permutation of the
+// function's block ids with the entry block (id 0, where frames start
+// executing) first.
+func checkOrder(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("order lists %d blocks, function has %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, b := range order {
+		if b < 0 || b >= n || seen[b] {
+			return fmt.Errorf("order is not a permutation (block %d)", b)
+		}
+		seen[b] = true
+	}
+	if n > 0 && order[0] != 0 {
+		return fmt.Errorf("entry block must come first, got block %d", order[0])
+	}
+	return nil
+}
+
 // fixup is a pending jump-target patch on an emitted instruction's b or c
 // field (branch arms patch through armFixup instead).
 type fixup struct {
@@ -95,11 +136,13 @@ type fnCompiler struct {
 	suffixExts []*olpath.Ext
 	sel        *profile.Selection
 	pool       map[int64]int32 // program-wide constant interning
+	order      []int           // emission order of block ids (nil = source order)
 
 	cf        *compiledFunc
 	code      []inst
 	blkOf     []int32
 	blockPC   []int32
+	next      []int // next[bid] = block id emitted after bid (-1 = none)
 	fixups    []fixup
 	armFixups []armFixup
 	resumes   []*callRec // resumePC holds a block id until patched
@@ -163,8 +206,26 @@ func (c *fnCompiler) compile(idx int) (*compiledFunc, error) {
 	cf := &compiledFunc{fn: fn, idx: idx, numRegs: fn.NumSlots()}
 	c.cf = cf
 
+	order := c.order
+	if order == nil {
+		order = make([]int, len(fn.Blocks))
+		for i := range order {
+			order[i] = i
+		}
+	} else if err := checkOrder(order, len(fn.Blocks)); err != nil {
+		return nil, fmt.Errorf("regvm: layout %s: %w", fn.Name, err)
+	}
+	c.next = make([]int, len(fn.Blocks))
+	for i, bid := range order {
+		c.next[bid] = -1
+		if i+1 < len(order) {
+			c.next[bid] = order[i+1]
+		}
+	}
+
 	c.blockPC = make([]int32, len(fn.Blocks))
-	for bid, blk := range fn.Blocks {
+	for _, bid := range order {
+		blk := fn.Blocks[bid]
 		c.curBlk = int32(bid)
 		c.blockPC[bid] = int32(len(c.code))
 		if err := c.block(bid, blk); err != nil {
@@ -432,7 +493,7 @@ func (c *fnCompiler) term(bid int, t ir.Terminator, stepCost int64, fuseStep boo
 		if err != nil {
 			return err
 		}
-		fall := t.To == bid+1
+		fall := t.To == c.next[bid]
 		if probe != nil {
 			step()
 			c.emitProbe(probe, 0, fall)
@@ -543,7 +604,7 @@ func (c *fnCompiler) term(bid int, t ir.Terminator, stepCost int64, fuseStep boo
 			// The resume edge's probe sits inline after the call; the
 			// return lands on it and it ends at the resume block.
 			rec.resumePC = int32(len(c.code))
-			fall := t.Next == bid+1
+			fall := t.Next == c.next[bid]
 			c.emitProbe(resume, 0, fall)
 			if resume.backedge || !fall {
 				c.fixups = append(c.fixups, fixup{pc: int32(len(c.code) - 1), field: 1, to: t.Next})

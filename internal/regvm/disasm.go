@@ -1,0 +1,63 @@
+package regvm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders the compiled program — instructions and every side table —
+// in a deterministic textual form. Two Programs compiled from the same
+// inputs (including the same layout) render identically, which the PGO
+// byte-identity tests rely on; it also serves as a debugging aid for
+// inspecting layout decisions.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program funcs=%d main=%d globals=%d consts=%v fusion=%+v\n",
+		len(p.funcs), p.main, p.numGlobals, p.consts, p.Fusion)
+	for _, cf := range p.funcs {
+		fmt.Fprintf(&b, "func %d %s regs=%d iters=%d loops=%d maskExact=%v\n",
+			cf.idx, cf.fn.Name, cf.numRegs, cf.iters, cf.numLoops, cf.maskExact)
+		if cf.numLoops > 0 {
+			fmt.Fprintf(&b, "  loopFreeze=%v loopRoot=%v\n", cf.loopFreeze, cf.loopRoot)
+		}
+		if cf.hasEntry {
+			fmt.Fprintf(&b, "  entryFreeze=%d entryRoot=%d suffixFreeze=%v suffixRoot=%v\n",
+				cf.entryFreeze, cf.entryRoot, cf.suffixFreeze, cf.suffixRoot)
+		}
+		for pc, in := range cf.code {
+			fmt.Fprintf(&b, "  %4d b%-3d op=%d sub=%d a=%d b=%d c=%d imm=%d\n",
+				pc, cf.blkOf[pc], in.op, in.sub, in.a, in.b, in.c, in.imm)
+		}
+		for i, pr := range cf.prints {
+			fmt.Fprintf(&b, "  print %d: %v\n", i, pr)
+		}
+		for i, n := range cf.names {
+			fmt.Fprintf(&b, "  name %d: %q\n", i, n)
+		}
+		for i, rec := range cf.calls {
+			fmt.Fprintf(&b, "  call %d: %+v\n", i, *rec)
+		}
+		for i := range cf.probes {
+			fmt.Fprintf(&b, "  probe %d: %+v\n", i, cf.probes[i])
+		}
+		for i := range cf.branches {
+			fmt.Fprintf(&b, "  branch %d: %+v\n", i, cf.branches[i])
+		}
+		for i := range cf.exts {
+			x := &cf.exts[i]
+			fmt.Fprintf(&b, "  ext %d: entry=%+v sites=[", i, x.entry)
+			for j, s := range x.sites {
+				if j > 0 {
+					b.WriteByte(' ')
+				}
+				if s == nil {
+					b.WriteByte('-')
+				} else {
+					fmt.Fprintf(&b, "%+v", *s)
+				}
+			}
+			b.WriteString("]\n")
+		}
+	}
+	return b.String()
+}

@@ -14,6 +14,9 @@
 //	GET  /v1/jobs/{id}/profile     the job's merged counter snapshot
 //	GET  /v1/profiles/{benchmark}  the fleet-wide merged snapshot (?k=N,
 //	                               ?iters=N when several cells exist)
+//	GET  /v1/pgo/{benchmark}       the same cell exported in pathprof's
+//	                               saved-run format, ready for -pgo
+//	                               profile-guided layout
 //	GET  /metrics                  expvar-style counters (see MetricsSnapshot)
 //	GET  /healthz                  "ok", or "draining" during shutdown
 //
@@ -274,6 +277,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profile", s.handleJobProfile)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/profiles/{benchmark}", s.handleFleetProfile)
+	s.mux.HandleFunc("GET /v1/pgo/{benchmark}", s.handlePGOExport)
 	s.mux.HandleFunc("PUT /v1/profiles/{benchmark}", s.handleFleetInstall)
 	s.mux.HandleFunc("DELETE /v1/profiles/{benchmark}", s.handleFleetDelete)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -450,6 +454,22 @@ func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
 	bench := r.PathValue("benchmark")
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
+	snap, _, status, msg := s.fleetCell(r, bench)
+	if snap == nil {
+		writeError(w, status, msg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	cw := &countingWriter{w: w}
+	snap.Encode(cw) //nolint:errcheck // client went away
+	s.metrics.snapshotBytes.Observe(float64(cw.n))
+}
+
+// fleetCell resolves the single fleet cell for bench addressed by the
+// request's optional ?k=/?iters= query. The caller holds fleetMu. A nil
+// snapshot means no unique cell matched; status and msg then carry the
+// HTTP error to write (400 malformed, 404 empty, 409 ambiguous).
+func (s *Server) fleetCell(r *http.Request, bench string) (*merge.Snapshot, fleetKey, int, string) {
 	var cells []fleetKey
 	for key := range s.fleet {
 		if key.bench == bench {
@@ -457,8 +477,7 @@ func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(cells) == 0 {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no fleet profile for %q", bench))
-		return
+		return nil, fleetKey{}, http.StatusNotFound, fmt.Sprintf("no fleet profile for %q", bench)
 	}
 	sort.Slice(cells, func(i, j int) bool {
 		if cells[i].k != cells[j].k {
@@ -481,8 +500,7 @@ func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
 		}
 		v, err := strconv.Atoi(q)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "malformed "+axis.name)
-			return
+			return nil, fleetKey{}, http.StatusBadRequest, "malformed " + axis.name
 		}
 		kept := cells[:0]
 		for _, c := range cells {
@@ -493,24 +511,38 @@ func (s *Server) handleFleetProfile(w http.ResponseWriter, r *http.Request) {
 		cells = kept
 	}
 	if len(cells) == 0 {
-		writeError(w, http.StatusNotFound,
-			fmt.Sprintf("no fleet profile for %q matching the query", bench))
-		return
+		return nil, fleetKey{}, http.StatusNotFound,
+			fmt.Sprintf("no fleet profile for %q matching the query", bench)
 	}
 	if len(cells) > 1 {
 		names := make([]string, len(cells))
 		for i, c := range cells {
 			names[i] = fmt.Sprintf("(k=%d,iters=%d)", c.k, c.iters)
 		}
-		writeError(w, http.StatusConflict,
+		return nil, fleetKey{}, http.StatusConflict,
 			fmt.Sprintf("fleet profiles exist at cells %s; select one with ?k= and ?iters=",
-				strings.Join(names, " ")))
+				strings.Join(names, " "))
+	}
+	return s.fleet[cells[0]], cells[0], 0, ""
+}
+
+// handlePGOExport serves one fleet cell in pathprof's saved-run format —
+// the exact bytes `pathprof -pgo` and pgo derivation accept — so a
+// fleet-trained profile feeds profile-guided layout without conversion.
+// Cell addressing matches GET /v1/profiles/{benchmark}: optional ?k= and
+// ?iters= pin a cell, an empty match is 404, an ambiguous one 409.
+func (s *Server) handlePGOExport(w http.ResponseWriter, r *http.Request) {
+	bench := r.PathValue("benchmark")
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	snap, key, status, msg := s.fleetCell(r, bench)
+	if snap == nil {
+		writeError(w, status, msg)
 		return
 	}
-	snap := s.fleet[cells[0]]
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	cw := &countingWriter{w: w}
-	snap.Encode(cw) //nolint:errcheck // client went away
+	core.SaveRun(cw, core.RunFromCounters(key.k, key.iters, snap.Counters)) //nolint:errcheck // client went away
 	s.metrics.snapshotBytes.Observe(float64(cw.n))
 }
 

@@ -13,8 +13,11 @@ import (
 	"testing"
 	"time"
 
+	"pathprof/internal/core"
 	"pathprof/internal/merge"
+	"pathprof/internal/pgo"
 	"pathprof/internal/pipeline"
+	"pathprof/internal/workload"
 )
 
 // testSrc profiles quickly and touches every counter family.
@@ -341,6 +344,55 @@ func TestFleetProfile(t *testing.T) {
 	}
 	if code, _ := two.get(t, "/v1/profiles/"+bench+"?k=7"); code != http.StatusNotFound {
 		t.Fatalf("missing-degree fleet profile: status %d, want 404", code)
+	}
+}
+
+// TestPGOExport closes the fleet half of the PGO loop over the wire: a
+// profiled benchmark's fleet cell must export in pathprof's saved-run
+// format, and those bytes must derive a layout plan that actually moves
+// code. Cell addressing errors mirror GET /v1/profiles.
+func TestPGOExport(t *testing.T) {
+	const bench = "300.twolf"
+	d := newDaemon(t, Config{Runners: 2}, true)
+	code, out := d.post(t, JobRequest{Benchmark: bench, Seed: 300, K: 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if st := d.await(t, out["id"]); st.State != "done" {
+		t.Fatalf("job ended %q: %v", st.State, st.Errors)
+	}
+
+	code, raw := d.get(t, "/v1/pgo/"+bench)
+	if code != http.StatusOK {
+		t.Fatalf("pgo export: status %d: %s", code, raw)
+	}
+	run, err := core.LoadRun(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("pgo export is not a loadable saved run: %v", err)
+	}
+	if run.K != 1 {
+		t.Fatalf("exported profile degree k=%d, want 1", run.K)
+	}
+	s, err := core.Open(workload.ByName(bench).Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pgo.Derive(s.Info, &pgo.Profile{K: run.K, Iters: run.Iters, Counters: run.Counters})
+	if err != nil {
+		t.Fatalf("deriving a layout from the export: %v", err)
+	}
+	if plan.Reordered() == 0 {
+		t.Fatal("fleet-trained plan reordered no functions")
+	}
+
+	if code, _ := d.get(t, "/v1/pgo/no-such-bench"); code != http.StatusNotFound {
+		t.Fatalf("missing benchmark: status %d, want 404", code)
+	}
+	if code, _ := d.get(t, "/v1/pgo/"+bench+"?k=7"); code != http.StatusNotFound {
+		t.Fatalf("missing degree: status %d, want 404", code)
+	}
+	if code, _ := d.get(t, "/v1/pgo/"+bench+"?k=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("malformed degree: status %d, want 400", code)
 	}
 }
 

@@ -1,17 +1,23 @@
 package stats
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks — the convention load reports use for
-// p50/p95/p99 latency. xs is not mutated; an empty input yields 0.
+// p50/p95/p99 latency. xs is not mutated. The degenerate inputs are
+// defined, never NaN: an empty input yields 0, a single-element input
+// yields that element at every p, a NaN p yields the minimum (it clamps
+// like p <= 0), and p outside [0, 100] clamps to the extremes.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	if p <= 0 {
+	if p <= 0 || math.IsNaN(p) {
 		return sorted[0]
 	}
 	if p >= 100 {

@@ -24,10 +24,33 @@ func TestPercentile(t *testing.T) {
 	if got := Percentile(nil, 50); got != 0 {
 		t.Errorf("Percentile(nil, 50) = %v, want 0", got)
 	}
-	if got := Percentile([]float64{7}, 99); got != 7 {
-		t.Errorf("single element: got %v, want 7", got)
-	}
 	if xs[0] != 40 {
 		t.Error("Percentile mutated its input")
+	}
+}
+
+// TestPercentileDegenerate pins the defined behavior on empty and
+// single-element inputs across the whole p range, plus the NaN-p clamp:
+// every result must be a finite number, never NaN.
+func TestPercentileDegenerate(t *testing.T) {
+	ps := []float64{-10, 0, 1, 25, 50, 75, 99, 100, 200, math.NaN()}
+	for _, p := range ps {
+		if got := Percentile(nil, p); got != 0 {
+			t.Errorf("Percentile(nil, %v) = %v, want 0", p, got)
+		}
+		if got := Percentile([]float64{}, p); got != 0 {
+			t.Errorf("Percentile([], %v) = %v, want 0", p, got)
+		}
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Errorf("Percentile([7], %v) = %v, want 7", p, got)
+		}
+	}
+	if got := Percentile([]float64{10, 20}, math.NaN()); got != 10 || math.IsNaN(got) {
+		t.Errorf("Percentile([10 20], NaN) = %v, want 10 (NaN p clamps to the minimum)", got)
+	}
+	for _, p := range ps {
+		if got := Percentile([]float64{3, 1, 2}, p); math.IsNaN(got) {
+			t.Errorf("Percentile([3 1 2], %v) = NaN", p)
+		}
 	}
 }

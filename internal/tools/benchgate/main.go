@@ -6,6 +6,12 @@
 // the grid — regvm beating vm beating tree by the committed margins — is
 // enforced. A cell that vanishes from the measured grid also fails.
 //
+// The fresh file is additionally self-gated: each "run-pgo" cell
+// (register engine under profile-guided layout) must stay within the
+// threshold of its plain regvm "run" sibling in the same file, so a layout
+// derivation that hurts more than the allowed margin fails the build even
+// before it becomes the committed baseline.
+//
 // CI runs it in the bench-smoke job after regenerating the grid:
 //
 //	go run ./cmd/experiments -bench-json BENCH_fresh.json -bench-n 1
@@ -59,6 +65,7 @@ func main() {
 	}
 
 	complaints := Gate(base, cur, *threshold)
+	complaints = append(complaints, GatePGO(cur, *threshold)...)
 	for _, c := range complaints {
 		fmt.Println(c)
 	}

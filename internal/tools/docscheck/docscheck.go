@@ -12,6 +12,7 @@ import (
 	"pathprof/internal/cluster"
 	"pathprof/internal/limits"
 	"pathprof/internal/obs"
+	"pathprof/internal/pgo"
 	"pathprof/internal/profile"
 	"pathprof/internal/regvm"
 	"pathprof/internal/server"
@@ -232,6 +233,37 @@ func CheckEngine(md string) []string {
 		if !exported[name] {
 			out = append(out, fmt.Sprintf(
 				"DESIGN.md §15 documents %q but the register engine emits no such superinstruction", name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckPGO cross-references DESIGN.md's §16 stage table against the
+// profile-guided layout pipeline: every derivation stage pgo.Stages()
+// reports must appear as a backticked first-column table token, and the
+// table must not document a stage the derivation no longer runs. Adding,
+// renaming, or dropping a stage without updating the design doc fails the
+// build.
+func CheckPGO(md string) []string {
+	sec, err := Section(md, 16)
+	if err != nil {
+		return []string{"DESIGN.md: " + err.Error()}
+	}
+	var out []string
+	documented := toSet(TableNames(sec))
+	stages := pgo.Stages()
+	exported := toSet(stages)
+
+	for _, name := range stages {
+		if !documented[name] {
+			out = append(out, fmt.Sprintf("DESIGN.md §16: pgo stage %q is undocumented", name))
+		}
+	}
+	for name := range documented {
+		if !exported[name] {
+			out = append(out, fmt.Sprintf(
+				"DESIGN.md §16 documents %q but the pgo derivation runs no such stage", name))
 		}
 	}
 	sort.Strings(out)

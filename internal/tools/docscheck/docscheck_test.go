@@ -9,6 +9,7 @@ import (
 
 	"pathprof/internal/cluster"
 	"pathprof/internal/limits"
+	"pathprof/internal/pgo"
 	"pathprof/internal/regvm"
 	"pathprof/internal/server"
 )
@@ -42,6 +43,10 @@ func goodDesign() string {
 	}
 	b.WriteString("\n## 15. Register engine\n\n| mnemonic | fuses |\n|---|---|\n")
 	for _, s := range regvm.Superinstructions() {
+		fmt.Fprintf(&b, "| `%s` | ... |\n", s)
+	}
+	b.WriteString("\n## 16. Profile-guided layout\n\n| stage | charges |\n|---|---|\n")
+	for _, s := range pgo.Stages() {
 		fmt.Fprintf(&b, "| `%s` | ... |\n", s)
 	}
 	return b.String()
@@ -147,13 +152,37 @@ func TestCheckEngineCatchesDrift(t *testing.T) {
 		t.Fatalf("dropped mnemonic not caught: %v", got)
 	}
 
-	stale := goodDesign() + "| `MegaFuse` | gone |\n"
+	stale := strings.Replace(goodDesign(), "\n## 16.", "| `MegaFuse` | gone |\n\n## 16.", 1)
 	got = CheckEngine(stale)
 	if len(got) != 1 || !strings.Contains(got[0], `"MegaFuse"`) {
 		t.Fatalf("stale documented mnemonic not caught: %v", got)
 	}
 
 	if got := CheckEngine("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 15") {
+		t.Fatalf("missing section not caught: %v", got)
+	}
+}
+
+func TestCheckPGOAccepts(t *testing.T) {
+	if got := CheckPGO(goodDesign()); len(got) != 0 {
+		t.Fatalf("complaints on a faithful §16:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+func TestCheckPGOCatchesDrift(t *testing.T) {
+	missing := strings.Replace(goodDesign(), "| `loop-spine` | ... |\n", "", 1)
+	got := CheckPGO(missing)
+	if len(got) != 1 || !strings.Contains(got[0], `pgo stage "loop-spine" is undocumented`) {
+		t.Fatalf("dropped stage not caught: %v", got)
+	}
+
+	stale := goodDesign() + "| `block-shuffle` | gone |\n"
+	got = CheckPGO(stale)
+	if len(got) != 1 || !strings.Contains(got[0], `"block-shuffle"`) {
+		t.Fatalf("stale documented stage not caught: %v", got)
+	}
+
+	if got := CheckPGO("## 1. Intro\n"); len(got) != 1 || !strings.Contains(got[0], "no section 16") {
 		t.Fatalf("missing section not caught: %v", got)
 	}
 }
@@ -227,6 +256,9 @@ func TestRepoDocsPass(t *testing.T) {
 	}
 	if got := CheckEngine(string(raw)); len(got) != 0 {
 		t.Errorf("DESIGN.md §15 drift:\n%s", strings.Join(got, "\n"))
+	}
+	if got := CheckPGO(string(raw)); len(got) != 0 {
+		t.Errorf("DESIGN.md §16 drift:\n%s", strings.Join(got, "\n"))
 	}
 	files := []string{"../../../README.md", "../../../DESIGN.md", "../../../EXPERIMENTS.md", "../../../ROADMAP.md"}
 	docs, _ := filepath.Glob("../../../docs/*.md")

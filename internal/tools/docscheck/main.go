@@ -14,7 +14,9 @@
 //     ring constant),
 //   - DESIGN.md §15's fusion-rule table drifts from the superinstructions
 //     the register engine emits (regvm.Superinstructions — both
-//     directions), or
+//     directions),
+//   - DESIGN.md §16's stage table drifts from the profile-guided layout
+//     derivation (pgo.Stages — both directions), or
 //   - any relative markdown link in the checked documents points at a file
 //     that does not exist.
 //
@@ -47,6 +49,7 @@ func main() {
 	complaints = append(complaints, CheckIters(string(raw))...)
 	complaints = append(complaints, CheckCluster(string(raw))...)
 	complaints = append(complaints, CheckEngine(string(raw))...)
+	complaints = append(complaints, CheckPGO(string(raw))...)
 
 	files := flag.Args()
 	if len(files) == 0 {

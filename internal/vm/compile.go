@@ -199,12 +199,31 @@ type Program struct {
 	main  int
 }
 
-// Compile lowers prog (and plan's probes, when non-nil) to bytecode.
+// Compile lowers prog (and plan's probes, when non-nil) to bytecode in the
+// source block order.
 func Compile(prog *ir.Program, plan *instrument.Plan) (*Program, error) {
+	return CompileLayout(prog, plan, nil)
+}
+
+// CompileLayout lowers prog like Compile but emits each function's blocks
+// in the given layout order (one permutation of block ids per function,
+// entry block first; nil keeps the source order). Every jump target in
+// this engine is explicit and patched through the block-pc table, so
+// layout is purely a locality change — the compiled program's semantics
+// are identical to the source-order one.
+func CompileLayout(prog *ir.Program, plan *instrument.Plan, layout [][]int) (*Program, error) {
+	if layout != nil && len(layout) != len(prog.Funcs) {
+		return nil, fmt.Errorf("vm: layout has %d functions, program has %d",
+			len(layout), len(prog.Funcs))
+	}
 	p := &Program{IR: prog, Plan: plan, main: -1}
 	insns := 0
 	for idx, fn := range prog.Funcs {
-		cf, err := compileFunc(prog, plan, idx, fn)
+		var order []int
+		if layout != nil {
+			order = layout[idx]
+		}
+		cf, err := compileFunc(prog, plan, idx, fn, order)
 		if err != nil {
 			return nil, err
 		}
@@ -219,6 +238,26 @@ func Compile(prog *ir.Program, plan *instrument.Plan) (*Program, error) {
 			"funcs", len(prog.Funcs), "insns", insns, "instrumented", plan != nil)
 	}
 	return p, nil
+}
+
+// checkOrder rejects a layout order that is not a permutation of the
+// function's block ids with the entry block (id 0, where frames start
+// executing) first.
+func checkOrder(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("order lists %d blocks, function has %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, b := range order {
+		if b < 0 || b >= n || seen[b] {
+			return fmt.Errorf("order is not a permutation (block %d)", b)
+		}
+		seen[b] = true
+	}
+	if n > 0 && order[0] != 0 {
+		return fmt.Errorf("entry block must come first, got block %d", order[0])
+	}
+	return nil
 }
 
 // fixup is a pending jump-target patch: direct to a block, or through a
@@ -248,7 +287,7 @@ type fnCompiler struct {
 	resumes []*callInfo // resumePC patched to blockPC of resumes[i].resumePC (block id)
 }
 
-func compileFunc(prog *ir.Program, plan *instrument.Plan, idx int, fn *ir.Func) (*compiledFunc, error) {
+func compileFunc(prog *ir.Program, plan *instrument.Plan, idx int, fn *ir.Func, order []int) (*compiledFunc, error) {
 	c := &fnCompiler{prog: prog, plan: plan, fn: fn}
 	if plan != nil {
 		c.fi = plan.FuncInfoAt(idx)
@@ -260,8 +299,18 @@ func compileFunc(prog *ir.Program, plan *instrument.Plan, idx int, fn *ir.Func) 
 	}
 	cf := &compiledFunc{fn: fn, idx: idx, numSlots: fn.NumSlots()}
 
+	if order == nil {
+		order = make([]int, len(fn.Blocks))
+		for i := range order {
+			order[i] = i
+		}
+	} else if err := checkOrder(order, len(fn.Blocks)); err != nil {
+		return nil, fmt.Errorf("vm: layout %s: %w", fn.Name, err)
+	}
+
 	c.blockPC = make([]int32, len(fn.Blocks))
-	for bid, blk := range fn.Blocks {
+	for _, bid := range order {
+		blk := fn.Blocks[bid]
 		c.blockPC[bid] = int32(len(c.code))
 		c.emit(inst{op: opStep, blk: int32(bid), cost: blk.Cost()})
 		for _, in := range blk.Body {
