@@ -40,16 +40,23 @@
 // Aggregation mode (no -src; pairs with -save-profile / -load-profile):
 //
 //	pathprof -merge OUT a.prof b.prof ...
+//	pathprof -merge OUT -bench 181.mcf -k 1 /var/lib/pathprofd/data
 //
 // folds profiles saved with -save-profile — e.g. the same program run at
 // different seeds, or shards collected by separate pathprofd instances —
-// into OUT, loadable with -load-profile for estimation over the fleet.
+// into OUT, loadable with -load-profile for estimation over the fleet. An
+// argument that is a directory is opened read-only as a pathprofd profile
+// store (-data-dir; docs/FORMAT.md documents the layout) and contributes
+// the fleet cell selected by -bench/-k/-iters — the offline inspection
+// path for a daemon's durable state, recovery blames printed to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"pathprof/internal/cfg"
 	"pathprof/internal/core"
@@ -61,17 +68,89 @@ import (
 	"pathprof/internal/pgo"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
+	"pathprof/internal/profstore"
 	"pathprof/internal/stats"
 	"pathprof/internal/workload"
 )
 
-// mergeProfiles implements -merge: fold saved profile files into one.
-func mergeProfiles(out string, files []string) error {
+// cellSelector narrows a profile store's fleet cells to the one -merge
+// should read, from the -bench/-k/-iters flags (unset axes match anything).
+type cellSelector struct {
+	bench          string
+	k, iters       int
+	kSet, itersSet bool
+}
+
+func (sel cellSelector) matches(key profstore.CellKey) bool {
+	if sel.bench != "" && key.Bench != sel.bench {
+		return false
+	}
+	if sel.kSet && key.K != sel.k {
+		return false
+	}
+	if sel.itersSet && key.Iters != sel.iters {
+		return false
+	}
+	return true
+}
+
+// storeCell opens dir read-only as a pathprofd profile store and returns the
+// single fleet cell the selector picks, listing the available cells when the
+// selection is empty or ambiguous. Recovery blames go to stderr — inspection
+// must surface damage, not hide it.
+func storeCell(dir string, sel cellSelector) (*merge.Snapshot, error) {
+	st, err := profstore.Open(dir, profstore.Config{ReadOnly: true})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	defer st.Close() //nolint:errcheck // read-only
+	for _, c := range st.Corruptions() {
+		fmt.Fprintf(os.Stderr, "pathprof: %s: corrupt record skipped: %s\n", dir, c.String())
+	}
+	cells := st.Cells()
+	var keys []profstore.CellKey
+	for key := range cells {
+		if sel.matches(key) {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 1 {
+		return cells[keys[0]], nil
+	}
+	all := make([]string, 0, len(cells))
+	for key := range cells {
+		all = append(all, key.String())
+	}
+	sort.Strings(all)
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("%s: no fleet cell matches the selection; store holds: %s",
+			dir, strings.Join(all, ", "))
+	}
+	names := make([]string, len(keys))
+	for i, key := range keys {
+		names[i] = key.String()
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("%s: selection is ambiguous (%s); pin it with -bench/-k/-iters",
+		dir, strings.Join(names, ", "))
+}
+
+// mergeProfiles implements -merge: fold saved profile files — and selected
+// cells of profile store directories — into one.
+func mergeProfiles(out string, files []string, sel cellSelector) error {
 	if len(files) < 1 {
-		return fmt.Errorf("-merge needs at least one profile file argument")
+		return fmt.Errorf("-merge needs at least one profile file or store directory argument")
 	}
 	snaps := make([]*merge.Snapshot, 0, len(files))
 	for _, path := range files {
+		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+			snap, err := storeCell(path, sel)
+			if err != nil {
+				return err
+			}
+			snaps = append(snaps, snap)
+			continue
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return err
@@ -139,7 +218,16 @@ func run() error {
 	flag.Parse()
 
 	if *mergeOut != "" {
-		return mergeProfiles(*mergeOut, flag.Args())
+		sel := cellSelector{bench: *benchNm, k: *k, iters: *iters}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "k":
+				sel.kSet = true
+			case "iters":
+				sel.itersSet = true
+			}
+		})
+		return mergeProfiles(*mergeOut, flag.Args(), sel)
 	}
 	if *srcPath == "" && *benchNm == "" {
 		flag.Usage()

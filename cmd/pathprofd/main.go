@@ -38,6 +38,7 @@ import (
 	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
+	"pathprof/internal/profstore"
 	"pathprof/internal/server"
 )
 
@@ -74,6 +75,9 @@ func main() {
 	drainWait := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
 	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "private /debug/pprof listener address (empty = disabled)")
+	dataDir := flag.String("data-dir", "", "persistent profile store directory (empty = in-memory only; docs/FORMAT.md documents the layout)")
+	maxLogSegments := flag.Int("max-log-segments", 0, "sealed log segments kept before background compaction (0 = default; needs -data-dir)")
+	decayShift := flag.Int("decay-shift", 0, "per-compaction exponential decay of base profiles, counters >>= shift (0 = no decay; needs -data-dir)")
 	flag.Parse()
 
 	store, ok := profile.ParseStoreKind(*storeNm)
@@ -89,6 +93,30 @@ func main() {
 	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	obs.SetLogger(lg) // pipeline/vm/merge debug events flow to the same stream
 	pipeline.SetParallelism(*parallel)
+
+	// The persistent profile store opens before the serving layer so its
+	// crash-recovery replay happens exactly once, up front; every recovered
+	// blame is logged here where an operator will see it on boot.
+	var persist *profstore.Store
+	if *dataDir != "" {
+		st, err := profstore.Open(*dataDir, profstore.Config{
+			MaxSegments: *maxLogSegments,
+			DecayShift:  uint(*decayShift),
+			Logger:      lg,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pathprofd: opening profile store %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		persist = st
+		defer persist.Close() //nolint:errcheck // post-drain teardown
+		m := persist.MetricsSnapshot()
+		lg.Info("store.open", "dir", *dataDir, "cells", m.Cells,
+			"segments", m.Segments, "log_bytes", m.LogBytes)
+		for _, c := range persist.Corruptions() {
+			lg.Warn("store.corrupt_record", "blame", c.String())
+		}
+	}
 
 	// All three roles expose the same job API; they differ in who executes
 	// and who folds.
@@ -110,6 +138,7 @@ func main() {
 			FleetIngestOnly: *mode == "worker",
 			JobTimeout:      *jobTimeout,
 			Logger:          lg,
+			Persist:         persist,
 		})
 		srv.Start()
 		handler, drain, closeFn = srv.Handler(), srv.Drain, srv.Close
@@ -130,6 +159,7 @@ func main() {
 			AttemptTimeout: *attemptTimeout,
 			JobTimeout:     *jobTimeout,
 			Logger:         lg,
+			Persist:        persist,
 		})
 		coord.Start()
 		handler, drain, closeFn = coord.Handler(), coord.Drain, coord.Close

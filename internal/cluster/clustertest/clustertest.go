@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pathprof/internal/cluster"
+	"pathprof/internal/profstore"
 	"pathprof/internal/server"
 )
 
@@ -54,6 +55,11 @@ type Rig struct {
 	TS      *httptest.Server
 	// Client drives the coordinator's HTTP API.
 	Client *Client
+
+	opts Options
+	// store is the coordinator's checkpoint store when Options.DataDir is
+	// set; RestartCoordinator closes and reopens it across the restart.
+	store *profstore.Store
 }
 
 // Options tunes rig construction.
@@ -70,6 +76,10 @@ type Options struct {
 	ChunkShards int
 	// WorkerRunners sizes each worker's runner pool (default 2).
 	WorkerRunners int
+	// DataDir, when set, gives the coordinator a persistent profile store
+	// on that directory — the authoritative fleet fold survives
+	// RestartCoordinator.
+	DataDir string
 }
 
 // quiet is a logger that drops everything — rig tests assert on behavior,
@@ -88,32 +98,72 @@ func NewRig(t *testing.T, n int, opts Options) *Rig {
 	if opts.WorkerRunners <= 0 {
 		opts.WorkerRunners = 2
 	}
-	r := &Rig{}
+	r := &Rig{opts: opts}
 	urls := make([]string, 0, n)
 	for i := 0; i < n; i++ {
 		w := newWorker(t, opts)
 		r.Workers = append(r.Workers, w)
 		urls = append(urls, w.URL)
 	}
+	r.bootCoordinator(t, urls)
+	t.Cleanup(func() {
+		// Close whatever incarnation is current — RestartCoordinator may
+		// have replaced the one NewRig booted.
+		r.TS.Close()
+		r.Coord.Close()
+		if r.store != nil {
+			r.store.Close() //nolint:errcheck // teardown
+		}
+	})
+	return r
+}
+
+// bootCoordinator builds and starts one coordinator incarnation over the
+// given members, opening the checkpoint store first when DataDir is set.
+func (r *Rig) bootCoordinator(t *testing.T, urls []string) {
+	t.Helper()
+	r.store = nil
+	if r.opts.DataDir != "" {
+		st, err := profstore.Open(r.opts.DataDir, profstore.Config{NoSync: true})
+		if err != nil {
+			t.Fatalf("opening coordinator store: %v", err)
+		}
+		r.store = st
+	}
 	r.Coord = cluster.New(cluster.Config{
 		Workers:        urls,
 		Runners:        4,
-		ChunkShards:    opts.ChunkShards,
-		MaxAttempts:    opts.MaxAttempts,
-		AttemptTimeout: opts.AttemptTimeout,
+		ChunkShards:    r.opts.ChunkShards,
+		MaxAttempts:    r.opts.MaxAttempts,
+		AttemptTimeout: r.opts.AttemptTimeout,
 		// A per-request ceiling so a hung worker cannot stall the paths that
 		// run outside the attempt budget (fleet pushes, handoffs).
-		Client: &http.Client{Timeout: opts.AttemptTimeout},
-		Logger: quiet(),
+		Client:  &http.Client{Timeout: r.opts.AttemptTimeout},
+		Logger:  quiet(),
+		Persist: r.store,
 	})
 	r.Coord.Start()
 	r.TS = httptest.NewServer(r.Coord.Handler())
-	t.Cleanup(func() {
-		r.TS.Close()
-		r.Coord.Close()
-	})
 	r.Client = NewClient(t, r.TS.URL)
-	return r
+}
+
+// RestartCoordinator tears the coordinator down and boots a fresh one on the
+// same DataDir and the same membership — the cluster-side analogue of
+// kill -9 + restart. The fleet fold the new incarnation serves comes
+// entirely from the checkpoint store's replay; workers keep running
+// untouched (their installed cells are stale until the next push).
+func (r *Rig) RestartCoordinator(t *testing.T) {
+	t.Helper()
+	if r.opts.DataDir == "" {
+		t.Fatal("RestartCoordinator requires Options.DataDir")
+	}
+	urls := r.Coord.Workers()
+	r.TS.Close()
+	r.Coord.Close()
+	if err := r.store.Close(); err != nil {
+		t.Fatalf("closing coordinator store: %v", err)
+	}
+	r.bootCoordinator(t, urls)
 }
 
 // newWorker boots one ingest-only worker daemon behind a fresh fault proxy.

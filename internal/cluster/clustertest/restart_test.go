@@ -1,0 +1,53 @@
+package clustertest
+
+import (
+	"testing"
+)
+
+// TestClusterCoordinatorRestartReplay is the cluster-side durability
+// acceptance check: a coordinator that checkpoints its authoritative fleet
+// fold to a data dir, dies between two halves of a sweep, and restarts on
+// the same dir must end up serving fleet and PGO bytes identical to a
+// coordinator that never restarted (represented by the single-node control,
+// which the never-restarted cluster is already differentially pinned to).
+func TestClusterCoordinatorRestartReplay(t *testing.T) {
+	specs := sweepSpecs()
+	rig := NewRig(t, 2, Options{DataDir: t.TempDir()})
+	const half = 3
+
+	rig.Client.RunSweep(specs[:half])
+	rig.RestartCoordinator(t)
+
+	// The replayed checkpoint alone must already serve: before any new job
+	// arrives, every cell equals a control fed only the first half.
+	halfControl := NewControl(t)
+	halfControl.RunSweep(specs[:half])
+	checkFleetDifferential(t, rig.Client, halfControl)
+	if m := metricsOf(t, rig.Client); m.Store == nil || m.Store.Cells == 0 {
+		t.Fatalf("restarted coordinator reports no store cells: %+v", m.Store)
+	}
+
+	// New folds land on top of the replayed state seamlessly.
+	rig.Client.RunSweep(specs[half:])
+	control := NewControl(t)
+	control.RunSweep(specs)
+	checkFleetDifferential(t, rig.Client, control)
+}
+
+// TestClusterRestartThenChurn layers a membership change on top of a
+// restart: the replayed cells must re-home to ring owners like any other
+// cells (restart resets installedOn, so the first read or rebalance
+// re-pushes from the authoritative replayed copy).
+func TestClusterRestartThenChurn(t *testing.T) {
+	specs := sweepSpecs()
+	rig := NewRig(t, 2, Options{DataDir: t.TempDir()})
+	control := NewControl(t)
+
+	rig.Client.RunSweep(specs)
+	rig.RestartCoordinator(t)
+	rig.AddWorker(t, rig.opts)
+	rig.RemoveWorker(t, rig.Workers[0])
+
+	control.RunSweep(specs)
+	checkFleetDifferential(t, rig.Client, control)
+}

@@ -20,6 +20,7 @@ import (
 	"pathprof/internal/merge"
 	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
+	"pathprof/internal/profstore"
 	"pathprof/internal/server"
 	"pathprof/internal/workload"
 )
@@ -102,6 +103,13 @@ type Config struct {
 	// Seed derives the per-worker backoff jitter streams (0 = a fixed
 	// default; any value works, it only decorrelates retries).
 	Seed int64
+	// Persist, when non-nil, checkpoints the authoritative fleet fold: New
+	// primes the fleet from its replayed cells (marked dirty so the next
+	// rebalance or read re-installs them on their ring owners), and every
+	// fleet fold appends to it before the in-memory merge — a fold the
+	// coordinator acknowledged survives kill -9. The caller owns the store's
+	// lifecycle: open it before New, close it after Drain.
+	Persist *profstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -255,6 +263,14 @@ func New(cfg Config) *Coordinator {
 		accepting: true,
 	}
 	c.runCtx, c.cancelRun = context.WithCancel(context.Background())
+	if cfg.Persist != nil {
+		// Resume the authoritative fold from the checkpoint. Cells start
+		// dirty: nothing is installed on any worker yet, so reads serve the
+		// authoritative copy and the first rebalance or read re-pushes.
+		for key, snap := range cfg.Persist.Cells() {
+			c.fleet[cellKey{bench: key.Bench, k: key.K, iters: key.Iters}] = &cell{snap: snap, dirty: true}
+		}
+	}
 	for _, w := range cfg.Workers {
 		c.addWorkerLocked(w)
 	}
@@ -644,8 +660,12 @@ func (c *Coordinator) runJob(j *cjob) {
 
 	if j.req.Benchmark != "" {
 		pushSpan := j.span.Child(StageFleetPush)
-		c.foldFleet(ctx, cellKey{bench: j.req.Benchmark, k: k, iters: iters}, acc)
+		err := c.foldFleet(ctx, cellKey{bench: j.req.Benchmark, k: k, iters: iters}, acc)
 		pushSpan.End()
+		if err != nil {
+			fail(server.ShardError{Shard: -1, Error: "persisting fleet fold: " + err.Error()})
+			return
+		}
 	}
 
 	j.mu.Lock()
@@ -660,10 +680,20 @@ func (c *Coordinator) runJob(j *cjob) {
 }
 
 // foldFleet merges a job snapshot into the authoritative cell and pushes
-// the updated cell to its ring owner. A failed push marks the cell dirty:
-// reads fall back to the authoritative copy and the next fold or read
-// re-pushes.
-func (c *Coordinator) foldFleet(ctx context.Context, key cellKey, snap *merge.Snapshot) {
+// the updated cell to its ring owner. When a checkpoint store is configured
+// the snapshot is journaled (fsync'd) first and a journal failure fails the
+// fold — the in-memory state never runs ahead of what a restart would
+// recover. A failed push only marks the cell dirty: reads fall back to the
+// authoritative copy and the next fold or read re-pushes.
+func (c *Coordinator) foldFleet(ctx context.Context, key cellKey, snap *merge.Snapshot) error {
+	if c.cfg.Persist != nil {
+		// Journal outside fleetMu: appends are commutative, so the journal
+		// and the in-memory fold agree regardless of interleaving, and the
+		// fsync never stalls folds or reads of other cells.
+		if err := c.cfg.Persist.Append(key.bench, snap); err != nil {
+			return err
+		}
+	}
 	c.fleetMu.Lock()
 	cl := c.fleet[key]
 	if cl == nil {
@@ -674,6 +704,7 @@ func (c *Coordinator) foldFleet(ctx context.Context, key cellKey, snap *merge.Sn
 	}
 	c.fleetMu.Unlock()
 	c.pushCell(ctx, key)
+	return nil
 }
 
 // pushCell installs the cell's current authoritative snapshot on its ring

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"pathprof/internal/obs"
+	"pathprof/internal/profstore"
 )
 
 // cmetrics is the coordinator's instrumentation: cluster-global counters,
@@ -128,6 +129,11 @@ type ClusterMetrics struct {
 	// Workers holds one row per node that ever received a dispatch,
 	// keyed by base URL.
 	Workers map[string]WorkerMetrics `json:"workers"`
+
+	// Store carries the checkpoint store's gauges when the coordinator
+	// runs with -data-dir; nil otherwise. Field meanings are documented in
+	// docs/OPERATIONS.md.
+	Store *profstore.Metrics `json:"store,omitempty"`
 }
 
 func (c *Coordinator) metricsSnapshot() ClusterMetrics {
@@ -149,6 +155,10 @@ func (c *Coordinator) metricsSnapshot() ClusterMetrics {
 		ChunkMs:           m.chunkMs.Snapshot(),
 		FoldMs:            m.foldMs.Snapshot(),
 		Workers:           map[string]WorkerMetrics{},
+	}
+	if c.cfg.Persist != nil {
+		sm := c.cfg.Persist.MetricsSnapshot()
+		out.Store = &sm
 	}
 	members := map[string]bool{}
 	for _, n := range c.ring.Nodes() {

@@ -277,7 +277,10 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReader(r)
 	line, err := br.ReadBytes('\n')
 	if err != nil {
-		return nil, fmt.Errorf("merge: reading snapshot header: %w", err)
+		// Name the truncation point: a store replaying a damaged log needs
+		// the blame string to say how far the header got, not just that an
+		// EOF happened somewhere.
+		return nil, fmt.Errorf("merge: reading snapshot header: truncated after %d bytes: %w", len(line), err)
 	}
 	var hdr snapshotHeader
 	if err := json.Unmarshal(line, &hdr); err != nil {

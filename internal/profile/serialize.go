@@ -59,12 +59,15 @@ func ReadCounters(r io.Reader) (*Counters, error) {
 		return nil, fmt.Errorf("profile: implausible function count %d", hdr.NumFuncs)
 	}
 	c := NewCounters(hdr.NumFuncs)
-	for {
+	for n := 1; ; n++ {
 		var rec Record
 		if err := dec.Decode(&rec); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("profile: reading record: %w", err)
+			// The 1-based record index makes a blame string from a
+			// replaying store actionable: it names the exact line that
+			// broke, not just that a line did.
+			return nil, fmt.Errorf("profile: reading record %d: %w", n, err)
 		}
 		switch rec.Kind {
 		case "bl":

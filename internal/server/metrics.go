@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"pathprof/internal/obs"
+	"pathprof/internal/profstore"
 )
 
 // Stable metric names: the JSON keys of MetricsSnapshot's per-stage
@@ -27,6 +28,9 @@ const (
 	// MetricSnapshotBytes measures the encoded size of every served
 	// profile snapshot (per-job and fleet), bytes.
 	MetricSnapshotBytes = "snapshot_bytes"
+	// MetricPersistMs measures the durable profile-store append — frame,
+	// write, fsync — per ingested snapshot, ms. Empty without -data-dir.
+	MetricPersistMs = "persist_ms"
 )
 
 // HistogramMetricNames lists every histogram-valued metric name on
@@ -38,6 +42,7 @@ var HistogramMetricNames = []string{
 	MetricMergeMs,
 	MetricEstimateMs,
 	MetricSnapshotBytes,
+	MetricPersistMs,
 }
 
 // Metrics is the daemon's instrumentation: flat counters and gauges updated
@@ -60,6 +65,7 @@ type Metrics struct {
 	mergeMs        *obs.Histogram
 	estimateMs     *obs.Histogram
 	snapshotBytes  *obs.Histogram
+	persistMs      *obs.Histogram
 }
 
 // newMetrics allocates the histogram set over the standard boundary
@@ -71,6 +77,7 @@ func newMetrics() Metrics {
 		mergeMs:        obs.NewHistogram(obs.DefLatencyBoundsMs),
 		estimateMs:     obs.NewHistogram(obs.DefLatencyBoundsMs),
 		snapshotBytes:  obs.NewHistogram(obs.DefSizeBoundsBytes),
+		persistMs:      obs.NewHistogram(obs.DefLatencyBoundsMs),
 	}
 }
 
@@ -110,6 +117,15 @@ type MetricsSnapshot struct {
 	EstimateMs obs.HistogramSnapshot `json:"estimate_ms"`
 	// SnapshotBytes is the served-snapshot size distribution, bytes.
 	SnapshotBytes obs.HistogramSnapshot `json:"snapshot_bytes"`
+	// PersistMs is the durable store-append latency distribution, ms
+	// (zero-count without -data-dir).
+	PersistMs obs.HistogramSnapshot `json:"persist_ms"`
+
+	// Store carries the persistent profile store's gauges — segment count,
+	// on-disk log bytes, records, compactions, blamed corrupt records —
+	// nil when the daemon runs without -data-dir. Field meanings are
+	// documented in docs/OPERATIONS.md.
+	Store *profstore.Metrics `json:"store,omitempty"`
 }
 
 // StageHistogram returns the named stage histogram from the snapshot, by
@@ -127,6 +143,8 @@ func (m *MetricsSnapshot) StageHistogram(name string) (obs.HistogramSnapshot, bo
 		return m.EstimateMs, true
 	case MetricSnapshotBytes:
 		return m.SnapshotBytes, true
+	case MetricPersistMs:
+		return m.PersistMs, true
 	}
 	return obs.HistogramSnapshot{}, false
 }
@@ -149,7 +167,19 @@ func (s *Server) metricsSnapshot() MetricsSnapshot {
 		MergeMs:        m.mergeMs.Snapshot(),
 		EstimateMs:     m.estimateMs.Snapshot(),
 		SnapshotBytes:  m.snapshotBytes.Snapshot(),
+		PersistMs:      m.persistMs.Snapshot(),
+		Store:          s.storeMetrics(),
 	}
+}
+
+// storeMetrics summarizes the persistent store for /metrics, or nil when
+// the daemon runs purely in memory.
+func (s *Server) storeMetrics() *profstore.Metrics {
+	if s.cfg.Persist == nil {
+		return nil
+	}
+	m := s.cfg.Persist.MetricsSnapshot()
+	return &m
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

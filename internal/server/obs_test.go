@@ -16,7 +16,7 @@ import (
 // lifecycle order, and every stage histogram on /metrics saw observations.
 func TestJobTraceAndLogs(t *testing.T) {
 	capture := obs.NewCapture(slog.LevelDebug)
-	d := newDaemon(t, Config{Runners: 1, Logger: slog.New(capture)}, true)
+	d := newDaemon(t, Config{Runners: 1, Logger: slog.New(capture), Persist: testStore(t, t.TempDir())}, true)
 
 	const shards = 3
 	code, out := d.post(t, JobRequest{Source: testSrc, Seed: 11, K: 1, Shards: shards})
@@ -120,6 +120,32 @@ func TestJobTraceAndLogs(t *testing.T) {
 	if pcode, _ := d.get(t, "/v1/jobs/"+id+"/profile"); pcode != http.StatusOK {
 		t.Fatalf("profile: status %d", pcode)
 	}
+	// Source jobs never persist (no fleet cell); a benchmark job gives
+	// persist_ms its observation and its trace the persist stage.
+	bcode, bout := d.post(t, JobRequest{Benchmark: "008.espresso", Seed: 1, K: 1, Shards: 1})
+	if bcode != http.StatusAccepted {
+		t.Fatalf("benchmark submit: status %d", bcode)
+	}
+	if st := d.await(t, bout["id"]); st.State != "done" {
+		t.Fatalf("benchmark job state %q, errors %v", st.State, st.Errors)
+	}
+	btcode, braw := d.get(t, "/v1/jobs/"+bout["id"]+"/trace")
+	if btcode != http.StatusOK {
+		t.Fatalf("benchmark /trace: status %d", btcode)
+	}
+	var btr JobTrace
+	if err := json.Unmarshal(braw, &btr); err != nil {
+		t.Fatal(err)
+	}
+	persistSpans := 0
+	obs.Walk(btr.Root, func(n *obs.SpanNode, _ int) {
+		if n.Name == StagePersist {
+			persistSpans++
+		}
+	})
+	if persistSpans != 1 {
+		t.Fatalf("benchmark job trace has %d persist spans, want 1", persistSpans)
+	}
 	m := d.metrics(t)
 	for _, name := range HistogramMetricNames {
 		h, ok := m.StageHistogram(name)
@@ -130,8 +156,9 @@ func TestJobTraceAndLogs(t *testing.T) {
 			t.Fatalf("histogram %q saw no observations", name)
 		}
 	}
-	if m.ShardExecuteMs.Count != shards {
-		t.Fatalf("shard_execute_ms count %d, want %d", m.ShardExecuteMs.Count, shards)
+	if m.ShardExecuteMs.Count != shards+1 {
+		t.Fatalf("shard_execute_ms count %d, want %d (source shards + benchmark shard)",
+			m.ShardExecuteMs.Count, shards+1)
 	}
 }
 

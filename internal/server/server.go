@@ -49,6 +49,7 @@ import (
 	"pathprof/internal/obs"
 	"pathprof/internal/pipeline"
 	"pathprof/internal/profile"
+	"pathprof/internal/profstore"
 	"pathprof/internal/workload"
 )
 
@@ -87,6 +88,14 @@ type Config struct {
 	// coordinator. Without it a worker running chunked sub-jobs would hold
 	// partial fleet fragments that double-count after a handoff install.
 	FleetIngestOnly bool
+	// Persist, when set, makes the fleet fold durable: New primes the fleet
+	// map from the store's replayed cells, every benchmark job's merged
+	// snapshot is appended — fsync'd — to the store before the job is acked
+	// as done, and fleet installs/deletes are journaled the same way. A
+	// restarted daemon therefore serves /v1/profiles and /v1/pgo responses
+	// byte-identical to one that never died. The caller owns the store's
+	// lifecycle (open before New, close after Drain).
+	Persist *profstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -269,6 +278,15 @@ func New(cfg Config) *Server {
 		pipes:     map[string]*pipeEntry{},
 		fleet:     map[fleetKey]*merge.Snapshot{},
 		accepting: true,
+	}
+	// Prime the fleet from the store's recovery replay: every cell the
+	// previous process acked is served again, byte-identical (the merge
+	// fold is associative and commutative, so the replayed order of the
+	// log's records cannot change the bytes).
+	if cfg.Persist != nil {
+		for key, snap := range cfg.Persist.Cells() {
+			s.fleet[fleetKey{bench: key.Bench, k: key.K, iters: key.Iters}] = snap
+		}
 	}
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
@@ -560,6 +578,16 @@ func (s *Server) handleFleetInstall(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fleetKey{bench: bench, k: snap.K, iters: snap.Iters}
 	s.fleetMu.Lock()
+	// Journal before publishing: an install the coordinator saw acked must
+	// survive a restart, and holding fleetMu across both keeps the served
+	// map and the log applying installs in the same order.
+	if s.cfg.Persist != nil {
+		if err := s.cfg.Persist.Install(bench, snap); err != nil {
+			s.fleetMu.Unlock()
+			writeError(w, http.StatusInternalServerError, "persisting install: "+err.Error())
+			return
+		}
+	}
 	s.fleet[key] = snap
 	s.fleetMu.Unlock()
 	s.metrics.fleetInstalls.Add(1)
@@ -586,6 +614,13 @@ func (s *Server) handleFleetDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fleetKey{bench: r.PathValue("benchmark"), k: k, iters: iters}
 	s.fleetMu.Lock()
+	if s.cfg.Persist != nil {
+		if err := s.cfg.Persist.Delete(key.bench, k, iters); err != nil {
+			s.fleetMu.Unlock()
+			writeError(w, http.StatusInternalServerError, "persisting delete: "+err.Error())
+			return
+		}
+	}
 	delete(s.fleet, key)
 	s.fleetMu.Unlock()
 	s.log.Debug("fleet.delete", "benchmark", key.bench, "k", k, "iters", iters)
@@ -777,6 +812,22 @@ func (s *Server) runJob(j *job) {
 	}
 
 	if j.req.Benchmark != "" && !s.cfg.FleetIngestOnly {
+		// Durability before ack: the snapshot is journaled (and fsync'd)
+		// first, so a job observed as done has already survived kill -9.
+		// A failed append fails the job rather than acking mass the store
+		// cannot replay.
+		if s.cfg.Persist != nil {
+			persistSpan := j.span.Child(StagePersist)
+			perr := s.cfg.Persist.Append(j.req.Benchmark, snap)
+			persistSpan.End()
+			s.metrics.persistMs.Observe(float64(persistSpan.Duration()) / float64(time.Millisecond))
+			if perr != nil {
+				fail("persisting snapshot: " + perr.Error())
+				return
+			}
+			s.log.Debug("job.persist", "job_id", j.id, "benchmark", j.req.Benchmark,
+				"persist_ms", persistSpan.Duration().Milliseconds())
+		}
 		s.fleetMu.Lock()
 		key := fleetKey{bench: j.req.Benchmark, k: k, iters: iters}
 		if f := s.fleet[key]; f == nil {

@@ -16,7 +16,9 @@ import (
 //	├── shard (×N)         one per shard; pool wait + execution
 //	│   └── execute        the instrumented run itself
 //	├── merge              folding the shard snapshots
-//	└── estimate           flow estimation over the merged profile
+//	├── estimate           flow estimation over the merged profile
+//	└── persist            durable append to the profile store (only when
+//	                       the daemon runs with -data-dir)
 const (
 	// StageJob is the root span covering a job accept-to-settle.
 	StageJob = "job"
@@ -35,12 +37,17 @@ const (
 	// StageEstimate covers the definite/potential flow estimation over
 	// the merged profile.
 	StageEstimate = "estimate"
+	// StagePersist covers the durable append of the job's merged snapshot
+	// to the persistent profile store — the fsync'd write that makes the
+	// job's fleet contribution survive kill -9. Present only when the
+	// daemon runs with a -data-dir.
+	StagePersist = "persist"
 )
 
 // SpanStages lists every stage name a job trace can contain, root first —
 // the set docscheck cross-references against DESIGN.md §12.
 var SpanStages = []string{
-	StageJob, StageQueue, StageResolve, StageShard, StageExecute, StageMerge, StageEstimate,
+	StageJob, StageQueue, StageResolve, StageShard, StageExecute, StageMerge, StageEstimate, StagePersist,
 }
 
 // JobTrace is the GET /v1/jobs/{id}/trace body: the job's span tree as of

@@ -14,6 +14,7 @@ import (
 	"pathprof/internal/obs"
 	"pathprof/internal/pgo"
 	"pathprof/internal/profile"
+	"pathprof/internal/profstore"
 	"pathprof/internal/regvm"
 	"pathprof/internal/server"
 )
@@ -265,6 +266,46 @@ func CheckPGO(md string) []string {
 			out = append(out, fmt.Sprintf(
 				"DESIGN.md §16 documents %q but the pgo derivation runs no such stage", name))
 		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckFormat cross-references docs/FORMAT.md against the persistent
+// profile store: its "Format token registry" table must list exactly the
+// tokens internal/profstore exports (profstore.FormatTokens — format names,
+// the version tag, record ops, file-name affixes, recovery span stages),
+// in both directions, and the document must name the
+// `profstore.FormatVersion` constant. Changing any on-disk token — the
+// version included — without updating the format doc fails the build.
+func CheckFormat(md string) []string {
+	const heading = "## Format token registry"
+	idx := strings.Index(md, heading)
+	if idx < 0 {
+		return []string{fmt.Sprintf("docs/FORMAT.md: missing %q section", heading)}
+	}
+	sec := md[idx+len(heading):]
+	if next := strings.Index(sec, "\n## "); next >= 0 {
+		sec = sec[:next]
+	}
+	var out []string
+	documented := toSet(TableNames(sec))
+	tokens := profstore.FormatTokens()
+	exported := toSet(tokens)
+	for _, name := range tokens {
+		if !documented[name] {
+			out = append(out, fmt.Sprintf("docs/FORMAT.md: format token %q is undocumented", name))
+		}
+	}
+	for name := range documented {
+		if !exported[name] {
+			out = append(out, fmt.Sprintf(
+				"docs/FORMAT.md registry documents %q but internal/profstore exports no such token", name))
+		}
+	}
+	if !strings.Contains(md, "`profstore.FormatVersion`") {
+		out = append(out,
+			"docs/FORMAT.md does not name the version constant `profstore.FormatVersion`")
 	}
 	sort.Strings(out)
 	return out

@@ -10,6 +10,7 @@ import (
 	"pathprof/internal/cluster"
 	"pathprof/internal/limits"
 	"pathprof/internal/pgo"
+	"pathprof/internal/profstore"
 	"pathprof/internal/regvm"
 	"pathprof/internal/server"
 )
@@ -50,6 +51,58 @@ func goodDesign() string {
 		fmt.Fprintf(&b, "| `%s` | ... |\n", s)
 	}
 	return b.String()
+}
+
+// goodFormat synthesizes a FORMAT.md whose token registry lists exactly the
+// exported on-disk tokens.
+func goodFormat() string {
+	var b strings.Builder
+	b.WriteString("# On-disk format\n\nVersioned by `profstore.FormatVersion`.\n\n")
+	b.WriteString("## Format token registry\n\n| token | meaning |\n|---|---|\n")
+	for _, tok := range profstore.FormatTokens() {
+		fmt.Fprintf(&b, "| `%s` | ... |\n", tok)
+	}
+	b.WriteString("\n## Prose\n\nFree-form text, tables here are unchecked.\n")
+	return b.String()
+}
+
+func TestCheckFormatAccepts(t *testing.T) {
+	if got := CheckFormat(goodFormat()); len(got) != 0 {
+		t.Fatalf("complaints on a faithful format doc:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+func TestCheckFormatCatchesDrift(t *testing.T) {
+	// Dropping the version token is the canonical drift: the doc describes
+	// v1 while the code writes v2.
+	vtok := fmt.Sprintf("| `v%d` | ... |\n", profstore.FormatVersion)
+	missing := strings.Replace(goodFormat(), vtok, "", 1)
+	got := CheckFormat(missing)
+	if len(got) != 1 || !strings.Contains(got[0], fmt.Sprintf(`"v%d" is undocumented`, profstore.FormatVersion)) {
+		t.Fatalf("dropped version token not caught: %v", got)
+	}
+
+	missing = strings.Replace(goodFormat(), "| `"+profstore.OpInstall+"` | ... |\n", "", 1)
+	got = CheckFormat(missing)
+	if len(got) != 1 || !strings.Contains(got[0], `"`+profstore.OpInstall+`" is undocumented`) {
+		t.Fatalf("dropped op token not caught: %v", got)
+	}
+
+	stale := strings.Replace(goodFormat(), "\n## Prose", "| `seg-v0-` | gone |\n\n## Prose", 1)
+	got = CheckFormat(stale)
+	if len(got) != 1 || !strings.Contains(got[0], `"seg-v0-"`) {
+		t.Fatalf("stale documented token not caught: %v", got)
+	}
+
+	unnamed := strings.Replace(goodFormat(), "`profstore.FormatVersion`", "some constant", 1)
+	got = CheckFormat(unnamed)
+	if len(got) != 1 || !strings.Contains(got[0], "profstore.FormatVersion") {
+		t.Fatalf("dropped version constant not caught: %v", got)
+	}
+
+	if got := CheckFormat("# No registry\n"); len(got) != 1 || !strings.Contains(got[0], "Format token registry") {
+		t.Fatalf("missing registry section not caught: %v", got)
+	}
 }
 
 func TestCheckDesignAccepts(t *testing.T) {
@@ -259,6 +312,13 @@ func TestRepoDocsPass(t *testing.T) {
 	}
 	if got := CheckPGO(string(raw)); len(got) != 0 {
 		t.Errorf("DESIGN.md §16 drift:\n%s", strings.Join(got, "\n"))
+	}
+	fraw, err := os.ReadFile("../../../docs/FORMAT.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CheckFormat(string(fraw)); len(got) != 0 {
+		t.Errorf("docs/FORMAT.md drift:\n%s", strings.Join(got, "\n"))
 	}
 	files := []string{"../../../README.md", "../../../DESIGN.md", "../../../EXPERIMENTS.md", "../../../ROADMAP.md"}
 	docs, _ := filepath.Glob("../../../docs/*.md")

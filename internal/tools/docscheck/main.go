@@ -16,7 +16,10 @@
 //     the register engine emits (regvm.Superinstructions — both
 //     directions),
 //   - DESIGN.md §16's stage table drifts from the profile-guided layout
-//     derivation (pgo.Stages — both directions), or
+//     derivation (pgo.Stages — both directions),
+//   - docs/FORMAT.md's token registry drifts from the persistent profile
+//     store's on-disk format (profstore.FormatTokens, the format version
+//     included — both directions), or
 //   - any relative markdown link in the checked documents points at a file
 //     that does not exist.
 //
@@ -24,9 +27,9 @@
 //
 //	go run ./internal/tools/docscheck
 //
-// Flags: -design overrides the DESIGN.md path; positional arguments
-// override the default linked-document set (README.md, DESIGN.md,
-// EXPERIMENTS.md, ROADMAP.md, docs/*.md).
+// Flags: -design overrides the DESIGN.md path, -format the docs/FORMAT.md
+// path; positional arguments override the default linked-document set
+// (README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md, docs/*.md).
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 
 func main() {
 	design := flag.String("design", "DESIGN.md", "path to the design document")
+	format := flag.String("format", "docs/FORMAT.md", "path to the on-disk format document")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*design)
@@ -50,6 +54,13 @@ func main() {
 	complaints = append(complaints, CheckCluster(string(raw))...)
 	complaints = append(complaints, CheckEngine(string(raw))...)
 	complaints = append(complaints, CheckPGO(string(raw))...)
+
+	fraw, err := os.ReadFile(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	complaints = append(complaints, CheckFormat(string(fraw))...)
 
 	files := flag.Args()
 	if len(files) == 0 {
